@@ -1,0 +1,269 @@
+package neuroscaler
+
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (wrapping the experiment that regenerates it at the quick parameters),
+// plus micro-benchmarks of the core data-path operations so regressions
+// in the real pixel code are visible independently of the experiments.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate any single artifact with full parameters via cmd/repro.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/experiments"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/transform"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := experiments.Quick()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, p); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// One benchmark per evaluation artifact.
+
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B)  { benchExperiment(b, "fig23") }
+func BenchmarkFig24(b *testing.B)  { benchExperiment(b, "fig24") }
+func BenchmarkFig25(b *testing.B)  { benchExperiment(b, "fig25") }
+func BenchmarkFig26(b *testing.B)  { benchExperiment(b, "fig26") }
+func BenchmarkFig27(b *testing.B)  { benchExperiment(b, "fig27") }
+func BenchmarkFig28(b *testing.B)  { benchExperiment(b, "fig28") }
+func BenchmarkFig29(b *testing.B)  { benchExperiment(b, "fig29") }
+func BenchmarkTab1(b *testing.B)   { benchExperiment(b, "tab1") }
+func BenchmarkTab2(b *testing.B)   { benchExperiment(b, "tab2") }
+func BenchmarkTab3(b *testing.B)   { benchExperiment(b, "tab3") }
+func BenchmarkTab4(b *testing.B)   { benchExperiment(b, "tab4") }
+func BenchmarkTab5(b *testing.B)   { benchExperiment(b, "tab5") }
+func BenchmarkTab6(b *testing.B)   { benchExperiment(b, "tab6") }
+func BenchmarkTab7(b *testing.B)   { benchExperiment(b, "tab7") }
+func BenchmarkTab8(b *testing.B)   { benchExperiment(b, "tab8") }
+
+// Data-path micro-benchmarks.
+
+func benchFrames(b *testing.B, n int) ([]*frame.Frame, []*frame.Frame) {
+	b.Helper()
+	prof, err := synth.ProfileByName("lol")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := synth.NewGenerator(prof, 96*3, 64*3, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hr := g.GenerateChunk(n)
+	lr := make([]*frame.Frame, n)
+	for i, f := range hr {
+		if lr[i], err = frame.Downscale(f, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return hr, lr
+}
+
+func benchStream(b *testing.B, lr []*frame.Frame) *vcodec.Stream {
+	b.Helper()
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: 96, Height: 64, FPS: 30, BitrateKbps: 600, GOP: 24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := enc.EncodeAll(lr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkVideoEncode(b *testing.B) {
+	_, lr := benchFrames(b, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStream(b, lr)
+	}
+}
+
+func BenchmarkVideoDecode(b *testing.B) {
+	_, lr := benchFrames(b, 24)
+	s := benchStream(b, lr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vcodec.DecodeStream(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImageEncode(b *testing.B) {
+	hr, _ := benchFrames(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := icodec.Encode(hr[0], icodec.Options{Quality: 90}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImageDecode(b *testing.B) {
+	hr, _ := benchFrames(b, 1)
+	data, _, err := icodec.Encode(hr[0], icodec.Options{Quality: 90})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := icodec.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectiveSR(b *testing.B) {
+	hr, lr := benchFrames(b, 24)
+	s := benchStream(b, lr)
+	model, err := sr.NewOracleModel(sr.HighQuality(), hr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metas := anchor.MetasFromStream(s)
+	set := anchor.PacketSet(anchor.SelectTopN(anchor.ZeroInferenceGains(metas), 3), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sr.EnhanceStream(s, model, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnchorSelection(b *testing.B) {
+	_, lr := benchFrames(b, 24)
+	s := benchStream(b, lr)
+	metas := anchor.MetasFromStream(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		anchor.SelectTopN(anchor.ZeroInferenceGains(metas), 4)
+	}
+}
+
+func BenchmarkHybridEncodeDecode(b *testing.B) {
+	hr, lr := benchFrames(b, 24)
+	s := benchStream(b, lr)
+	model, err := sr.NewOracleModel(sr.HighQuality(), hr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := EnhanceChunk(s, model, EnhanceOptions{AnchorFraction: 0.10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hybrid.Decode(res.Container); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDCTRoundTrip(b *testing.B) {
+	var blk transform.Block
+	for i := range blk {
+		blk[i] = int32(i%251) - 125
+	}
+	table := transform.QuantTable(80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c transform.Block
+		transform.FDCT(&c, &blk)
+		transform.Quantize(&c, &table)
+		transform.Dequantize(&c, &table)
+		transform.IDCT(&c, &c)
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	msg := wire.Message{Type: wire.TypeChunk, StreamID: 1, Seq: 2, Payload: payload}
+	var sink discard
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.buf, sink.off = sink.buf[:0], 0
+		if err := wire.Write(&sink, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Read(&sink, wire.DefaultMaxPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discard is an in-memory io.ReadWriter for the wire benchmark.
+type discard struct {
+	buf []byte
+	off int
+}
+
+func (d *discard) Write(p []byte) (int, error) {
+	d.buf = append(d.buf, p...)
+	return len(p), nil
+}
+
+func (d *discard) Read(p []byte) (int, error) {
+	n := copy(p, d.buf[d.off:])
+	if n == 0 {
+		return 0, fmt.Errorf("discard: empty")
+	}
+	d.off += n
+	return n, nil
+}
+
+// Extension and ablation studies (§9 + implementation design choices).
+
+func BenchmarkExtTraining(b *testing.B)      { benchExperiment(b, "ext-training") }
+func BenchmarkExtAltrefDensity(b *testing.B) { benchExperiment(b, "ext-altref-density") }
+func BenchmarkExtH26x(b *testing.B)          { benchExperiment(b, "ext-h26x") }
+func BenchmarkAblSearch(b *testing.B)        { benchExperiment(b, "abl-search") }
+func BenchmarkAblPool(b *testing.B)          { benchExperiment(b, "abl-pool") }
+
+func BenchmarkExtABR(b *testing.B) { benchExperiment(b, "ext-abr") }

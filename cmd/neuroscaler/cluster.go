@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"log"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/driver"
+	"github.com/neuroscaler/neuroscaler/internal/enhance"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/gpu"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sched"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// runClusterDemo exercises the Figure 7 workflow across simulated GPU
+// instances: four streams of different content are scheduled globally per
+// interval, their anchors are enhanced on two T4 devices, and the hybrid
+// outputs are decoded back and scored.
+func runClusterDemo(fraction float64, frames int) {
+	const (
+		scale     = 3
+		lrW       = 96
+		lrH       = 64
+		gop       = 24
+		instances = 2
+	)
+	enhancers := make([]*enhance.Enhancer, instances)
+	for i := range enhancers {
+		dev, err := gpu.NewDevice(cluster.GPUT4, gpu.Options{PreOptimize: true, PreAllocate: true})
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		if enhancers[i], err = enhance.New(dev); err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+	}
+	d, err := driver.New(sched.CostEffective(), enhancers)
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+
+	contents := []string{"lol", "gta", "chat", "fortnite"}
+	type liveStream struct {
+		st   *driver.Stream
+		hr   []*frame.Frame
+		pkts [][]byte
+	}
+	streams := make([]liveStream, len(contents))
+	for i, content := range contents {
+		prof, err := synth.ProfileByName(content)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		g, err := synth.NewGenerator(prof, lrW*scale, lrH*scale, int64(i+1))
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		hr := g.GenerateChunk(frames)
+		lr := make([]*frame.Frame, frames)
+		for j, f := range hr {
+			if lr[j], err = frame.Downscale(f, scale); err != nil {
+				log.Fatalf("neuroscaler: %v", err)
+			}
+		}
+		cfg := vcodec.Config{Width: lrW, Height: lrH, FPS: 30, BitrateKbps: 500, GOP: gop}
+		enc, err := vcodec.NewEncoder(cfg)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		vstream, err := enc.EncodeAll(lr)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		model, err := sr.NewOracleModel(sr.HighQuality(), hr)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		st, err := driver.NewStream(i+1, enc.Config(), scale, model, fraction)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		pkts := make([][]byte, len(vstream.Packets))
+		for j, p := range vstream.Packets {
+			pkts[j] = p.Data
+		}
+		streams[i] = liveStream{st: st, hr: hr, pkts: pkts}
+	}
+
+	inputs := make([]driver.IntervalInput, len(streams))
+	for i, s := range streams {
+		inputs[i] = driver.IntervalInput{Stream: s.st, Packets: s.pkts}
+	}
+	report, err := d.RunInterval(context.Background(), inputs)
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	log.Printf("cluster demo: %d anchors scheduled across %d instances", report.Scheduled, instances)
+	for i, load := range report.LoadPerInstance {
+		log.Printf("cluster demo: instance %d virtual GPU load %v of %v interval",
+			i, load.Round(1e6), sched.CostEffective().Interval)
+	}
+	for _, out := range report.Outputs {
+		decoded, err := hybrid.Decode(out.Container)
+		if err != nil {
+			log.Fatalf("neuroscaler: stream %d: %v", out.StreamID, err)
+		}
+		hr := streams[out.StreamID-1].hr
+		psnr, err := metrics.MeanPSNR(hr[:len(decoded)], decoded)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		log.Printf("cluster demo: stream %d (%s): %d anchors, client quality %.2f dB",
+			out.StreamID, contents[out.StreamID-1], out.Anchors, psnr)
+	}
+}

@@ -1,0 +1,218 @@
+// Command neuroscaler runs the networked NeuroScaler deployment. It can
+// play three roles:
+//
+//	neuroscaler -role enhancer -listen :7001
+//	    An anchor-enhancer node: accepts anchor jobs over TCP and returns
+//	    image-coded super-resolved frames.
+//
+//	neuroscaler -role server -listen :7000 -http :8080 [-enhancer addr]
+//	    The media server: accepts ingest streams, selects and enhances
+//	    anchor frames (locally, or on a remote enhancer node), and serves
+//	    hybrid containers over HTTP.
+//
+//	neuroscaler -role demo
+//	    A self-contained demo: starts a server and an enhancer on loopback
+//	    ports, streams synthetic content through them, and fetches the
+//	    enhanced chunks back as a viewer.
+//
+// In this reproduction content-aware models are oracle models backed by
+// synthetic source content, so both server and enhancer resolve models
+// from the stream's announced content profile (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/media"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "demo", "server | enhancer | demo")
+		listen   = flag.String("listen", "127.0.0.1:7000", "ingest (server) or job (enhancer) listen address")
+		httpAddr = flag.String("http", "127.0.0.1:8080", "distribution HTTP listen address (server role)")
+		enhancer = flag.String("enhancer", "", "remote enhancer address (server role); empty = in-process")
+		fraction = flag.Float64("fraction", 0.075, "anchor fraction")
+		frames   = flag.Int("frames", 48, "frames per synthetic stream (demo role)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "enhancer":
+		runEnhancer(*listen)
+	case "server":
+		runServer(*listen, *httpAddr, *enhancer, *fraction)
+	case "demo":
+		runDemo(*fraction, *frames)
+	case "cluster-demo":
+		runClusterDemo(*fraction, *frames)
+	default:
+		fmt.Fprintf(os.Stderr, "neuroscaler: unknown role %q\n", *role)
+		os.Exit(2)
+	}
+}
+
+// oracleProvider resolves content-aware models from announced stream
+// metadata by regenerating the synthetic source (the simulation stand-in
+// for shipping trained DNN weights; see DESIGN.md).
+func oracleProvider(framesPerStream int) media.ModelProvider {
+	var mu sync.Mutex
+	cache := make(map[uint32]sr.Model)
+	return func(streamID uint32, h wire.Hello) (sr.Model, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if m, ok := cache[streamID]; ok {
+			return m, nil
+		}
+		prof, err := synth.ProfileByName(h.Content)
+		if err != nil {
+			return nil, err
+		}
+		g, err := synth.NewGenerator(prof, h.Config.Width*h.Scale, h.Config.Height*h.Scale, int64(streamID))
+		if err != nil {
+			return nil, err
+		}
+		m, err := sr.NewOracleModel(h.Model, g.GenerateChunk(framesPerStream))
+		if err != nil {
+			return nil, err
+		}
+		cache[streamID] = m
+		return m, nil
+	}
+}
+
+func runEnhancer(addr string) {
+	local, err := media.NewLocalEnhancer(oracleProvider(1 << 12))
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	srv, err := media.NewEnhancerServer(addr, local, log.Printf)
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	log.Printf("neuroscaler: enhancer listening on %s", srv.Addr())
+	select {} // serve forever
+}
+
+func runServer(ingestAddr, httpAddr, enhancerAddr string, fraction float64) {
+	var backend media.AnchorEnhancer
+	if enhancerAddr == "" {
+		local, err := media.NewLocalEnhancer(oracleProvider(1 << 12))
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		backend = local
+	} else {
+		remote, err := media.DialEnhancer(enhancerAddr)
+		if err != nil {
+			log.Fatalf("neuroscaler: %v", err)
+		}
+		defer remote.Close()
+		backend = remote
+	}
+	srv, err := media.NewServer(ingestAddr, backend, media.ServerConfig{AnchorFraction: fraction})
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	log.Printf("neuroscaler: ingest on %s, distribution on http://%s", srv.Addr(), httpAddr)
+	log.Fatal(http.ListenAndServe(httpAddr, srv.DistributionHandler()))
+}
+
+func runDemo(fraction float64, frames int) {
+	const (
+		scale = 3
+		lrW   = 96
+		lrH   = 64
+		gop   = 24
+	)
+	provider := oracleProvider(frames)
+	local, err := media.NewLocalEnhancer(provider)
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	srv, err := media.NewServer("127.0.0.1:0", local, media.ServerConfig{AnchorFraction: fraction})
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.DistributionHandler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("neuroscaler: http: %v", err)
+		}
+	}()
+	defer httpSrv.Close()
+	log.Printf("neuroscaler demo: ingest %s, distribution http://%s", srv.Addr(), ln.Addr())
+
+	hello := wire.Hello{
+		Config: vcodec.Config{
+			Width: lrW, Height: lrH, FPS: 30, BitrateKbps: 500,
+			GOP: gop, Mode: vcodec.ModeConstrainedVBR,
+		},
+		Scale: scale, Model: sr.HighQuality(), Content: "lol",
+	}
+	streamer, err := media.NewStreamer(srv.Addr(), 1, hello)
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	defer streamer.Close()
+
+	prof, _ := synth.ProfileByName("lol")
+	g, err := synth.NewGenerator(prof, lrW*scale, lrH*scale, 1)
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	for sent := 0; sent < frames; sent += gop {
+		n := gop
+		if sent+n > frames {
+			n = frames - sent
+		}
+		hrChunk := g.GenerateChunk(n)
+		lrChunk := make([]*frame.Frame, n)
+		for i, f := range hrChunk {
+			lrChunk[i], err = frame.Downscale(f, scale)
+			if err != nil {
+				log.Fatalf("neuroscaler: %v", err)
+			}
+		}
+		seq, err := streamer.SendChunk(lrChunk)
+		if err != nil {
+			log.Fatalf("neuroscaler: chunk: %v", err)
+		}
+		log.Printf("neuroscaler demo: uploaded chunk %d (%d frames)", seq, n)
+	}
+
+	viewer := media.NewViewer("http://" + ln.Addr().String())
+	infos, err := viewer.Streams()
+	if err != nil {
+		log.Fatalf("neuroscaler: %v", err)
+	}
+	for _, info := range infos {
+		log.Printf("neuroscaler demo: stream %d (%s, %dx%d x%d) with %d chunks",
+			info.StreamID, info.Content, info.Width, info.Height, info.Scale, info.Chunks)
+		for seq := 0; seq < info.Chunks; seq++ {
+			out, err := viewer.WatchChunk(info.StreamID, seq)
+			if err != nil {
+				log.Fatalf("neuroscaler: watch: %v", err)
+			}
+			log.Printf("neuroscaler demo: decoded chunk %d -> %d frames at %dx%d",
+				seq, len(out), out[0].W, out[0].H)
+		}
+	}
+	log.Print("neuroscaler demo: done")
+}

@@ -1,0 +1,77 @@
+// Command repro regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	repro -list
+//	repro -exp fig13a
+//	repro -exp all [-quick] [-frames N] [-iterations N] [-seed N]
+//
+// Each experiment prints a labelled table plus notes comparing against the
+// paper's reported numbers. The default parameters are paper-faithful and
+// take minutes on one core; -quick runs the scaled-down configuration used
+// by the test suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "", "experiment id (e.g. fig13a, tab7) or \"all\"")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quick      = flag.Bool("quick", false, "use the scaled-down test parameters")
+		frames     = flag.Int("frames", 0, "override frames per stream")
+		iterations = flag.Int("iterations", 0, "override shuffle iterations")
+		seed       = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "repro: -exp is required (or -list); e.g. repro -exp fig13a")
+		os.Exit(2)
+	}
+	params := experiments.Default()
+	if *quick {
+		params = experiments.Quick()
+	}
+	if *frames > 0 {
+		params.Frames = *frames
+	}
+	if *iterations > 0 {
+		params.Iterations = *iterations
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.Run(id, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(r)
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

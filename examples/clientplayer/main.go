@@ -1,0 +1,105 @@
+// Clientplayer: what runs on the viewer's device. Decodes a hybrid
+// container frame by frame — image-decoding anchors, reconstructing
+// non-anchors by codec-guided reuse — and prints per-frame statistics
+// showing the quality reset at each anchor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuroscaler/neuroscaler"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+func main() {
+	const (
+		scale  = 3
+		lrW    = 96
+		lrH    = 64
+		frames = 48
+	)
+	// Produce a hybrid container the way a media server would.
+	prof, err := synth.ProfileByName("gta")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := synth.NewGenerator(prof, lrW*scale, lrH*scale, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hr := gen.GenerateChunk(frames)
+	lr := make([]*frame.Frame, frames)
+	for i, f := range hr {
+		if lr[i], err = frame.Downscale(f, scale); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stream, err := neuroscaler.EncodeIngest(neuroscaler.StreamConfig{
+		Width: lrW, Height: lrH, FPS: 30, BitrateKbps: 600, GOP: 24,
+	}, lr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := neuroscaler.NewOracleModel(neuroscaler.HighQualityModel(), hr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := neuroscaler.EnhanceChunk(stream, model, neuroscaler.EnhanceOptions{AnchorFraction: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := res.Container.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("received container: %d bytes, %d anchors\n\n", len(data), res.Anchors)
+
+	// ---- Everything below is the player. ----
+	container := res.Container
+	vdec, err := vcodec.NewDecoder(container.Config.Width, container.Config.Height)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vdec.CaptureResidual = true
+	rec, err := sr.NewProvidedReconstructor(container.Scale, container.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("frame  path        PSNR dB")
+	display := 0
+	for i, cf := range container.Frames {
+		d, err := vdec.Decode(cf.VideoPacket)
+		if err != nil {
+			log.Fatalf("packet %d: %v", i, err)
+		}
+		var anchorHR *frame.Frame
+		path := "reuse"
+		if cf.Anchor != nil {
+			if anchorHR, err = icodec.Decode(cf.Anchor); err != nil {
+				log.Fatalf("anchor %d: %v", i, err)
+			}
+			path = "ANCHOR"
+		} else if d.Info.Type == vcodec.Key {
+			path = "key-upscale"
+		}
+		out, err := rec.ProcessProvided(d, anchorHR)
+		if err != nil {
+			log.Fatalf("packet %d: %v", i, err)
+		}
+		if out == nil {
+			continue // invisible altref: reference update only
+		}
+		psnr, err := metrics.PSNR(hr[display], out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %-11s %7.2f\n", display, path, psnr)
+		display++
+	}
+}

@@ -1,0 +1,80 @@
+// Conference: the latency-sensitive policy (§5.2) for video conferencing.
+// The scheduler runs at a 66 ms interval so enhanced frames meet the
+// 200 ms end-to-end budget; this example schedules a small conference of
+// heterogeneous participants, prints the per-interval plan, and shows the
+// modelled latency breakdown for both policies side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/sched"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+func main() {
+	// Four participants: two webcams at 360p, two screen shares at 720p,
+	// all enhanced on one A10 instance.
+	streams := []sched.SimStream{
+		{ID: 0, Width: 640, Height: 360, Model: sr.HighQuality(), MotionLevel: 0.3, GPU: cluster.GPUA10},
+		{ID: 1, Width: 640, Height: 360, Model: sr.HighQuality(), MotionLevel: 0.4, GPU: cluster.GPUA10},
+		{ID: 2, Width: 1280, Height: 720, Model: sr.HighQuality(), MotionLevel: 0.8, GPU: cluster.GPUA10},
+		{ID: 3, Width: 1280, Height: 720, Model: sr.HighQuality(), MotionLevel: 1.0, GPU: cluster.GPUA10},
+	}
+	for i := range streams {
+		streams[i].Quality = sched.DefaultQualityModel(streams[i].Height)
+	}
+
+	policy := sched.LatencySensitive()
+	scheduler, err := sched.New(policy, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy %q: %v interval (%d frames at 60 fps)\n\n",
+		policy.Name, policy.Interval, policy.IntervalFrames)
+
+	// Schedule a few intervals and show who gets anchors.
+	for interval := 0; interval < 3; interval++ {
+		inputs := make([]sched.StreamInterval, len(streams))
+		for i, s := range streams {
+			inputs[i] = s.MakeInterval(interval, policy.IntervalFrames, 120)
+		}
+		plan, err := scheduler.Schedule(inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("interval %d: %d anchors scheduled, instance load %v\n",
+			interval, len(plan.Assignments), plan.LoadPerInstance[0])
+		for _, a := range plan.Assignments {
+			fmt.Printf("  stream %d packet %2d (%-6s tier, gain %8.0f) -> %v\n",
+				a.StreamID, a.Packet, a.Group, a.Gain, a.Latency)
+		}
+	}
+
+	// Latency budget check for a 720p participant, on both policies.
+	fmt.Println("\nlatency breakdown (720p -> 2160p participant):")
+	for _, cfg := range []struct {
+		policy  sched.Policy
+		gpu     cluster.GPUKind
+		anchors int
+	}{
+		{sched.CostEffective(), cluster.GPUT4, 2},
+		{sched.LatencySensitive(), cluster.GPUA10, 1},
+	} {
+		l, err := sched.EstimateLatency(cfg.policy, cfg.gpu, sr.HighQuality(),
+			1280, 720, 3840, 2160, cfg.anchors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "OK for live streaming"
+		if l.E2E() <= 200_000_000 {
+			verdict = "meets the 200 ms conferencing budget"
+		}
+		fmt.Printf("  %-17s on %-3s: decode %v + schedule %v + infer %v + encode %v + queue %v = %v (%s)\n",
+			cfg.policy.Name, cfg.gpu, l.Decode.Round(100_000), l.Schedule.Round(10_000),
+			l.Infer.Round(100_000), l.Encode.Round(100_000), l.Queue.Round(100_000),
+			l.E2E().Round(100_000), verdict)
+	}
+}

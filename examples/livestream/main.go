@@ -1,0 +1,155 @@
+// Livestream: the full networked deployment on loopback — three
+// broadcasters upload different content categories over TCP, the media
+// server selects and enhances anchors on a separate enhancer node, and a
+// viewer pulls the hybrid chunks over HTTP and measures the quality it
+// actually received.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/media"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+const (
+	scale  = 3
+	lrW    = 96
+	lrH    = 64
+	gop    = 24
+	chunks = 2
+)
+
+func main() {
+	// Shared ground-truth registry: each stream's HR source doubles as
+	// the oracle model's "weights" (see DESIGN.md).
+	var mu sync.Mutex
+	hrByStream := make(map[uint32][]*frame.Frame)
+	provider := func(streamID uint32, h wire.Hello) (sr.Model, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sr.NewOracleModel(h.Model, hrByStream[streamID])
+	}
+
+	// Enhancer node (its own TCP service, as in Figure 7).
+	local, err := media.NewLocalEnhancer(provider)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enhSrv, err := media.NewEnhancerServer("127.0.0.1:0", local, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer enhSrv.Close()
+	remote, err := media.DialEnhancer(enhSrv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	log.Printf("enhancer node on %s", enhSrv.Addr())
+
+	// Media server with HTTP distribution.
+	srv, err := media.NewServer("127.0.0.1:0", remote, media.ServerConfig{AnchorFraction: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.DistributionHandler()}
+	go func() { _ = httpSrv.Serve(httpLn) }()
+	defer httpSrv.Close()
+	log.Printf("media server: ingest %s, distribution http://%s", srv.Addr(), httpLn.Addr())
+
+	// Three concurrent broadcasters.
+	var wg sync.WaitGroup
+	for id, content := range map[uint32]string{1: "lol", 2: "fortnite", 3: "chat"} {
+		wg.Add(1)
+		go func(id uint32, content string) {
+			defer wg.Done()
+			if err := broadcast(srv.Addr(), id, content, hrByStream, &mu); err != nil {
+				log.Fatalf("stream %d (%s): %v", id, content, err)
+			}
+		}(id, content)
+	}
+	wg.Wait()
+
+	// A viewer joins and watches everything that was published.
+	viewer := media.NewViewer("http://" + httpLn.Addr().String())
+	infos, err := viewer.Streams()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range infos {
+		var out []*frame.Frame
+		for seq := 0; seq < info.Chunks; seq++ {
+			chunkFrames, err := viewer.WatchChunk(info.StreamID, seq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, chunkFrames...)
+		}
+		mu.Lock()
+		hr := hrByStream[info.StreamID]
+		mu.Unlock()
+		psnr, err := metrics.MeanPSNR(hr[:len(out)], out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stream %d (%-8s): %d chunks, %d frames at %dx%d, %.2f dB\n",
+			info.StreamID, info.Content, info.Chunks, len(out),
+			out[0].W, out[0].H, psnr)
+	}
+}
+
+// broadcast generates content, registers its ground truth, and uploads
+// GOP-aligned chunks like a streamer's encoder would.
+func broadcast(addr string, id uint32, content string, hrByStream map[uint32][]*frame.Frame, mu *sync.Mutex) error {
+	prof, err := synth.ProfileByName(content)
+	if err != nil {
+		return err
+	}
+	gen, err := synth.NewGenerator(prof, lrW*scale, lrH*scale, int64(id))
+	if err != nil {
+		return err
+	}
+	hr := gen.GenerateChunk(gop * chunks)
+	mu.Lock()
+	hrByStream[id] = hr
+	mu.Unlock()
+
+	streamer, err := media.NewStreamer(addr, id, wire.Hello{
+		Config: vcodec.Config{
+			Width: lrW, Height: lrH, FPS: 30, BitrateKbps: 600,
+			GOP: gop, Mode: vcodec.ModeConstrainedVBR,
+		},
+		Scale: scale, Model: sr.HighQuality(), Content: content,
+	})
+	if err != nil {
+		return err
+	}
+	defer streamer.Close()
+	for c := 0; c < chunks; c++ {
+		lr := make([]*frame.Frame, gop)
+		for i := 0; i < gop; i++ {
+			if lr[i], err = frame.Downscale(hr[c*gop+i], scale); err != nil {
+				return err
+			}
+		}
+		if _, err := streamer.SendChunk(lr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

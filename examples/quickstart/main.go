@@ -1,0 +1,106 @@
+// Quickstart: enhance one synthetic live chunk end to end with the public
+// API — encode a low-resolution ingest stream, run zero-inference anchor
+// selection plus selective super-resolution, package a hybrid container,
+// and decode it as a client would.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/neuroscaler/neuroscaler"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+)
+
+func main() {
+	const (
+		scale  = 3
+		lrW    = 128
+		lrH    = 72
+		frames = 48
+	)
+
+	// 1. Source content: a synthetic "League of Legends" stream at the
+	//    high resolution the streamer's GPU captures.
+	profile, err := synth.ProfileByName("lol")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := synth.NewGenerator(profile, lrW*scale, lrH*scale, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hr := gen.GenerateChunk(frames)
+
+	// 2. The streamer's uplink is constrained: downscale and encode a
+	//    low-resolution ingest stream.
+	lr := make([]*neuroscaler.Frame, frames)
+	for i, f := range hr {
+		if lr[i], err = frame.Downscale(f, scale); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stream, err := neuroscaler.EncodeIngest(neuroscaler.StreamConfig{
+		Width: lrW, Height: lrH, FPS: 30, BitrateKbps: 900, GOP: 24,
+	}, lr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingest: %d packets, %.0f kbps\n", len(stream.Packets), stream.BitrateKbps())
+
+	// 3. The media server holds the stream's content-aware model (trained
+	//    online in the real system; an oracle model in this reproduction).
+	model, err := neuroscaler.NewOracleModel(neuroscaler.HighQualityModel(), hr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Enhance: zero-inference anchor selection + selective SR + hybrid
+	//    packaging, one call.
+	res, err := neuroscaler.EnhanceChunk(stream, model, neuroscaler.EnhanceOptions{
+		AnchorFraction: 0.075,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enhanced: %d anchors at packets %v, container %d bytes\n",
+		res.Anchors, res.AnchorPackets, res.Bytes)
+
+	// 5. Client side: decode the hybrid container back to 2160p-class
+	//    frames and compare against the pristine source.
+	out, err := neuroscaler.DecodeChunk(res.Container)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enhanced, err := metrics.MeanPSNR(hr, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline for context: what the viewer would have seen with plain
+	// upscaling of the ingest stream.
+	var baseline float64
+	for i, f := range lr {
+		up, err := frame.ScaleBicubic(f, lrW*scale, lrH*scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := metrics.PSNR(hr[i], up)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline += p / float64(len(lr))
+	}
+	fmt.Printf("quality: %.2f dB enhanced vs %.2f dB plain upscale (+%.2f dB)\n",
+		enhanced, baseline, enhanced-baseline)
+
+	// 6. What would this cost at Twitch scale?
+	plan, err := neuroscaler.PlanDeployment(100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: 100k streams need %d x %s at $%.0f/hour ($%.4f per stream-hour)\n",
+		plan.Instances, plan.Instance, plan.CostPerHour, plan.CostPerStreamHr)
+}

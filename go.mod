@@ -1,0 +1,3 @@
+module github.com/neuroscaler/neuroscaler
+
+go 1.22

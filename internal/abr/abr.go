@@ -1,0 +1,261 @@
+// Package abr implements the distribution side of the deployment model
+// (Figure 8): the media server transcodes the ingest stream into a ladder
+// of lower-resolution rungs while NeuroScaler produces the enhanced top
+// rung, and viewers run an adaptive-bitrate algorithm to pick the highest
+// rung their bandwidth sustains. It provides the ladder builder, the
+// transcoding helper, a throughput+buffer ABR controller, and a playback
+// simulator that reports quality-of-experience metrics.
+package abr
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// Rung is one quality level a viewer can select.
+type Rung struct {
+	Name          string
+	Width, Height int
+	BitrateKbps   float64
+	// Enhanced marks the neural-enhanced top rung NeuroScaler adds.
+	Enhanced bool
+}
+
+// Ladder builds the distribution ladder for an ingest configuration: the
+// standard rungs at and below the ingest resolution (traditional
+// transcoding) plus, when scale > 1, the NeuroScaler-enhanced rung at
+// scale× the ingest resolution. Bitrates follow the YouTube-Live ladder
+// the paper configures (0.7 / 4.125 / 6.75 / 35.5 Mbps for 360p / 720p /
+// 1080p / 2160p), scaled by pixel count for non-standard sizes.
+func Ladder(ingest vcodec.Config, scale int) ([]Rung, error) {
+	if ingest.Width <= 0 || ingest.Height <= 0 {
+		return nil, errors.New("abr: bad ingest dimensions")
+	}
+	if scale < 1 || scale > 4 {
+		return nil, fmt.Errorf("abr: scale %d out of [1, 4]", scale)
+	}
+	var rungs []Rung
+	// Downscaled rungs at 1/3 and 1/2 of ingest (when they stay sensible).
+	if ingest.Width >= 48 {
+		rungs = append(rungs, Rung{
+			Name:        "low",
+			Width:       ingest.Width / 3,
+			Height:      ingest.Height / 3,
+			BitrateKbps: ladderBitrate(ingest.Width/3, ingest.Height/3),
+		})
+		rungs = append(rungs, Rung{
+			Name:        "mid",
+			Width:       ingest.Width / 2,
+			Height:      ingest.Height / 2,
+			BitrateKbps: ladderBitrate(ingest.Width/2, ingest.Height/2),
+		})
+	}
+	rungs = append(rungs, Rung{
+		Name:        "source",
+		Width:       ingest.Width,
+		Height:      ingest.Height,
+		BitrateKbps: ladderBitrate(ingest.Width, ingest.Height),
+	})
+	if scale > 1 {
+		rungs = append(rungs, Rung{
+			Name:        "enhanced",
+			Width:       ingest.Width * scale,
+			Height:      ingest.Height * scale,
+			BitrateKbps: ladderBitrate(ingest.Width*scale, ingest.Height*scale),
+			Enhanced:    true,
+		})
+	}
+	return rungs, nil
+}
+
+// ladderBitrate interpolates the paper's YouTube-Live ladder by pixels.
+func ladderBitrate(w, h int) float64 {
+	// 720p reference: 4125 kbps at 921600 px; sublinear growth matching
+	// the 360p (0.7 Mbps) and 2160p (35.5 Mbps) points approximately.
+	px := float64(w * h)
+	ref := 921600.0
+	switch {
+	case px >= ref: // toward 2160p: 9x pixels -> 8.6x bits
+		return 4125 * (px / ref) * 0.956
+	default: // toward 360p: 1/4 pixels -> ~1/6 bits
+		return 4125 * (px / ref) * (0.5 + 0.5*px/ref)
+	}
+}
+
+// Transcode produces one rung's stream from the source frames
+// (downscaling when the rung is below source resolution). It is the
+// "traditional transcoding pipeline" of Figure 8.
+func Transcode(src []*frame.Frame, rung Rung, fps, gop int) (*vcodec.Stream, error) {
+	if len(src) == 0 {
+		return nil, errors.New("abr: no source frames")
+	}
+	frames := make([]*frame.Frame, len(src))
+	for i, f := range src {
+		if f.W == rung.Width && f.H == rung.Height {
+			frames[i] = f
+			continue
+		}
+		scaled, err := frame.ScaleBilinear(f, rung.Width, rung.Height)
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = scaled
+	}
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: rung.Width, Height: rung.Height, FPS: fps,
+		BitrateKbps: int(rung.BitrateKbps), GOP: gop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return enc.EncodeAll(frames)
+}
+
+// Client is a throughput+buffer ABR controller in the BOLA/HYB family:
+// it estimates throughput with an EWMA and picks the highest rung whose
+// bitrate fits a safety fraction of the estimate, downgrading aggressively
+// when the buffer runs low and allowing one-step upgrades when it is deep.
+type Client struct {
+	// SafetyFactor is the fraction of estimated throughput a rung may
+	// consume (default 0.8).
+	SafetyFactor float64
+	// LowBufferS triggers conservative picks; DeepBufferS allows probing
+	// one rung above the throughput-safe choice.
+	LowBufferS  float64
+	DeepBufferS float64
+
+	throughputKbps float64 // EWMA
+	bufferS        float64
+	lastChoice     int
+}
+
+// NewClient returns a controller with standard parameters.
+func NewClient() *Client {
+	return &Client{SafetyFactor: 0.8, LowBufferS: 4, DeepBufferS: 16}
+}
+
+// Buffer returns the current buffer level in seconds.
+func (c *Client) Buffer() float64 { return c.bufferS }
+
+// ThroughputKbps returns the current throughput estimate.
+func (c *Client) ThroughputKbps() float64 { return c.throughputKbps }
+
+// Choose picks the rung index to download next. Rungs must be ordered by
+// ascending bitrate.
+func (c *Client) Choose(rungs []Rung) (int, error) {
+	if len(rungs) == 0 {
+		return 0, errors.New("abr: empty ladder")
+	}
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].BitrateKbps < rungs[i-1].BitrateKbps {
+			return 0, errors.New("abr: ladder not ordered by bitrate")
+		}
+	}
+	if c.throughputKbps == 0 {
+		// Cold start: lowest rung.
+		c.lastChoice = 0
+		return 0, nil
+	}
+	budget := c.throughputKbps * c.SafetyFactor
+	if c.bufferS < c.LowBufferS {
+		budget = c.throughputKbps * 0.5 // protect the buffer
+	}
+	pick := 0
+	for i, r := range rungs {
+		if r.BitrateKbps <= budget {
+			pick = i
+		}
+	}
+	// Deep buffer: allow probing one rung above, but never jump more
+	// than one rung above the previous choice.
+	if c.bufferS >= c.DeepBufferS && pick < len(rungs)-1 {
+		pick++
+	}
+	if pick > c.lastChoice+1 {
+		pick = c.lastChoice + 1
+	}
+	c.lastChoice = pick
+	return pick, nil
+}
+
+// OnChunkDownloaded updates the controller after downloading a chunk of
+// chunkS seconds of media that took downloadS wall seconds at sizeKbits.
+func (c *Client) OnChunkDownloaded(sizeKbits, downloadS, chunkS float64) error {
+	if downloadS <= 0 || chunkS <= 0 {
+		return errors.New("abr: non-positive durations")
+	}
+	sample := sizeKbits / downloadS
+	if c.throughputKbps == 0 {
+		c.throughputKbps = sample
+	} else {
+		const alpha = 0.3
+		c.throughputKbps = alpha*sample + (1-alpha)*c.throughputKbps
+	}
+	// Playback drains the buffer while the chunk downloads, then the
+	// chunk is appended.
+	c.bufferS -= downloadS
+	if c.bufferS < 0 {
+		c.bufferS = 0
+	}
+	c.bufferS += chunkS
+	return nil
+}
+
+// SessionResult summarizes a simulated playback session.
+type SessionResult struct {
+	// MeanBitrateKbps is the average media bitrate played.
+	MeanBitrateKbps float64
+	// RebufferS is the total stall time.
+	RebufferS float64
+	// Switches counts rung changes.
+	Switches int
+	// EnhancedShare is the fraction of chunks played from the enhanced rung.
+	EnhancedShare float64
+	// Choices records the rung index per chunk.
+	Choices []int
+}
+
+// Simulate plays n chunks of chunkS seconds through a bandwidth trace
+// (kbps per chunk period, cycled if shorter than n) and returns QoE
+// metrics. It models download time = chunk bits / bandwidth and counts a
+// stall whenever the buffer empties mid-download.
+func Simulate(c *Client, rungs []Rung, bandwidthKbps []float64, n int, chunkS float64) (*SessionResult, error) {
+	if len(bandwidthKbps) == 0 || n <= 0 || chunkS <= 0 {
+		return nil, errors.New("abr: bad simulation parameters")
+	}
+	res := &SessionResult{}
+	prev := -1
+	for i := 0; i < n; i++ {
+		bw := bandwidthKbps[i%len(bandwidthKbps)]
+		if bw <= 0 {
+			return nil, fmt.Errorf("abr: non-positive bandwidth at %d", i)
+		}
+		pick, err := c.Choose(rungs)
+		if err != nil {
+			return nil, err
+		}
+		rung := rungs[pick]
+		bits := rung.BitrateKbps * chunkS
+		downloadS := bits / bw
+		// Stall time: the part of the download not covered by buffer.
+		if downloadS > c.bufferS {
+			res.RebufferS += downloadS - c.bufferS
+		}
+		if err := c.OnChunkDownloaded(bits, downloadS, chunkS); err != nil {
+			return nil, err
+		}
+		res.MeanBitrateKbps += rung.BitrateKbps / float64(n)
+		if rung.Enhanced {
+			res.EnhancedShare += 1 / float64(n)
+		}
+		if prev >= 0 && pick != prev {
+			res.Switches++
+		}
+		prev = pick
+		res.Choices = append(res.Choices, pick)
+	}
+	return res, nil
+}

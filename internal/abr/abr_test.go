@@ -1,0 +1,223 @@
+package abr
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+func testLadder(t *testing.T) []Rung {
+	t.Helper()
+	rungs, err := Ladder(vcodec.Config{Width: 1280, Height: 720}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rungs
+}
+
+func TestLadderStructure(t *testing.T) {
+	rungs := testLadder(t)
+	if len(rungs) != 4 {
+		t.Fatalf("ladder has %d rungs, want 4", len(rungs))
+	}
+	top := rungs[len(rungs)-1]
+	if !top.Enhanced || top.Width != 3840 || top.Height != 2160 {
+		t.Errorf("top rung = %+v, want enhanced 2160p", top)
+	}
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].BitrateKbps <= rungs[i-1].BitrateKbps {
+			t.Errorf("ladder not ascending at %d: %v then %v", i,
+				rungs[i-1].BitrateKbps, rungs[i].BitrateKbps)
+		}
+		if rungs[i-1].Enhanced {
+			t.Error("only the top rung may be enhanced")
+		}
+	}
+	// Paper ladder points: 720p ~4125 kbps, 2160p ~35.5 Mbps.
+	src := rungs[2]
+	if src.BitrateKbps < 3800 || src.BitrateKbps > 4500 {
+		t.Errorf("source rung %v kbps, want ~4125", src.BitrateKbps)
+	}
+	if top.BitrateKbps < 30000 || top.BitrateKbps > 40000 {
+		t.Errorf("enhanced rung %v kbps, want ~35500", top.BitrateKbps)
+	}
+}
+
+func TestLadderWithoutEnhancement(t *testing.T) {
+	rungs, err := Ladder(vcodec.Config{Width: 1280, Height: 720}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rungs {
+		if r.Enhanced {
+			t.Error("scale 1 ladder should have no enhanced rung")
+		}
+	}
+	if _, err := Ladder(vcodec.Config{}, 3); err == nil {
+		t.Error("bad ingest accepted")
+	}
+	if _, err := Ladder(vcodec.Config{Width: 1280, Height: 720}, 9); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTranscodeProducesRungStream(t *testing.T) {
+	p, _ := synth.ProfileByName("lol")
+	g, err := synth.NewGenerator(p, 96, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.GenerateChunk(12)
+	rung := Rung{Name: "low", Width: 48, Height: 32, BitrateKbps: 120}
+	stream, err := Transcode(src, rung, 30, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Config.Width != 48 || stream.Config.Height != 32 {
+		t.Errorf("transcoded to %dx%d", stream.Config.Width, stream.Config.Height)
+	}
+	decoded, err := vcodec.DecodeStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcodec.VisibleFrames(decoded)) != 12 {
+		t.Error("transcoded stream lost frames")
+	}
+	if _, err := Transcode(nil, rung, 30, 12); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+func TestTranscodeSameSizePassesFramesThrough(t *testing.T) {
+	src := []*frame.Frame{frame.MustNew(48, 32), frame.MustNew(48, 32)}
+	rung := Rung{Width: 48, Height: 32, BitrateKbps: 100}
+	if _, err := Transcode(src, rung, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientColdStartsLow(t *testing.T) {
+	c := NewClient()
+	pick, err := c.Choose(testLadder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick != 0 {
+		t.Errorf("cold start picked rung %d, want 0", pick)
+	}
+}
+
+func TestClientClimbsWithBandwidth(t *testing.T) {
+	rungs := testLadder(t)
+	c := NewClient()
+	res, err := Simulate(c, rungs, []float64{60000}, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Choices[len(res.Choices)-1]
+	if !rungs[last].Enhanced {
+		t.Errorf("with 60 Mbps the client should reach the enhanced rung, got %d", last)
+	}
+	if res.EnhancedShare == 0 {
+		t.Error("no enhanced chunks played at high bandwidth")
+	}
+	if res.RebufferS > 0.5 {
+		t.Errorf("rebuffering %v s at ample bandwidth", res.RebufferS)
+	}
+	// Climbing is one rung at a time.
+	for i := 1; i < len(res.Choices); i++ {
+		if res.Choices[i] > res.Choices[i-1]+1 {
+			t.Errorf("jumped from rung %d to %d", res.Choices[i-1], res.Choices[i])
+		}
+	}
+}
+
+func TestClientStaysLowOnThinPipe(t *testing.T) {
+	rungs := testLadder(t)
+	c := NewClient()
+	res, err := Simulate(c, rungs, []float64{1500}, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnhancedShare > 0 {
+		t.Error("enhanced rung selected on a 1.5 Mbps pipe")
+	}
+	if res.MeanBitrateKbps > 2000 {
+		t.Errorf("mean bitrate %v kbps exceeds a 1.5 Mbps pipe's sustainable load", res.MeanBitrateKbps)
+	}
+}
+
+func TestClientDowngradesOnDrop(t *testing.T) {
+	rungs := testLadder(t)
+	c := NewClient()
+	// 20 fat chunks then a collapse.
+	trace := make([]float64, 60)
+	for i := range trace {
+		if i < 20 {
+			trace[i] = 60000
+		} else {
+			trace[i] = 2500
+		}
+	}
+	res, err := Simulate(c, rungs, trace, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := res.Choices[len(res.Choices)-1]
+	if rungs[tail].BitrateKbps > 5000 {
+		t.Errorf("client stuck on rung %d (%v kbps) after bandwidth collapse", tail, rungs[tail].BitrateKbps)
+	}
+	if res.Switches == 0 {
+		t.Error("no adaptation happened across a bandwidth collapse")
+	}
+}
+
+func TestEnhancedRungRaisesQoE(t *testing.T) {
+	// The point of Figure 8: viewers with bandwidth benefit only if the
+	// enhanced rung exists.
+	with := testLadder(t)
+	without, err := Ladder(vcodec.Config{Width: 1280, Height: 720}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []float64{50000}
+	resWith, err := Simulate(NewClient(), with, trace, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWithout, err := Simulate(NewClient(), without, trace, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWith.MeanBitrateKbps <= resWithout.MeanBitrateKbps {
+		t.Errorf("enhanced ladder bitrate %v <= plain ladder %v",
+			resWith.MeanBitrateKbps, resWithout.MeanBitrateKbps)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	rungs := testLadder(t)
+	if _, err := Simulate(NewClient(), rungs, nil, 10, 2); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Simulate(NewClient(), rungs, []float64{1000}, 0, 2); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	if _, err := Simulate(NewClient(), rungs, []float64{-5}, 10, 2); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	if _, err := NewClient().Choose(nil); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	bad := []Rung{{BitrateKbps: 100}, {BitrateKbps: 50}}
+	c := NewClient()
+	_ = c.OnChunkDownloaded(100, 1, 2)
+	if _, err := c.Choose(bad); err == nil {
+		t.Error("unordered ladder accepted")
+	}
+	if err := c.OnChunkDownloaded(100, 0, 2); err == nil {
+		t.Error("zero download time accepted")
+	}
+}

@@ -1,0 +1,384 @@
+package anchor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// syntheticMetas builds a GOP-structured packet sequence: key at 0,
+// altrefs at the given positions, inter elsewhere, with the provided
+// residuals.
+func syntheticMetas(n int, keys, altrefs map[int]bool, residual func(int) float64) []FrameMeta {
+	out := make([]FrameMeta, n)
+	for i := 0; i < n; i++ {
+		typ := vcodec.Inter
+		switch {
+		case keys[i]:
+			typ = vcodec.Key
+		case altrefs[i]:
+			typ = vcodec.AltRef
+		}
+		r := residual(i)
+		if typ == vcodec.Key {
+			r = 0
+		}
+		out[i] = FrameMeta{Packet: i, Type: typ, DisplayIndex: i, Residual: r}
+	}
+	return out
+}
+
+func TestGroupPriorityOrdering(t *testing.T) {
+	metas := syntheticMetas(10,
+		map[int]bool{0: true},
+		map[int]bool{4: true},
+		func(i int) float64 { return 10 })
+	cands := SortCandidates(ZeroInferenceGains(metas))
+	if cands[0].Group != GroupKey {
+		t.Fatalf("first candidate group %v, want key", cands[0].Group)
+	}
+	if cands[1].Group != GroupAltRef {
+		t.Fatalf("second candidate group %v, want altref", cands[1].Group)
+	}
+	for _, c := range cands[2:] {
+		if c.Group != GroupNormal {
+			t.Fatalf("tail candidate group %v, want normal", c.Group)
+		}
+	}
+}
+
+func TestKeyGainIsInfinite(t *testing.T) {
+	metas := syntheticMetas(5, map[int]bool{0: true}, nil, func(int) float64 { return 5 })
+	for _, c := range ZeroInferenceGains(metas) {
+		if c.Meta.Type == vcodec.Key && !math.IsInf(c.Gain, 1) {
+			t.Errorf("key gain = %v, want +Inf", c.Gain)
+		}
+	}
+}
+
+func TestGainFormulaSingleSpike(t *testing.T) {
+	// Residuals: key(0), then zeros except a spike of 12 at frame 3, over
+	// 8 frames with no later reset. Accumulated residual from frame 3 on
+	// is 12; anchoring frame 3 removes (8-3)*12 = 60.
+	metas := syntheticMetas(8, map[int]bool{0: true}, nil, func(i int) float64 {
+		if i == 3 {
+			return 12
+		}
+		return 0
+	})
+	cands := ZeroInferenceGains(metas)
+	if got := cands[3].Gain; got != 60 {
+		t.Errorf("gain of spike frame = %v, want 60 = (8-3)*12", got)
+	}
+}
+
+func TestGainPrefersEarlyHighResidual(t *testing.T) {
+	// Two equal spikes: the earlier one eliminates residual over more
+	// following frames, so the first-iteration winner is the earlier one,
+	// and its recorded gain must be >= the later one's.
+	metas := syntheticMetas(12, map[int]bool{0: true}, nil, func(i int) float64 {
+		if i == 2 || i == 8 {
+			return 10
+		}
+		return 0
+	})
+	cands := ZeroInferenceGains(metas)
+	if cands[2].Gain <= cands[8].Gain {
+		t.Errorf("early spike gain %v <= late spike gain %v", cands[2].Gain, cands[8].Gain)
+	}
+}
+
+func TestResidualResetAtKey(t *testing.T) {
+	// A second key frame at 6 caps the reach of an anchor at 3:
+	// gain = (6-3) * acc(3).
+	metas := syntheticMetas(12, map[int]bool{0: true, 6: true}, nil, func(i int) float64 {
+		if i == 3 {
+			return 7
+		}
+		return 0
+	})
+	cands := ZeroInferenceGains(metas)
+	if got := cands[3].Gain; got != 21 {
+		t.Errorf("gain = %v, want 21 = (6-3)*7", got)
+	}
+}
+
+func TestIterativeSelectionDiscountsNeighbors(t *testing.T) {
+	// Constant residual 1 everywhere: after the best frame is chosen,
+	// later candidates' gains must shrink (UpdateResidual), so gains are
+	// not all equal.
+	metas := syntheticMetas(10, map[int]bool{0: true}, nil, func(i int) float64 { return 1 })
+	cands := ZeroInferenceGains(metas)
+	distinct := make(map[float64]bool)
+	for _, c := range cands[1:] {
+		distinct[c.Gain] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("iterative estimation produced only %d distinct gains: %v", len(distinct), distinct)
+	}
+}
+
+func TestSelectWithinBudget(t *testing.T) {
+	metas := syntheticMetas(20,
+		map[int]bool{0: true},
+		map[int]bool{5: true, 10: true},
+		func(i int) float64 { return float64(i % 7) })
+	cands := ZeroInferenceGains(metas)
+	lat := func(Candidate) time.Duration { return 10 * time.Millisecond }
+	sel := SelectWithinBudget(cands, lat, 45*time.Millisecond)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d candidates with budget for 4.5", len(sel))
+	}
+	// Key first, then altrefs.
+	if sel[0].Group != GroupKey {
+		t.Error("budgeted selection skipped the key frame")
+	}
+	if sel[1].Group != GroupAltRef || sel[2].Group != GroupAltRef {
+		t.Error("budgeted selection skipped altref tier")
+	}
+}
+
+func TestSelectWithinBudgetZero(t *testing.T) {
+	metas := syntheticMetas(5, map[int]bool{0: true}, nil, func(int) float64 { return 1 })
+	sel := SelectWithinBudget(ZeroInferenceGains(metas),
+		func(Candidate) time.Duration { return time.Millisecond }, 0)
+	if len(sel) != 0 {
+		t.Errorf("zero budget selected %d candidates", len(sel))
+	}
+}
+
+func TestSelectWithinBudgetHeterogeneousCosts(t *testing.T) {
+	// A cheap candidate after an expensive one should still fit.
+	cands := []Candidate{
+		{Meta: FrameMeta{Packet: 0}, Group: GroupNormal, Gain: 10, Stream: 0},
+		{Meta: FrameMeta{Packet: 1}, Group: GroupNormal, Gain: 5, Stream: 1},
+	}
+	lat := func(c Candidate) time.Duration {
+		if c.Stream == 0 {
+			return 100 * time.Millisecond
+		}
+		return time.Millisecond
+	}
+	sel := SelectWithinBudget(cands, lat, 2*time.Millisecond)
+	if len(sel) != 1 || sel[0].Stream != 1 {
+		t.Errorf("expected only the cheap candidate, got %v", sel)
+	}
+}
+
+func TestSelectTopN(t *testing.T) {
+	metas := syntheticMetas(10, map[int]bool{0: true}, nil, func(i int) float64 { return float64(i) })
+	cands := ZeroInferenceGains(metas)
+	if got := SelectTopN(cands, 3); len(got) != 3 {
+		t.Errorf("SelectTopN(3) returned %d", len(got))
+	}
+	if got := SelectTopN(cands, 100); len(got) != 10 {
+		t.Errorf("SelectTopN(100) returned %d", len(got))
+	}
+	if got := SelectTopN(cands, -1); len(got) != 0 {
+		t.Errorf("SelectTopN(-1) returned %d", len(got))
+	}
+}
+
+func TestPacketSetFiltersStream(t *testing.T) {
+	cands := []Candidate{
+		{Meta: FrameMeta{Packet: 1}, Stream: 0},
+		{Meta: FrameMeta{Packet: 2}, Stream: 1},
+		{Meta: FrameMeta{Packet: 3}, Stream: 0},
+	}
+	set := PacketSet(cands, 0)
+	if !set[1] || !set[3] || set[2] {
+		t.Errorf("PacketSet = %v", set)
+	}
+}
+
+func TestKeyAnchors(t *testing.T) {
+	metas := syntheticMetas(10, map[int]bool{0: true, 5: true}, nil, func(int) float64 { return 1 })
+	got := KeyAnchors(metas)
+	if len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Errorf("KeyAnchors = %v", got)
+	}
+}
+
+func TestKeyUniformAnchorsFraction(t *testing.T) {
+	metas := syntheticMetas(40, map[int]bool{0: true}, nil, func(int) float64 { return 1 })
+	got := KeyUniformAnchors(metas, 0.25)
+	if len(got) != 10 {
+		t.Errorf("25%% of 40 = 10 anchors, got %d", len(got))
+	}
+	// Key must be included.
+	if got[0] != 0 {
+		t.Errorf("key frame missing from Key+Uniform set: %v", got)
+	}
+	// Spacing should be roughly uniform: no gap more than 3x the mean.
+	mean := 40.0 / float64(len(got))
+	for i := 1; i < len(got); i++ {
+		if gap := float64(got[i] - got[i-1]); gap > 3*mean {
+			t.Errorf("gap %v at %d exceeds 3x mean spacing", gap, i)
+		}
+	}
+}
+
+func TestKeyUniformAnchorsClamped(t *testing.T) {
+	metas := syntheticMetas(10, map[int]bool{0: true}, nil, func(int) float64 { return 1 })
+	if got := KeyUniformAnchors(metas, -1); len(got) != 1 {
+		t.Errorf("fraction -1 gave %d anchors, want key only", len(got))
+	}
+	if got := KeyUniformAnchors(metas, 2); len(got) != 10 {
+		t.Errorf("fraction 2 gave %d anchors, want all", len(got))
+	}
+}
+
+func TestNEMOGainsUsesLossSignal(t *testing.T) {
+	metas := syntheticMetas(8, map[int]bool{0: true}, nil, func(int) float64 { return 0 })
+	loss := make([]float64, 8)
+	loss[4] = 9 // measured loss spike at frame 4
+	cands := NEMOGains(metas, loss)
+	if cands[4].Gain != (8-4)*9 {
+		t.Errorf("NEMO gain = %v, want 36", cands[4].Gain)
+	}
+	// Zero residual signal would have produced zero gain there.
+	zi := ZeroInferenceGains(metas)
+	if zi[4].Gain != 0 {
+		t.Errorf("zero-inference gain = %v, want 0", zi[4].Gain)
+	}
+}
+
+func TestMetasFromStreamRoundTrip(t *testing.T) {
+	infos := []vcodec.Info{
+		{DisplayIndex: 0, Type: vcodec.Key, Visible: true, ResidualBytes: 0},
+		{DisplayIndex: 7, Type: vcodec.AltRef, ResidualBytes: 55},
+		{DisplayIndex: 1, Type: vcodec.Inter, Visible: true, ResidualBytes: 20},
+	}
+	metas := MetasFromInfos(infos)
+	if len(metas) != 3 || metas[1].Residual != 55 || metas[2].Type != vcodec.Inter {
+		t.Errorf("MetasFromInfos = %+v", metas)
+	}
+	pkts := make([]vcodec.Packet, len(infos))
+	for i, inf := range infos {
+		pkts[i] = vcodec.Packet{Info: inf}
+	}
+	s := &vcodec.Stream{Packets: pkts}
+	metas2 := MetasFromStream(s)
+	for i := range metas {
+		if metas[i] != metas2[i] {
+			t.Errorf("MetasFromStream differs at %d", i)
+		}
+	}
+}
+
+// Property: selection under any budget never exceeds it and is a subset
+// of the candidates with gains ordered by tier.
+func TestQuickBudgetInvariant(t *testing.T) {
+	f := func(budgetMs uint16, seed int64) bool {
+		metas := syntheticMetas(30,
+			map[int]bool{0: true, 15: true},
+			map[int]bool{5: true, 20: true},
+			func(i int) float64 { return float64((seed>>uint(i%8))&0xF) + 1 })
+		cands := ZeroInferenceGains(metas)
+		lat := func(c Candidate) time.Duration {
+			return time.Duration(1+c.Meta.Packet%5) * time.Millisecond
+		}
+		budget := time.Duration(budgetMs%200) * time.Millisecond
+		sel := SelectWithinBudget(cands, lat, budget)
+		var used time.Duration
+		seen := make(map[int]bool)
+		for _, c := range sel {
+			if seen[c.Meta.Packet] {
+				return false // duplicate
+			}
+			seen[c.Meta.Packet] = true
+			used += lat(c)
+		}
+		return used <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gains are non-negative and finite for non-key frames.
+func TestQuickGainsFinite(t *testing.T) {
+	f := func(res []uint8) bool {
+		if len(res) < 3 {
+			return true
+		}
+		metas := syntheticMetas(len(res), map[int]bool{0: true}, nil, func(i int) float64 {
+			return float64(res[i])
+		})
+		for _, c := range ZeroInferenceGains(metas) {
+			if c.Meta.Type == vcodec.Key {
+				continue
+			}
+			if c.Gain < 0 || math.IsInf(c.Gain, 0) || math.IsNaN(c.Gain) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if GroupKey.String() != "key" || GroupAltRef.String() != "altref" || GroupNormal.String() != "normal" {
+		t.Error("Group.String broken")
+	}
+}
+
+func TestOneShotGains(t *testing.T) {
+	metas := syntheticMetas(8, map[int]bool{0: true}, nil, func(i int) float64 {
+		if i == 3 {
+			return 12
+		}
+		return 0
+	})
+	gains := OneShotGains(metas)
+	if gains[3] != 60 {
+		t.Errorf("one-shot gain = %v, want 60 = (8-3)*12", gains[3])
+	}
+	// One-shot gains do not discount each other: a second identical
+	// spike later keeps its full value.
+	metas2 := syntheticMetas(12, map[int]bool{0: true}, nil, func(i int) float64 {
+		if i == 2 || i == 8 {
+			return 10
+		}
+		return 0
+	})
+	g2 := OneShotGains(metas2)
+	if g2[8] != (12-8)*(10+10) {
+		t.Errorf("late spike one-shot gain = %v, want %v (accumulated, undiscounted)", g2[8], (12-8)*(10+10))
+	}
+}
+
+func TestSelectTopNByGainIgnoresTiers(t *testing.T) {
+	metas := syntheticMetas(10,
+		map[int]bool{0: true},
+		map[int]bool{4: true},
+		func(i int) float64 {
+			if i == 7 {
+				return 1000 // a normal frame with enormous gain
+			}
+			return 1
+		})
+	cands := ZeroInferenceGains(metas)
+	// Tiered selection at n=2: key then altref.
+	tiered := SelectTopN(cands, 2)
+	if tiered[1].Group != GroupAltRef {
+		t.Errorf("tiered pick 2 = %v, want altref", tiered[1].Group)
+	}
+	// Pure-gain selection at n=2: key (Inf) then the huge normal frame.
+	byGain := SelectTopNByGain(cands, 2)
+	if byGain[1].Meta.Packet != 7 {
+		t.Errorf("gain pick 2 = packet %d, want 7", byGain[1].Meta.Packet)
+	}
+	if got := SelectTopNByGain(cands, -2); len(got) != 0 {
+		t.Errorf("negative n gave %d picks", len(got))
+	}
+	if got := SelectTopNByGain(cands, 100); len(got) != 10 {
+		t.Errorf("oversized n gave %d picks", len(got))
+	}
+}

@@ -1,0 +1,170 @@
+// Package bitstream provides bit-level serialization used by the video and
+// image codecs: a Writer/Reader pair for raw bit I/O, unsigned and signed
+// Exp-Golomb codes for syntax elements with geometric distributions, and a
+// zero-run/level code for quantized transform coefficients.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a read past the end of the stream.
+var ErrTruncated = errors.New("bitstream: truncated")
+
+// Writer accumulates bits most-significant first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	bits uint8 // number of bits pending in cur
+	cur  uint8
+}
+
+// WriteBit appends a single bit (any non-zero b is written as 1).
+func (w *Writer) WriteBit(b int) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.bits++
+	if w.bits == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.bits = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int((v >> uint(i)) & 1))
+	}
+}
+
+// WriteUE appends v as an unsigned Exp-Golomb code.
+func (w *Writer) WriteUE(v uint64) {
+	x := v + 1
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, n+1)
+}
+
+// WriteSE appends v as a signed Exp-Golomb code (zig-zag mapped).
+func (w *Writer) WriteSE(v int64) {
+	var u uint64
+	if v > 0 {
+		u = uint64(2*v - 1)
+	} else {
+		u = uint64(-2 * v)
+	}
+	w.WriteUE(u)
+}
+
+// Len returns the number of complete bytes written so far, excluding any
+// pending partial byte.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the total number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.bits) }
+
+// Bytes flushes the pending partial byte (padding with zero bits) and
+// returns the accumulated buffer. The Writer remains usable; subsequent
+// writes continue on a byte boundary.
+func (w *Writer) Bytes() []byte {
+	if w.bits > 0 {
+		w.cur <<= 8 - w.bits
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.bits = 0, 0
+	}
+	return w.buf
+}
+
+// Reset discards all written data.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.bits = 0, 0
+}
+
+// Reader consumes bits most-significant first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (int, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	bit := int(r.buf[byteIdx]>>(7-uint(r.pos&7))) & 1
+	r.pos++
+	return bit, nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer. n must be in
+// [0, 64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func (r *Reader) ReadUE() (uint64, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 63 {
+			return 0, fmt.Errorf("bitstream: exp-golomb prefix too long (%d zeros)", n)
+		}
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<uint(n) | rest) - 1, nil
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func (r *Reader) ReadSE() (int64, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u&1 == 1 {
+		return int64(u/2) + 1, nil
+	}
+	return -int64(u / 2), nil
+}
+
+// AlignByte skips to the next byte boundary.
+func (r *Reader) AlignByte() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+	}
+}
+
+// BitsRead returns the number of bits consumed so far.
+func (r *Reader) BitsRead() int { return r.pos }

@@ -1,0 +1,55 @@
+package bitstream
+
+// Coefficient coding: quantized, zigzag-ordered transform coefficients are
+// dominated by zero runs, so they are stored as (run, level) pairs with an
+// explicit end-of-block marker. Runs use unsigned Exp-Golomb, levels signed
+// Exp-Golomb. This is the shared entropy stage for both codecs.
+
+// WriteCoeffs appends a (run, level) coding of coeffs to w. A trailing
+// all-zero suffix costs a single end-of-block code.
+func WriteCoeffs(w *Writer, coeffs []int32) {
+	run := uint64(0)
+	for _, c := range coeffs {
+		if c == 0 {
+			run++
+			continue
+		}
+		w.WriteBit(1) // coefficient present
+		w.WriteUE(run)
+		w.WriteSE(int64(c))
+		run = 0
+	}
+	w.WriteBit(0) // end of block
+}
+
+// ReadCoeffs reads a (run, level) coding into dst, which determines the
+// block size. Coefficients past the end-of-block marker are zero.
+func ReadCoeffs(r *Reader, dst []int32) error {
+	for i := range dst {
+		dst[i] = 0
+	}
+	pos := 0
+	for {
+		present, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		if present == 0 {
+			return nil
+		}
+		run, err := r.ReadUE()
+		if err != nil {
+			return err
+		}
+		level, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		pos += int(run)
+		if pos >= len(dst) {
+			return ErrTruncated
+		}
+		dst[pos] = int32(level)
+		pos++
+	}
+}

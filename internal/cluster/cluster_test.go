@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cases := []struct {
+		name  string
+		gpus  int
+		vcpus int
+		price float64
+	}{
+		{"g4dn.xlarge", 1, 4, 0.227},
+		{"g4dn.12xlarge", 4, 48, 1.690},
+		{"g5.2xlarge", 1, 8, 0.524},
+		{"c6i.8xlarge", 0, 32, 0.599},
+	}
+	for _, tc := range cases {
+		inst, err := InstanceByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if inst.GPUs != tc.gpus || inst.VCPUs != tc.vcpus || inst.PricePerHr != tc.price {
+			t.Errorf("%s = %+v, want gpus=%d vcpus=%d price=%v",
+				tc.name, inst, tc.gpus, tc.vcpus, tc.price)
+		}
+	}
+	if _, err := InstanceByName("m5.large"); err == nil {
+		t.Error("InstanceByName accepted unknown type")
+	}
+}
+
+func TestInferLatencyCalibration(t *testing.T) {
+	// The (8, 32) network on 720p must be ~66.7 ms (Figure 3: one 60 fps
+	// stream per four T4s).
+	lat := InferLatency(sr.HighQuality(), 1280, 720)
+	if lat < 60*time.Millisecond || lat > 73*time.Millisecond {
+		t.Errorf("high-quality 720p latency = %v, want ~66.7ms", lat)
+	}
+	// §3.2: a 720p frame is ~4.2x more expensive than 360p.
+	r := float64(lat) / float64(InferLatency(sr.HighQuality(), 640, 360))
+	if r < 4.0 || r > 4.4 {
+		t.Errorf("720p/360p inference ratio = %.2f, want ~4.2", r)
+	}
+}
+
+func TestInferLatencyScalesWithCapacity(t *testing.T) {
+	big := InferLatency(sr.ModelConfig{Blocks: 8, Channels: 32, Scale: 3}, 1280, 720)
+	small := InferLatency(sr.ModelConfig{Blocks: 8, Channels: 16, Scale: 3}, 1280, 720)
+	r := float64(big) / float64(small)
+	if math.Abs(r-4) > 0.01 {
+		t.Errorf("capacity scaling ratio = %v, want 4 (channels^2)", r)
+	}
+}
+
+func TestInferLatencyOnA10Faster(t *testing.T) {
+	t4 := InferLatencyOn(GPUT4, sr.HighQuality(), 1280, 720)
+	a10 := InferLatencyOn(GPUA10, sr.HighQuality(), 1280, 720)
+	r := float64(t4) / float64(a10)
+	if r < 1.8 || r > 2.6 {
+		t.Errorf("T4/A10 ratio = %.2f, want ~2x", r)
+	}
+	if InferLatencyOn(GPUNone, sr.HighQuality(), 1280, 720) < time.Hour {
+		t.Error("CPU-only 'GPU' should be effectively unusable")
+	}
+}
+
+func TestEncodeCalibration(t *testing.T) {
+	// Figure 3: 2 libvpx 2160p60 streams on 48 vCPUs -> 400 ms vCPU/frame.
+	sw := EncodeSWLatency(3840, 2160)
+	if sw != 400*time.Millisecond {
+		t.Errorf("SW 2160p encode = %v, want 400ms", sw)
+	}
+	// Hardware keeps one 2160p60 stream per encoder unit.
+	hw := EncodeHWLatency(3840, 2160)
+	if d := PerFrameDemand(hw, 60); d < 0.95 || d > 1.05 {
+		t.Errorf("HW encoder occupancy at 2160p60 = %.3f, want ~1.0", d)
+	}
+	// Hybrid is ~6.25x cheaper per coded frame (§6.1).
+	hybrid := HybridEncodeLatency(3840, 2160)
+	if r := float64(sw) / float64(hybrid); math.Abs(r-6.25) > 0.01 {
+		t.Errorf("SW/hybrid ratio = %v, want 6.25", r)
+	}
+}
+
+func TestHybridSpeedupRange(t *testing.T) {
+	// Figure 20: per-display-frame hybrid cost at 2.5-10% anchors is
+	// 78.6-235.8x cheaper than per-frame VP9 encoding.
+	sw := EncodeSWLatency(3840, 2160).Seconds()
+	for _, frac := range []float64{0.025, 0.05, 0.075, 0.10} {
+		hybridPerDisplay := HybridEncodeLatency(3840, 2160).Seconds() * frac
+		speedup := sw / hybridPerDisplay
+		if speedup < 60 || speedup > 260 {
+			t.Errorf("fraction %.3f: speedup %.1fx outside the paper's 78.6-235.8x envelope",
+				frac, speedup)
+		}
+	}
+}
+
+func TestDecodeAndSelectCalibration(t *testing.T) {
+	// Figure 26: 2.65 ms vCPU per 720p frame; 768 streams on 128 vCPUs.
+	d := DecodeLatency(1280, 720)
+	if d != 2650*time.Microsecond {
+		t.Errorf("720p decode = %v, want 2.65ms", d)
+	}
+	streams := 128.0 / PerFrameDemand(d, 60)
+	if streams < 700 || streams > 850 {
+		t.Errorf("decoder capacity = %.0f streams on c6i.32xlarge, want ~768", streams)
+	}
+	// Figure 18/26: a CPU thread handles ~100 streams per 666 ms
+	// interval, and the algorithmic delay per interval is 4.13 ms.
+	if s := SelectLatency(40); s < 6500*time.Microsecond || s > 6800*time.Microsecond {
+		t.Errorf("40-frame selection budget = %v, want ~6.66ms", s)
+	}
+	if perThread := 0.666 / SelectLatency(40).Seconds(); perThread < 90 || perThread > 110 {
+		t.Errorf("selection capacity = %.0f streams/thread, want ~100", perThread)
+	}
+	if SelectAlgorithmLatency != 4130*time.Microsecond {
+		t.Errorf("algorithmic selection latency = %v, want 4.13ms", SelectAlgorithmLatency)
+	}
+}
+
+func TestStreamsSupported(t *testing.T) {
+	inst, _ := InstanceByName("g4dn.12xlarge")
+	// Per-frame inference of the HQ model: 4 GPUs/stream -> 1 stream.
+	w := Standard720pWorkload()
+	d, err := w.Demand(PerFrameSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.StreamsSupported(d)
+	if s < 0.9 || s > 1.3 {
+		t.Errorf("per-frame SW on g4dn.12xlarge = %.2f streams, want ~1 (Figure 3)", s)
+	}
+}
+
+func TestNeuroScalerThroughputShape(t *testing.T) {
+	// Figure 13a: NeuroScaler ~10 streams on g4dn.12xlarge, ~10x the
+	// per-frame baseline and 2.5-5x the selective baseline.
+	inst, _ := InstanceByName("g4dn.12xlarge")
+	w := Standard720pWorkload()
+
+	dNS, err := w.Demand(NeuroScaler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := inst.StreamsSupported(dNS)
+	if ns < 8 || ns > 14 {
+		t.Errorf("NeuroScaler = %.2f streams, want ~10", ns)
+	}
+
+	dPF, _ := w.Demand(PerFrameSW)
+	pf := inst.StreamsSupported(dPF)
+	if r := ns / pf; r < 7 || r > 14 {
+		t.Errorf("NeuroScaler/per-frame = %.1fx, want ~10x", r)
+	}
+
+	// Selective baseline needs more anchors for the same quality
+	// (Key+Uniform needs 2.5-3x, Table 3: 15-25%).
+	wSel := w
+	wSel.AnchorFraction = UniformAnchorFraction
+	dSelHW, _ := wSel.Demand(SelectiveHW)
+	sel := inst.StreamsSupported(dSelHW)
+	if r := ns / sel; r < 2 || r > 5.5 {
+		t.Errorf("NeuroScaler/selective = %.1fx, want 2.5-5x", r)
+	}
+}
+
+func TestCostSavingShape(t *testing.T) {
+	// Figure 14: NeuroScaler ~22x cheaper than per-frame, 3-11x cheaper
+	// than selective, on each method's best instance.
+	w := Standard720pWorkload()
+	costOf := func(m Method, frac float64) float64 {
+		wm := w
+		if frac > 0 {
+			wm.AnchorFraction = frac
+		}
+		d, err := wm.Demand(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c, err := MostCostEffective(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ns := costOf(NeuroScaler, NeuroScalerAnchorFraction)
+	pf := costOf(PerFrameSW, 0)
+	if r := pf / ns; r < 12 || r > 35 {
+		t.Errorf("per-frame/NeuroScaler cost ratio = %.1fx, want ~22x", r)
+	}
+	selSW := costOf(SelectiveSW, UniformAnchorFraction)
+	selHW := costOf(SelectiveHW, UniformAnchorFraction)
+	if r := selSW / ns; r < 3 || r > 14 {
+		t.Errorf("selective-SW/NeuroScaler cost ratio = %.1fx, want 3-11x", r)
+	}
+	if r := selHW / ns; r < 1.8 || r > 14 {
+		t.Errorf("selective-HW/NeuroScaler cost ratio = %.1fx, want 3-11x", r)
+	}
+}
+
+func TestCtxOptPenalty(t *testing.T) {
+	w := Standard720pWorkload()
+	w.CtxOpt = false
+	dOff, _ := w.Demand(PerFrameSW)
+	w.CtxOpt = true
+	dOn, _ := w.Demand(PerFrameSW)
+	// Inference slows by 2.79x and every online-learning update pays a
+	// full engine build.
+	want := dOn.GPU*ctxSwitchPenalty + CompileFull.Seconds()/modelUpdatePeriod.Seconds()
+	if math.Abs(dOff.GPU-want) > 0.01 {
+		t.Errorf("GPU without ctx-opt = %v, want %v", dOff.GPU, want)
+	}
+	// Without the optimization, neither baseline sustains one stream
+	// (Figures 13a and 15, leftmost rows).
+	inst, _ := InstanceByName("g4dn.12xlarge")
+	if s := inst.StreamsSupported(dOff); s >= 1 {
+		t.Errorf("per-frame without ctx-opt = %.2f streams, want < 1", s)
+	}
+	wSel := Standard720pWorkload()
+	wSel.CtxOpt = false
+	wSel.AnchorFraction = UniformAnchorFraction
+	dSel, _ := wSel.Demand(SelectiveSW)
+	if s := inst.StreamsSupported(dSel); s >= 1 {
+		t.Errorf("selective without ctx-opt = %.2f streams, want < 1", s)
+	}
+}
+
+func TestNEMODemandExceedsPerFrame(t *testing.T) {
+	// Figure 17: NEMO's selection pass makes its GPU usage higher than
+	// per-frame (≈ +57%).
+	w := Standard720pWorkload()
+	dNemo, _ := w.Demand(NEMOSelective)
+	dPF, _ := w.Demand(PerFrameSW)
+	r := dNemo.GPU / dPF.GPU
+	if r < 1.4 || r > 1.75 {
+		t.Errorf("NEMO/per-frame GPU ratio = %.2f, want ~1.57", r)
+	}
+}
+
+func TestMostCostEffectiveInstanceChoice(t *testing.T) {
+	// Table 4: NeuroScaler's low CPU demand lets it run on g4dn.xlarge.
+	w := Standard720pWorkload()
+	d, _ := w.Demand(NeuroScaler)
+	inst, _, err := MostCostEffective(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "g4dn.xlarge" {
+		t.Errorf("NeuroScaler best instance = %s, want g4dn.xlarge", inst.Name)
+	}
+}
+
+func TestProvision(t *testing.T) {
+	inst, _ := InstanceByName("g4dn.xlarge")
+	d := Demand{GPU: 0.3, CPU: 0.5}
+	n, err := Provision(inst, d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 GPU / 0.3 = 3.33 streams per instance -> 30 instances.
+	if n != 30 {
+		t.Errorf("Provision = %d instances, want 30", n)
+	}
+	if _, err := Provision(Instance{Name: "cpu", VCPUs: 1}, Demand{GPU: 1}, 5); err == nil {
+		t.Error("Provision accepted impossible workload")
+	}
+}
+
+func TestTwitchScaleCost(t *testing.T) {
+	// Figure 27: enhancer fleet for 100k streams ≈ $7.5k/hr on
+	// g4dn.xlarge; total with scheduler ≈ $7.9k/hr, ~21x cheaper than
+	// per-frame.
+	w := Standard720pWorkload()
+	d, _ := w.Demand(NeuroScaler)
+	// Enhancer-side demand excludes ingest decode and selection, which
+	// run on the scheduler tier.
+	d.CPU -= PerFrameDemand(DecodeLatency(w.InW, w.InH), w.FPS)
+	d.CPU -= PerFrameDemand(SelectLatency(1), w.FPS)
+	fleet, err := ProvisionFleet(d, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Instance.Name != "g4dn.xlarge" {
+		t.Errorf("enhancer instance = %s, want g4dn.xlarge", fleet.Instance.Name)
+	}
+	if fleet.CostPerHr < 5000 || fleet.CostPerHr > 11000 {
+		t.Errorf("enhancer fleet = $%.0f/hr, want ~$7.5k", fleet.CostPerHr)
+	}
+}
+
+func TestDemandValidation(t *testing.T) {
+	w := Standard720pWorkload()
+	w.AnchorFraction = 1.5
+	if _, err := w.Demand(NeuroScaler); err == nil {
+		t.Error("Demand accepted anchor fraction > 1")
+	}
+	w = Standard720pWorkload()
+	w.FPS = 0
+	if _, err := w.Demand(NeuroScaler); err == nil {
+		t.Error("Demand accepted zero fps")
+	}
+}
+
+func TestStandardResolution(t *testing.T) {
+	for _, p := range []int{360, 720, 1080, 2160} {
+		w, h, ok := StandardResolution(p)
+		if !ok || h != p || w <= 0 {
+			t.Errorf("StandardResolution(%d) = %d, %d, %v", p, w, h, ok)
+		}
+	}
+	if _, _, ok := StandardResolution(480); ok {
+		t.Error("StandardResolution accepted 480")
+	}
+}
+
+func TestDemandArithmetic(t *testing.T) {
+	a := Demand{GPU: 1, CPU: 2, HWEnc: 3}
+	b := a.Add(a)
+	if b.GPU != 2 || b.CPU != 4 || b.HWEnc != 6 {
+		t.Errorf("Add = %+v", b)
+	}
+	c := a.Scale(0.5)
+	if c.GPU != 0.5 || c.CPU != 1 || c.HWEnc != 1.5 {
+		t.Errorf("Scale = %+v", c)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m := PerFrameSW; m <= NeuroScaler; m++ {
+		if m.String() == "" {
+			t.Errorf("Method(%d).String empty", m)
+		}
+	}
+}
+
+func TestProvisionFleetFractionalStreams(t *testing.T) {
+	// A stream needing 500 vCPUs spans multiple c6i.32xlarge instances:
+	// 0.256 streams per instance -> 40 instances for 10 streams.
+	fleet, err := ProvisionFleet(Demand{CPU: 500}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Instances < 40 {
+		t.Errorf("fleet = %d instances, want >= 40", fleet.Instances)
+	}
+	if fleet.StreamsPer >= 1 {
+		t.Errorf("streams per instance = %v, want < 1", fleet.StreamsPer)
+	}
+}
+
+func TestCostPerStreamHourErrors(t *testing.T) {
+	inst, _ := InstanceByName("c6i.8xlarge") // no GPU
+	if _, err := inst.CostPerStreamHour(Demand{GPU: 1}); err == nil {
+		t.Error("GPU workload on CPU instance accepted")
+	}
+	cost, err := inst.CostPerStreamHour(Demand{CPU: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := inst.PricePerHr / 4; cost != want {
+		t.Errorf("cost = %v, want %v (4 streams on 32 vCPUs)", cost, want)
+	}
+}
+
+func TestZeroDemandSupportsNothing(t *testing.T) {
+	inst, _ := InstanceByName("g4dn.xlarge")
+	if s := inst.StreamsSupported(Demand{}); s != 0 {
+		t.Errorf("zero demand reported %v streams, want 0 (undefined workload)", s)
+	}
+}
+
+func TestGPUKindStrings(t *testing.T) {
+	if GPUT4.String() != "T4" || GPUA10.String() != "A10" || GPUNone.String() != "none" {
+		t.Error("GPUKind.String broken")
+	}
+}

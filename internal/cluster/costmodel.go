@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+// Calibrated per-operation latencies. Each constant cites the paper
+// measurement it reproduces; everything else in the repository derives
+// throughput and cost from these.
+
+const (
+	// refPixels720p is the reference input size for inference calibration.
+	refPixels720p = 1280 * 720
+
+	// inferBase720p is the per-frame T4 latency of the high-quality
+	// (8 blocks × 32 channels) DNN on a 720p input. Figure 3: per-frame
+	// SR sustains one 60 fps stream on four T4s, i.e. 15 fps per GPU.
+	inferBase720p = 66.7 * float64(time.Millisecond)
+
+	// inferPixelExponent captures the slightly superlinear growth of
+	// inference cost with input size; §3.2 reports a 720p frame is 4.2×
+	// more expensive than a 360p frame (4× the pixels).
+	inferPixelExponent = 1.035
+
+	// encodeSWPerPixel2160p: Figure 3/4 — libvpx encoding of 2160p60
+	// sustains 2 streams on 48 vCPUs, i.e. 0.4 vCPU-seconds per frame.
+	encodeSW2160pMS = 400.0
+
+	// encodeHW2160pMS: NVENC encodes 2160p60 in real time, one stream
+	// per encoder unit (Figure 4: 4 streams on 4 GPUs).
+	encodeHW2160pMS = 16.67
+
+	// hybridImageFactor: §6.1 — the image codec is ~6.25× cheaper than
+	// the video encoder per frame.
+	hybridImageFactor = 6.25
+
+	// decode720pMS: Figure 26 — 768 ingest streams decoded on 128 vCPUs
+	// at 60 fps, 2.65 ms of vCPU time per 720p frame.
+	decode720pMS = 2.65
+
+	// selectPerStreamIntervalMS: Figure 18/26 — a thread handles 100
+	// streams per 666 ms interval, i.e. 6.66 ms of effective per-stream
+	// budget (algorithm time plus data movement and imperfect packing);
+	// the algorithmic latency alone is 4.13 ms (SelectAlgorithmLatency).
+	selectPerStreamIntervalMS = 6.66
+	selectIntervalFrames      = 40
+
+	// SelectAlgorithmLatency is the measured anchor-selection delay for
+	// one stream's 40-frame interval (Figures 18 and 26).
+	SelectAlgorithmLatency = 4130 * time.Microsecond
+
+	// CompileFull is the TensorRT-style model optimization latency
+	// (Figure 24: 137 s).
+	CompileFull = 137 * time.Second
+	// CompileSwap is the pre-optimized weight-swap latency (Figure 24:
+	// 13 ms).
+	CompileSwap = 13 * time.Millisecond
+
+	// MemAllocMin/Max bound the unpooled host+device allocation latency
+	// per DNN/frame load (Figure 24: 19.9–46.5 ms).
+	MemAllocMin = 19900 * time.Microsecond
+	MemAllocMax = 46500 * time.Microsecond
+	// MemPool is the pooled allocation latency (Figure 24: several µs).
+	MemPool = 2 * time.Microsecond
+)
+
+// InferLatency returns the per-frame inference latency of a model on one
+// T4 GPU for an lrW×lrH input. Cost scales with blocks·channels² (the
+// conv FLOPs of a NAS-style network) and superlinearly with pixels.
+func InferLatency(cfg sr.ModelConfig, lrW, lrH int) time.Duration {
+	capacity := float64(cfg.Blocks) * float64(cfg.Channels) * float64(cfg.Channels)
+	refCapacity := 8.0 * 32 * 32
+	pixels := float64(lrW * lrH)
+	scale := math.Pow(pixels/refPixels720p, inferPixelExponent)
+	return time.Duration(inferBase720p * capacity / refCapacity * scale)
+}
+
+// InferLatencyOn adjusts InferLatency for a specific accelerator.
+func InferLatencyOn(gpu GPUKind, cfg sr.ModelConfig, lrW, lrH int) time.Duration {
+	f := gpu.SpeedFactor()
+	if f <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(float64(InferLatency(cfg, lrW, lrH)) / f)
+}
+
+// EncodeSWLatency returns the vCPU time to software-encode one w×h output
+// frame (libvpx-style).
+func EncodeSWLatency(w, h int) time.Duration {
+	scale := float64(w*h) / (3840 * 2160)
+	return time.Duration(encodeSW2160pMS * scale * float64(time.Millisecond))
+}
+
+// EncodeHWLatency returns the hardware-encoder occupancy time for one
+// w×h output frame.
+func EncodeHWLatency(w, h int) time.Duration {
+	scale := float64(w*h) / (3840 * 2160)
+	return time.Duration(encodeHW2160pMS * scale * float64(time.Millisecond))
+}
+
+// HybridEncodeLatency returns the vCPU time to image-encode one w×h
+// anchor frame in the hybrid codec.
+func HybridEncodeLatency(w, h int) time.Duration {
+	return time.Duration(float64(EncodeSWLatency(w, h)) / hybridImageFactor)
+}
+
+// DecodeLatency returns the vCPU time to decode one w×h ingest frame.
+func DecodeLatency(w, h int) time.Duration {
+	scale := float64(w*h) / refPixels720p
+	return time.Duration(decode720pMS * scale * float64(time.Millisecond))
+}
+
+// SelectLatency returns the vCPU time for zero-inference anchor selection
+// over one stream's interval of the given length in frames.
+func SelectLatency(intervalFrames int) time.Duration {
+	per := selectPerStreamIntervalMS / selectIntervalFrames
+	return time.Duration(per * float64(intervalFrames) * float64(time.Millisecond))
+}
+
+// StandardResolution maps common ladder rungs to pixel dimensions.
+func StandardResolution(p int) (w, h int, ok bool) {
+	switch p {
+	case 360:
+		return 640, 360, true
+	case 720:
+		return 1280, 720, true
+	case 1080:
+		return 1920, 1080, true
+	case 2160:
+		return 3840, 2160, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// PerFrameDemand converts a per-frame latency into steady-state demand at
+// the given frame rate: latency × fps, expressed in resource-seconds per
+// second.
+func PerFrameDemand(perFrame time.Duration, fps int) float64 {
+	return perFrame.Seconds() * float64(fps)
+}

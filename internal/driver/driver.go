@@ -1,0 +1,209 @@
+// Package driver wires the full Figure 7 workflow in one process: per
+// scheduling interval it gathers each stream's decoded codec metadata,
+// runs the global anchor-aware scheduler (§5.2), dispatches the selected
+// anchor frames to per-instance enhancers (§6), and assembles the
+// enhanced outputs into per-stream hybrid containers (§6.1). It is the
+// glue the media server uses when operating a multi-GPU cluster rather
+// than a single enhancer.
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/enhance"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/sched"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// Stream is one live stream the driver manages.
+type Stream struct {
+	ID     int
+	Config vcodec.Config
+	Scale  int
+	Model  sr.Model
+
+	decoder *vcodec.Decoder
+	qp      int
+}
+
+// NewStream prepares driver state for one ingest stream.
+func NewStream(id int, cfg vcodec.Config, scale int, model sr.Model, anchorFraction float64) (*Stream, error) {
+	if model == nil {
+		return nil, errors.New("driver: nil model")
+	}
+	dec, err := vcodec.NewDecoder(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	qp, err := hybrid.QPForFraction(anchorFraction)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{ID: id, Config: cfg, Scale: scale, Model: model, decoder: dec, qp: qp}, nil
+}
+
+// Driver runs scheduling intervals across a set of enhancer instances.
+type Driver struct {
+	scheduler *sched.Scheduler
+	enhancers []*enhance.Enhancer
+}
+
+// New builds a driver over the given enhancer instances. The scheduler
+// operates at the cost-effective knee: anchors are capped at the
+// NeuroScaler fraction in addition to the real-time budget.
+func New(policy sched.Policy, enhancers []*enhance.Enhancer) (*Driver, error) {
+	if len(enhancers) == 0 {
+		return nil, errors.New("driver: need at least one enhancer")
+	}
+	s, err := sched.New(policy, len(enhancers))
+	if err != nil {
+		return nil, err
+	}
+	s.MaxAnchorFraction = cluster.NeuroScalerAnchorFraction
+	return &Driver{scheduler: s, enhancers: enhancers}, nil
+}
+
+// IntervalInput is one stream's packets for the current interval.
+type IntervalInput struct {
+	Stream  *Stream
+	Packets [][]byte
+}
+
+// StreamOutput is one stream's result for the interval.
+type StreamOutput struct {
+	StreamID int
+	// Container holds the interval's hybrid-packaged frames.
+	Container *hybrid.Container
+	// Anchors is the number of anchors this stream received.
+	Anchors int
+}
+
+// IntervalReport summarizes one scheduling round.
+type IntervalReport struct {
+	Outputs []StreamOutput
+	// LoadPerInstance is the virtual GPU time consumed per enhancer.
+	LoadPerInstance []time.Duration
+	// Scheduled is the total number of anchors assigned.
+	Scheduled int
+}
+
+// RunInterval decodes each stream's packets, schedules anchors globally,
+// enhances them on the per-instance enhancers (concurrently, one
+// goroutine per instance), and returns the packaged outputs.
+func (d *Driver) RunInterval(ctx context.Context, inputs []IntervalInput) (*IntervalReport, error) {
+	type decodedStream struct {
+		in      IntervalInput
+		decoded []*vcodec.Decoded
+	}
+	streams := make(map[int]*decodedStream, len(inputs))
+	intervals := make([]sched.StreamInterval, 0, len(inputs))
+	for _, in := range inputs {
+		if in.Stream == nil {
+			return nil, errors.New("driver: nil stream in input")
+		}
+		ds := &decodedStream{in: in}
+		infos := make([]vcodec.Info, len(in.Packets))
+		in.Stream.decoder.CaptureResidual = true
+		for i, pkt := range in.Packets {
+			dec, err := in.Stream.decoder.Decode(pkt)
+			if err != nil {
+				return nil, fmt.Errorf("driver: stream %d packet %d: %w", in.Stream.ID, i, err)
+			}
+			ds.decoded = append(ds.decoded, dec)
+			infos[i] = dec.Info
+		}
+		if _, dup := streams[in.Stream.ID]; dup {
+			return nil, fmt.Errorf("driver: duplicate stream %d", in.Stream.ID)
+		}
+		streams[in.Stream.ID] = ds
+		intervals = append(intervals, sched.StreamInterval{
+			StreamID: in.Stream.ID,
+			Metas:    anchor.MetasFromInfos(infos),
+			AnchorLatency: cluster.InferLatency(in.Stream.Model.Config(),
+				in.Stream.Config.Width, in.Stream.Config.Height),
+		})
+	}
+
+	plan, err := d.scheduler.Schedule(intervals)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group assignments per instance and dispatch concurrently.
+	jobsPerInstance := make([][]enhance.Job, len(d.enhancers))
+	for _, a := range plan.Assignments {
+		ds := streams[a.StreamID]
+		jobsPerInstance[a.Instance] = append(jobsPerInstance[a.Instance], enhance.Job{
+			StreamID: a.StreamID,
+			Packet:   a.Packet,
+			Model:    ds.in.Stream.Model,
+			Decoded:  ds.decoded[a.Packet],
+			QP:       ds.in.Stream.qp,
+		})
+	}
+	type instanceResult struct {
+		results []enhance.Result
+		err     error
+	}
+	resCh := make([]instanceResult, len(d.enhancers))
+	var wg sync.WaitGroup
+	for i, jobs := range jobsPerInstance {
+		if len(jobs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, jobs []enhance.Job) {
+			defer wg.Done()
+			results, err := d.enhancers[i].EnhanceBatch(ctx, jobs)
+			resCh[i] = instanceResult{results: results, err: err}
+		}(i, jobs)
+	}
+	wg.Wait()
+
+	// Assemble per-stream containers.
+	anchorsByStream := make(map[int]map[int][]byte)
+	report := &IntervalReport{LoadPerInstance: make([]time.Duration, len(d.enhancers))}
+	for i, ir := range resCh {
+		if ir.err != nil {
+			return nil, fmt.Errorf("driver: instance %d: %w", i, ir.err)
+		}
+		for _, r := range ir.results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("driver: stream %d packet %d: %w", r.StreamID, r.Packet, r.Err)
+			}
+			if anchorsByStream[r.StreamID] == nil {
+				anchorsByStream[r.StreamID] = make(map[int][]byte)
+			}
+			anchorsByStream[r.StreamID][r.Packet] = r.Encoded
+			report.LoadPerInstance[i] += r.InferLatency
+			report.Scheduled++
+		}
+	}
+	for _, in := range inputs {
+		container := &hybrid.Container{
+			Config: in.Stream.Config,
+			Scale:  in.Stream.Scale,
+			Frames: make([]hybrid.ContainerFrame, len(in.Packets)),
+		}
+		for i, pkt := range in.Packets {
+			container.Frames[i] = hybrid.ContainerFrame{VideoPacket: pkt}
+			if enc, ok := anchorsByStream[in.Stream.ID][i]; ok {
+				container.Frames[i].Anchor = enc
+			}
+		}
+		report.Outputs = append(report.Outputs, StreamOutput{
+			StreamID:  in.Stream.ID,
+			Container: container,
+			Anchors:   len(anchorsByStream[in.Stream.ID]),
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,212 @@
+package driver
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/enhance"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/gpu"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sched"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+const (
+	scale = 3
+	lrW   = 96
+	lrH   = 64
+	gop   = 24
+)
+
+func newEnhancers(t *testing.T, n int) []*enhance.Enhancer {
+	t.Helper()
+	out := make([]*enhance.Enhancer, n)
+	for i := range out {
+		dev, err := gpu.NewDevice(cluster.GPUT4, gpu.Options{PreOptimize: true, PreAllocate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i], err = enhance.New(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// testStream builds a driver stream plus its encoded interval packets and
+// ground truth.
+func testStream(t *testing.T, id int, content string, frames int) (*Stream, [][]byte, []*frame.Frame) {
+	t.Helper()
+	prof, err := synth.ProfileByName(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := synth.NewGenerator(prof, lrW*scale, lrH*scale, int64(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := g.GenerateChunk(frames)
+	lr := make([]*frame.Frame, frames)
+	for i, f := range hr {
+		if lr[i], err = frame.Downscale(f, scale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := vcodec.Config{Width: lrW, Height: lrH, FPS: 30, BitrateKbps: 500, GOP: gop}
+	enc, err := vcodec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vstream, err := enc.EncodeAll(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := sr.NewOracleModel(sr.HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(id, enc.Config(), scale, model, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := make([][]byte, len(vstream.Packets))
+	for i, p := range vstream.Packets {
+		packets[i] = p.Data
+	}
+	return s, packets, hr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(sched.CostEffective(), nil); err == nil {
+		t.Error("no enhancers accepted")
+	}
+	if _, err := NewStream(1, vcodec.Config{Width: 10, Height: 10}, 3, nil, 0.1); err == nil {
+		t.Error("nil model accepted")
+	}
+	model, _ := sr.NewBicubicModel(3)
+	if _, err := NewStream(1, vcodec.Config{Width: 10, Height: 10}, 3, model, 0.5); err == nil {
+		t.Error("excess anchor fraction accepted")
+	}
+}
+
+func TestRunIntervalEndToEnd(t *testing.T) {
+	d, err := New(sched.CostEffective(), newEnhancers(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, pkts1, hr1 := testStream(t, 1, "lol", gop)
+	s2, pkts2, hr2 := testStream(t, 2, "gta", gop)
+	report, err := d.RunInterval(context.Background(), []IntervalInput{
+		{Stream: s1, Packets: pkts1},
+		{Stream: s2, Packets: pkts2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outputs) != 2 {
+		t.Fatalf("%d outputs", len(report.Outputs))
+	}
+	if report.Scheduled == 0 {
+		t.Fatal("no anchors scheduled")
+	}
+	// Load bounded by the policy interval.
+	for i, load := range report.LoadPerInstance {
+		if load > sched.CostEffective().Interval {
+			t.Errorf("instance %d load %v exceeds interval", i, load)
+		}
+	}
+	// Outputs decodable by a client with reasonable quality.
+	for _, out := range report.Outputs {
+		if out.Anchors == 0 {
+			t.Errorf("stream %d got no anchors", out.StreamID)
+		}
+		frames, err := hybrid.Decode(out.Container)
+		if err != nil {
+			t.Fatalf("stream %d: %v", out.StreamID, err)
+		}
+		hr := hr1
+		if out.StreamID == 2 {
+			hr = hr2
+		}
+		psnr, err := metrics.MeanPSNR(hr, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 24 {
+			t.Errorf("stream %d client PSNR %.2f dB", out.StreamID, psnr)
+		}
+	}
+}
+
+func TestRunIntervalStateAcrossIntervals(t *testing.T) {
+	d, err := New(sched.CostEffective(), newEnhancers(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, pkts, _ := testStream(t, 1, "chat", 2*gop)
+	// Split at the second key packet: the stream's decoder must carry
+	// reference state across intervals. Locate it with a probe decoder.
+	split := 0
+	probe, _ := vcodec.NewDecoder(lrW, lrH)
+	for i, pkt := range pkts {
+		dec, err := probe.Decode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && dec.Info.Type == vcodec.Key {
+			split = i
+			break
+		}
+	}
+	if split == 0 {
+		t.Fatal("no second GOP found")
+	}
+	for _, window := range [][2]int{{0, split}, {split, len(pkts)}} {
+		if _, err := d.RunInterval(context.Background(), []IntervalInput{
+			{Stream: s, Packets: pkts[window[0]:window[1]]},
+		}); err != nil {
+			t.Fatalf("interval %v: %v", window, err)
+		}
+	}
+}
+
+func TestRunIntervalRejectsDuplicates(t *testing.T) {
+	d, err := New(sched.CostEffective(), newEnhancers(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, pkts, _ := testStream(t, 1, "lol", gop)
+	_, err = d.RunInterval(context.Background(), []IntervalInput{
+		{Stream: s, Packets: pkts[:1]},
+		{Stream: s, Packets: pkts[1:]},
+	})
+	if err == nil {
+		t.Error("duplicate stream IDs accepted")
+	}
+}
+
+func TestRunIntervalHonorsContext(t *testing.T) {
+	d, err := New(sched.CostEffective(), newEnhancers(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, pkts, _ := testStream(t, 1, "lol", gop)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = d.RunInterval(ctx, []IntervalInput{{Stream: s, Packets: pkts}})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunInterval hung under a cancelled context")
+	}
+}

@@ -1,0 +1,251 @@
+// Package enhance implements the anchor enhancer (§6): a GPU-instance
+// worker that receives a content-aware DNN and a batch of anchor frames
+// per scheduling interval, pre-processes the DNN (weight swap into the
+// pre-optimized mock engine), applies it to the anchor frames, and
+// image-encodes the super-resolved outputs for hybrid packaging. The
+// inference and encode stages are pipelined: the CPU encodes anchor i
+// while the GPU infers anchor i+1.
+package enhance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/gpu"
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// Job is one anchor-enhancement task.
+type Job struct {
+	StreamID int
+	// Packet is the anchor's packet index within its stream.
+	Packet int
+	// Model is the stream's content-aware model.
+	Model sr.Model
+	// Decoded is the decoded ingest-resolution anchor frame.
+	Decoded *vcodec.Decoded
+	// QP is the image-codec quality for the hybrid payload.
+	QP int
+}
+
+// Result is the enhanced, encoded anchor.
+type Result struct {
+	StreamID int
+	Packet   int
+	// HR is the super-resolved frame (kept for reference-state updates).
+	HR *frame.Frame
+	// Encoded is the icodec payload for the hybrid container.
+	Encoded []byte
+	// InferLatency and EncodeLatency are the virtual costs charged by the
+	// calibrated model (GPU time and vCPU time respectively).
+	InferLatency  time.Duration
+	EncodeLatency time.Duration
+	Err           error
+}
+
+// Enhancer drives one accelerator.
+type Enhancer struct {
+	device *gpu.Device
+
+	mu      sync.Mutex
+	current sr.ModelConfig
+	loaded  bool
+
+	swaps     int
+	inferred  int
+	encodedMu sync.Mutex
+	encoded   int
+	cpuTime   time.Duration
+}
+
+// New returns an enhancer bound to a device. The device should have been
+// created with PreOptimize and PreAllocate for production behaviour.
+func New(device *gpu.Device) (*Enhancer, error) {
+	if device == nil {
+		return nil, errors.New("enhance: nil device")
+	}
+	return &Enhancer{device: device}, nil
+}
+
+// Stats reports work counters.
+type Stats struct {
+	ModelSwaps     int
+	FramesInferred int
+	FramesEncoded  int
+	GPUTime        time.Duration
+	CPUTime        time.Duration
+}
+
+// Stats returns a snapshot of the enhancer's counters.
+func (e *Enhancer) Stats() Stats {
+	e.mu.Lock()
+	swaps, inferred := e.swaps, e.inferred
+	gpuTime := e.device.BusyTime()
+	e.mu.Unlock()
+	e.encodedMu.Lock()
+	encoded, cpuTime := e.encoded, e.cpuTime
+	e.encodedMu.Unlock()
+	return Stats{
+		ModelSwaps:     swaps,
+		FramesInferred: inferred,
+		FramesEncoded:  encoded,
+		GPUTime:        gpuTime,
+		CPUTime:        cpuTime,
+	}
+}
+
+// PrepareModel installs a stream's model architecture on the device,
+// registering the mock engine on first use so later swaps are cheap.
+func (e *Enhancer) PrepareModel(cfg sr.ModelConfig) (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prepareLocked(cfg)
+}
+
+func (e *Enhancer) prepareLocked(cfg sr.ModelConfig) (time.Duration, error) {
+	if e.loaded && e.current == cfg {
+		return 0, nil
+	}
+	if _, err := e.device.PreOptimizeArch(cfg); err != nil {
+		return 0, err
+	}
+	lat, err := e.device.LoadModel(cfg)
+	if err != nil {
+		return 0, err
+	}
+	e.current, e.loaded = cfg, true
+	e.swaps++
+	return lat, nil
+}
+
+// enhanceOne runs the GPU stage for one job.
+func (e *Enhancer) enhanceOne(job Job) (*frame.Frame, time.Duration, error) {
+	if job.Model == nil || job.Decoded == nil {
+		return nil, 0, errors.New("enhance: job missing model or frame")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	swapLat, err := e.prepareLocked(job.Model.Config())
+	if err != nil {
+		return nil, 0, err
+	}
+	inferLat, err := e.device.Infer(job.Decoded.Frame.W, job.Decoded.Frame.H)
+	if err != nil {
+		return nil, 0, err
+	}
+	hr, err := job.Model.Apply(job.Decoded.Frame, job.Decoded.Info.DisplayIndex)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.inferred++
+	return hr, swapLat + inferLat, nil
+}
+
+// encodeOne runs the CPU stage for one enhanced frame.
+func (e *Enhancer) encodeOne(hr *frame.Frame, qp int) ([]byte, time.Duration, error) {
+	data, _, err := icodec.Encode(hr, icodec.Options{Quality: qp})
+	if err != nil {
+		return nil, 0, err
+	}
+	lat := cluster.HybridEncodeLatency(hr.W, hr.H)
+	e.encodedMu.Lock()
+	e.encoded++
+	e.cpuTime += lat
+	e.encodedMu.Unlock()
+	return data, lat, nil
+}
+
+// Run consumes jobs until the channel closes or the context is cancelled,
+// emitting one Result per job on results (which Run closes on return).
+// Inference and encoding are pipelined across two goroutines.
+func (e *Enhancer) Run(ctx context.Context, jobs <-chan Job, results chan<- Result) error {
+	defer close(results)
+	type staged struct {
+		job      Job
+		hr       *frame.Frame
+		inferLat time.Duration
+		err      error
+	}
+	stagedCh := make(chan staged, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stagedCh)
+		for job := range jobs {
+			hr, lat, err := e.enhanceOne(job)
+			select {
+			case stagedCh <- staged{job: job, hr: hr, inferLat: lat, err: err}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var runErr error
+	for s := range stagedCh {
+		res := Result{
+			StreamID:     s.job.StreamID,
+			Packet:       s.job.Packet,
+			HR:           s.hr,
+			InferLatency: s.inferLat,
+			Err:          s.err,
+		}
+		if s.err == nil {
+			data, lat, err := e.encodeOne(s.hr, s.job.QP)
+			res.Encoded, res.EncodeLatency, res.Err = data, lat, err
+		}
+		select {
+		case results <- res:
+		case <-ctx.Done():
+			runErr = ctx.Err()
+		}
+		if runErr != nil {
+			break
+		}
+	}
+	// Drain the infer stage if we bailed early.
+	for range stagedCh {
+	}
+	wg.Wait()
+	if runErr == nil && ctx.Err() != nil {
+		runErr = ctx.Err()
+	}
+	return runErr
+}
+
+// EnhanceBatch is the synchronous convenience used by the scheduler
+// simulations: process a slice of jobs and return results in order.
+func (e *Enhancer) EnhanceBatch(ctx context.Context, jobs []Job) ([]Result, error) {
+	jobCh := make(chan Job)
+	resCh := make(chan Result, len(jobs))
+	errCh := make(chan error, 1)
+	go func() { errCh <- e.Run(ctx, jobCh, resCh) }()
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := make([]Result, 0, len(jobs))
+	for r := range resCh {
+		out = append(out, r)
+	}
+	if err := <-errCh; err != nil {
+		return out, err
+	}
+	if len(out) != len(jobs) {
+		return out, fmt.Errorf("enhance: %d results for %d jobs", len(out), len(jobs))
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package enhance
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/gpu"
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+func newEnhancer(t *testing.T) *Enhancer {
+	t.Helper()
+	dev, err := gpu.NewDevice(cluster.GPUT4, gpu.Options{PreOptimize: true, PreAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// testJobs builds n anchor jobs from a real encoded stream.
+func testJobs(t *testing.T, n int) ([]Job, []*frame.Frame) {
+	t.Helper()
+	p, _ := synth.ProfileByName("lol")
+	const scale = 3
+	g, err := synth.NewGenerator(p, 96*scale, 64*scale, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := g.GenerateChunk(n)
+	lr := make([]*frame.Frame, n)
+	for i, f := range hr {
+		lr[i], _ = frame.Downscale(f, scale)
+	}
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: 96, Height: 64, FPS: 30, BitrateKbps: 600, GOP: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := enc.EncodeAll(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := sr.NewOracleModel(sr.HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := vcodec.NewDecoderFor(stream)
+	dec.CaptureResidual = true
+	var jobs []Job
+	for i, pkt := range stream.Packets {
+		d, err := dec.Decode(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pkt.Info.Visible {
+			continue
+		}
+		jobs = append(jobs, Job{
+			StreamID: 1, Packet: i, Model: model, Decoded: d, QP: 90,
+		})
+	}
+	return jobs, hr
+}
+
+func TestNewRejectsNilDevice(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New accepted nil device")
+	}
+}
+
+func TestEnhanceBatch(t *testing.T) {
+	e := newEnhancer(t)
+	jobs, _ := testJobs(t, 6)
+	results, err := e.EnhanceBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.HR == nil || len(r.Encoded) == 0 {
+			t.Fatalf("result %d incomplete", i)
+		}
+		if r.InferLatency <= 0 || r.EncodeLatency <= 0 {
+			t.Fatalf("result %d missing virtual latencies: %v, %v", i, r.InferLatency, r.EncodeLatency)
+		}
+		if _, err := icodec.Decode(r.Encoded); err != nil {
+			t.Fatalf("result %d payload does not decode: %v", i, err)
+		}
+	}
+}
+
+func TestResultsPreserveJobOrderAndIdentity(t *testing.T) {
+	e := newEnhancer(t)
+	jobs, _ := testJobs(t, 5)
+	results, err := e.EnhanceBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if results[i].Packet != jobs[i].Packet || results[i].StreamID != jobs[i].StreamID {
+			t.Fatalf("result %d identity mismatch: %+v", i, results[i])
+		}
+	}
+}
+
+func TestModelSwapOnlyOnChange(t *testing.T) {
+	e := newEnhancer(t)
+	jobs, _ := testJobs(t, 6)
+	if _, err := e.EnhanceBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ModelSwaps != 1 {
+		t.Errorf("ModelSwaps = %d, want 1 (same model throughout)", st.ModelSwaps)
+	}
+	if st.FramesInferred != len(jobs) {
+		t.Errorf("FramesInferred = %d, want %d", st.FramesInferred, len(jobs))
+	}
+	if st.FramesEncoded != len(jobs) {
+		t.Errorf("FramesEncoded = %d, want %d", st.FramesEncoded, len(jobs))
+	}
+	if st.GPUTime <= 0 || st.CPUTime <= 0 {
+		t.Errorf("virtual time not accounted: %+v", st)
+	}
+}
+
+func TestBadJobReportsErrorInResult(t *testing.T) {
+	e := newEnhancer(t)
+	results, err := e.EnhanceBatch(context.Background(), []Job{{StreamID: 9, Packet: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Error("job without model/frame should yield a Result carrying an error")
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	e := newEnhancer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make(chan Job)
+	results := make(chan Result)
+	done := make(chan error, 1)
+	go func() { done <- e.Run(ctx, jobs, results) }()
+	cancel()
+	close(jobs)
+	for range results {
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestPrepareModelIdempotent(t *testing.T) {
+	e := newEnhancer(t)
+	cfg := sr.HighQuality()
+	lat1, err := e.PrepareModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat1 <= 0 {
+		t.Error("first PrepareModel should cost time")
+	}
+	lat2, err := e.PrepareModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 != 0 {
+		t.Errorf("re-preparing the same model cost %v, want 0", lat2)
+	}
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+func init() {
+	register("fig13a", fig13a)
+	register("fig13b", fig13b)
+	register("fig14", fig14)
+	register("fig15", fig15)
+	register("fig16", fig16)
+	register("tab3", tab3)
+	register("tab4", tab4)
+	register("tab5", tab5)
+	register("tab7", tab7)
+}
+
+var contents = []string{"chat", "gta", "lol", "fortnite", "valorant", "minecraft"}
+
+// methodWorkloads returns the evaluated methods with their iso-quality
+// anchor fractions.
+func methodWorkloads() []struct {
+	label  string
+	method cluster.Method
+	frac   float64
+	ctxOpt bool
+} {
+	return []struct {
+		label  string
+		method cluster.Method
+		frac   float64
+		ctxOpt bool
+	}{
+		{"per-frame SW (no ctx-opt)", cluster.PerFrameSW, 0, false},
+		{"per-frame SW", cluster.PerFrameSW, 0, true},
+		{"per-frame HW", cluster.PerFrameHW, 0, true},
+		{"selective SW", cluster.SelectiveSW, cluster.UniformAnchorFraction, true},
+		{"selective HW", cluster.SelectiveHW, cluster.UniformAnchorFraction, true},
+		{"NeuroScaler", cluster.NeuroScaler, cluster.NeuroScalerAnchorFraction, true},
+	}
+}
+
+func demandFor(method cluster.Method, frac float64, ctxOpt bool) (cluster.Demand, error) {
+	w := cluster.Standard720pWorkload()
+	w.CtxOpt = ctxOpt
+	if frac > 0 {
+		w.AnchorFraction = frac
+	}
+	return w.Demand(method)
+}
+
+// fig13a reproduces Figure 13(a): end-to-end throughput on
+// g4dn.12xlarge for NeuroScaler and the baselines.
+func fig13a(p Params) (*Report, error) {
+	inst, err := cluster.InstanceByName("g4dn.12xlarge")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig13a", Title: "End-to-end throughput on g4dn.12xlarge (streams in real time)",
+		Columns: []string{"streams"}}
+	var ns, pf, selHW float64
+	for _, mw := range methodWorkloads() {
+		d, err := demandFor(mw.method, mw.frac, mw.ctxOpt)
+		if err != nil {
+			return nil, err
+		}
+		s := inst.StreamsSupported(d)
+		r.AddRow(mw.label, s)
+		switch {
+		case mw.method == cluster.NeuroScaler:
+			ns = s
+		case mw.method == cluster.PerFrameSW && mw.ctxOpt:
+			pf = s
+		case mw.method == cluster.SelectiveHW:
+			selHW = s
+		}
+	}
+	r.AddRow("NeuroScaler / per-frame", ns/pf)
+	r.AddRow("NeuroScaler / selective-HW", ns/selHW)
+	r.Note("paper: 10 streams for NeuroScaler; 10x per-frame and 2.5-5x selective")
+	return r, nil
+}
+
+// fig13b reproduces Figure 13(b): quality gain per content category.
+func fig13b(p Params) (*Report, error) {
+	r := &Report{ID: "fig13b", Title: "Quality per content (PSNR dB)",
+		Columns: []string{"original", "NeuroScaler", "gain"}}
+	var gains []float64
+	for _, c := range contents {
+		pl, err := buildPipeline(c, p)
+		if err != nil {
+			return nil, err
+		}
+		m, err := pl.model(sr.HighQuality())
+		if err != nil {
+			return nil, err
+		}
+		orig, err := pl.originalPSNR()
+		if err != nil {
+			return nil, err
+		}
+		enhanced, err := pl.psnrWith(m, pl.anchorSetFraction(cluster.NeuroScalerAnchorFraction))
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(c, orig, enhanced, enhanced-orig)
+		gains = append(gains, enhanced-orig)
+	}
+	s, err := metrics.Summarize(gains)
+	if err != nil {
+		return nil, err
+	}
+	r.AddRow("mean gain", "-", "-", s.Mean)
+	r.Note("paper: gains of 1.65-7.33 dB, 4.63 dB on average")
+	return r, nil
+}
+
+// fig14 reproduces Figure 14: per-stream cost on the most cost-effective
+// instance for each method.
+func fig14(p Params) (*Report, error) {
+	r := &Report{ID: "fig14", Title: "Per-stream cost on best instance ($/stream-hour)",
+		Columns: []string{"instance", "$/stream-hr"}}
+	var ns, pf, selSW, selHW float64
+	for _, mw := range methodWorkloads() {
+		if !mw.ctxOpt {
+			continue // unoptimized baselines support no streams at all
+		}
+		d, err := demandFor(mw.method, mw.frac, mw.ctxOpt)
+		if err != nil {
+			return nil, err
+		}
+		inst, cost, err := cluster.MostCostEffective(d)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(mw.label, inst.Name, cost)
+		switch mw.method {
+		case cluster.NeuroScaler:
+			ns = cost
+		case cluster.PerFrameSW:
+			pf = cost
+		case cluster.SelectiveSW:
+			selSW = cost
+		case cluster.SelectiveHW:
+			selHW = cost
+		}
+	}
+	r.AddRow("per-frame / NeuroScaler", "-", pf/ns)
+	r.AddRow("selective-SW / NeuroScaler", "-", selSW/ns)
+	r.AddRow("selective-HW / NeuroScaler", "-", selHW/ns)
+	r.Note("paper: 22.3x cheaper than per-frame, 3.0-11.1x cheaper than selective")
+	return r, nil
+}
+
+// fig15 reproduces Figure 15: the ablation of NeuroScaler's components on
+// g4dn.12xlarge.
+func fig15(p Params) (*Report, error) {
+	inst, err := cluster.InstanceByName("g4dn.12xlarge")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig15", Title: "Component ablation on g4dn.12xlarge (streams in real time)",
+		Columns: []string{"streams"}}
+	type variant struct {
+		label     string
+		ctxOpt    bool
+		hybridEnc bool
+		anchorSel bool
+	}
+	variants := []variant{
+		{"Key+Uniform SR (no optimizations)", false, false, false},
+		{"Ctx-Opt", true, false, false},
+		{"Ctx-Opt + Anchor-Sel", true, false, true},
+		{"Ctx-Opt + Hybrid-Enc", true, true, false},
+		{"Ctx-Opt + Hybrid-Enc + Anchor-Sel", true, true, true},
+	}
+	for _, v := range variants {
+		w := cluster.Standard720pWorkload()
+		w.CtxOpt = v.ctxOpt
+		if v.anchorSel {
+			w.AnchorFraction = cluster.NeuroScalerAnchorFraction
+		} else {
+			w.AnchorFraction = cluster.UniformAnchorFraction
+		}
+		// Hybrid-Enc switches the method to the NeuroScaler data path
+		// (hybrid codec + CPU-side selection); without Anchor-Sel the
+		// anchor fraction stays at the uniform baseline's level.
+		method := cluster.SelectiveSW
+		if v.hybridEnc {
+			method = cluster.NeuroScaler
+		}
+		d, err := w.Demand(method)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(v.label, inst.StreamsSupported(d))
+	}
+	r.Note("paper: 0 -> 2 -> 2 -> 4.33 -> 10 streams")
+	return r, nil
+}
+
+// fig16 reproduces Figure 16: the cost/quality trade-off around the
+// cost-effective knee on lol.
+func fig16(p Params) (*Report, error) {
+	pl, err := buildPipeline("lol", p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := pl.model(sr.HighQuality())
+	if err != nil {
+		return nil, err
+	}
+	base := cluster.NeuroScalerAnchorFraction
+	relCosts := []float64{1.0 / 3, 2.0 / 3, 1, 4.0 / 3, 2}
+	r := &Report{ID: "fig16", Title: "Cost vs quality around the cost-effective knee (lol)",
+		Columns: []string{"fraction", "PSNR dB", "delta vs knee"}}
+	knee := 0.0
+	type point struct {
+		rel, frac, psnr float64
+	}
+	var pts []point
+	for _, rel := range relCosts {
+		frac := base * rel
+		q, err := pl.psnrWith(m, pl.anchorSetFraction(frac))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point{rel, frac, q})
+		if rel == 1 {
+			knee = q
+		}
+	}
+	for _, pt := range pts {
+		r.AddRow(fmt.Sprintf("%.0f%% cost", pt.rel*100), pt.frac, pt.psnr, pt.psnr-knee)
+	}
+	r.Note("paper: +33-100%% cost buys only 0.07-0.12 dB; -33-66%% cost loses 0.37-1.14 dB")
+	return r, nil
+}
+
+// tab3 reproduces Table 3: iso-quality configurations — the per-frame
+// channel width that matches the selective (8, 32) pipeline per content.
+func tab3(p Params) (*Report, error) {
+	r := &Report{ID: "tab3", Title: "Iso-quality baseline configurations",
+		Columns: []string{"selective PSNR", "per-frame channels", "per-frame PSNR"}}
+	for _, c := range contents {
+		pl, err := buildPipeline(c, p)
+		if err != nil {
+			return nil, err
+		}
+		hq, err := pl.model(sr.HighQuality())
+		if err != nil {
+			return nil, err
+		}
+		selPSNR, err := pl.psnrWith(hq, pl.anchorSetFraction(cluster.NeuroScalerAnchorFraction))
+		if err != nil {
+			return nil, err
+		}
+		// Smallest per-frame channel width matching the selective quality.
+		bestCh, bestPSNR := 32, 0.0
+		for _, ch := range []int{10, 16, 20, 24, 32} {
+			m, err := pl.model(sr.ModelConfig{Blocks: 8, Channels: ch, Scale: p.Scale})
+			if err != nil {
+				return nil, err
+			}
+			_, q, err := pl.perFrame(m)
+			if err != nil {
+				return nil, err
+			}
+			if q >= selPSNR {
+				bestCh, bestPSNR = ch, q
+				break
+			}
+			bestCh, bestPSNR = ch, q
+		}
+		r.AddRow(c, selPSNR, bestCh, bestPSNR)
+	}
+	r.Note("paper: per-frame baselines use 8 blocks with 10-24 channels to match selective (8, 32)")
+	return r, nil
+}
+
+// tab4 reproduces Table 4: the most cost-effective instance type and the
+// number of instances per 100 streams for each method.
+func tab4(p Params) (*Report, error) {
+	r := &Report{ID: "tab4", Title: "Cost-effective settings per method",
+		Columns: []string{"instance", "instances per 100 streams"}}
+	for _, mw := range methodWorkloads() {
+		if !mw.ctxOpt {
+			continue
+		}
+		d, err := demandFor(mw.method, mw.frac, mw.ctxOpt)
+		if err != nil {
+			return nil, err
+		}
+		fleet, err := cluster.ProvisionFleet(d, 100)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(mw.label, fleet.Instance.Name, fleet.Instances)
+	}
+	r.Note("paper: per-frame 100x g4dn.12xlarge; selective 50-100; NeuroScaler 34x g4dn.xlarge")
+	return r, nil
+}
+
+// tab5 reproduces Table 5: VMAF-proxy quality on lol for the four
+// methods.
+func tab5(p Params) (*Report, error) {
+	pl, err := buildPipeline("lol", p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := pl.model(sr.HighQuality())
+	if err != nil {
+		return nil, err
+	}
+	orig, err := pl.originalPSNR()
+	if err != nil {
+		return nil, err
+	}
+	pfOut, pf, err := pl.perFrame(m)
+	if err != nil {
+		return nil, err
+	}
+	pfSSIM, err := metrics.MeanSSIM(pl.hr, pfOut)
+	if err != nil {
+		return nil, err
+	}
+	quality := func(set map[int]bool) (psnr, ssim float64, err error) {
+		out, err := pl.enhance(m, set)
+		if err != nil {
+			return 0, 0, err
+		}
+		if psnr, err = metrics.MeanPSNR(pl.hr, out); err != nil {
+			return 0, 0, err
+		}
+		ssim, err = metrics.MeanSSIM(pl.hr, out)
+		return psnr, ssim, err
+	}
+	uni, uniSSIM, err := quality(pl.keyUniformSet(cluster.UniformAnchorFraction))
+	if err != nil {
+		return nil, err
+	}
+	ns, nsSSIM, err := quality(pl.anchorSetFraction(cluster.NeuroScalerAnchorFraction))
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "tab5", Title: "Perceptual quality (lol)",
+		Columns: []string{"PSNR dB", "VMAF-proxy", "SSIM"}}
+	r.AddRow("original", orig, metrics.VMAFProxy(orig), "-")
+	r.AddRow("per-frame SR", pf, metrics.VMAFProxy(pf), pfSSIM)
+	r.AddRow("Key+Uniform SR", uni, metrics.VMAFProxy(uni), uniSSIM)
+	r.AddRow("NeuroScaler SR", ns, metrics.VMAFProxy(ns), nsSSIM)
+	r.Note("paper: 34.27 / 86.42 / 85.71 / 86.57 VMAF; SSIM is this implementation's addition")
+	return r, nil
+}
+
+// tab7 reproduces Table 7: per-stream resource usage.
+func tab7(p Params) (*Report, error) {
+	r := &Report{ID: "tab7", Title: "Resource usage per stream",
+		Columns: []string{"GPU", "vCPU", "HW encoders"}}
+	for _, mw := range methodWorkloads() {
+		if !mw.ctxOpt {
+			continue
+		}
+		d, err := demandFor(mw.method, mw.frac, mw.ctxOpt)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(mw.label, d.GPU, d.CPU, d.HWEnc)
+	}
+	r.Note("paper: per-frame 4 GPU + 16 vCPU; selective 0.92 GPU; NeuroScaler 0.33 GPU + 0.25 vCPU")
+	return r, nil
+}

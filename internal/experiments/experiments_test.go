@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun regenerates every registered artifact at the quick
+// parameters and sanity-checks report structure.
+func TestAllExperimentsRun(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 28 {
+		t.Fatalf("only %d experiments registered; every paper table and figure needs one", len(ids))
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, Quick())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if r.ID != id {
+				t.Errorf("report ID %q != %q", r.ID, id)
+			}
+			if len(r.Rows) == 0 {
+				t.Error("empty report")
+			}
+			if r.Title == "" {
+				t.Error("missing title")
+			}
+			if s := r.String(); !strings.Contains(s, id) {
+				t.Error("String() does not include the ID")
+			}
+		})
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if _, err := Run("fig999", Quick()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// value extracts a numeric cell from a report row by label.
+func value(t *testing.T, r *Report, label string, col int) float64 {
+	t.Helper()
+	for _, row := range r.Rows {
+		if row.Label == label {
+			if col >= len(row.Values) {
+				t.Fatalf("%s: row %q has %d columns", r.ID, label, len(row.Values))
+			}
+			v, err := strconv.ParseFloat(row.Values[col], 64)
+			if err != nil {
+				t.Fatalf("%s: row %q col %d = %q is not numeric", r.ID, label, col, row.Values[col])
+			}
+			return v
+		}
+	}
+	t.Fatalf("%s: no row %q", r.ID, label)
+	return 0
+}
+
+func TestFig13aShape(t *testing.T) {
+	r, err := Run("fig13a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := value(t, r, "NeuroScaler", 0)
+	pf := value(t, r, "per-frame SW", 0)
+	if ns < 8 || ns > 14 {
+		t.Errorf("NeuroScaler throughput %.1f, want ~10", ns)
+	}
+	if ratio := ns / pf; ratio < 7 || ratio > 14 {
+		t.Errorf("throughput ratio %.1f, want ~10x", ratio)
+	}
+}
+
+func TestFig13bGainsPositive(t *testing.T) {
+	r, err := Run("fig13b", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range contents {
+		if g := value(t, r, c, 2); g < 0.5 {
+			t.Errorf("%s gain %.2f dB, want clearly positive", c, g)
+		}
+	}
+}
+
+func TestFig9aOrdering(t *testing.T) {
+	r, err := Run("fig9a", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := value(t, r, "key", 0)
+	altref := value(t, r, "altref", 0)
+	inter := value(t, r, "inter", 0)
+	if !(key > altref && altref > inter) {
+		t.Errorf("anchor gains key=%.2f altref=%.2f inter=%.2f, want key > altref > inter", key, altref, inter)
+	}
+}
+
+func TestFig9bPositiveCorrelation(t *testing.T) {
+	r, err := Run("fig9b", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := value(t, r, "Pearson r", 0); rho <= 0 {
+		t.Errorf("residual/gain correlation %.3f, want positive", rho)
+	}
+}
+
+func TestFig25AwareWins(t *testing.T) {
+	r, err := Run("fig25", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col, name := range []string{"avg", "p90", "p95"} {
+		if red := value(t, r, "reduction", col); red < 0 {
+			t.Errorf("%s reduction %.3f dB, want >= 0", name, red)
+		}
+	}
+}
+
+func TestFig16KneeShape(t *testing.T) {
+	r, err := Run("fig16", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := value(t, r, "33% cost", 2)
+	above := value(t, r, "200% cost", 2)
+	if below >= 0 {
+		t.Errorf("cutting cost to 33%% should lose quality, delta %.2f", below)
+	}
+	if above < 0 || above > -below {
+		t.Errorf("doubling cost should gain less than the 33%% cut loses: +%.2f vs %.2f", above, below)
+	}
+}
+
+func TestFig23EnergyOverhead(t *testing.T) {
+	r, err := Run("fig23", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over := value(t, r, "hybrid energy overhead %", 0); over < 5 || over > 35 {
+		t.Errorf("hybrid energy overhead %.1f%%, want ~18%%", over)
+	}
+	if fps := value(t, r, "hybrid", 0); fps < 30 {
+		t.Errorf("hybrid decode %.1f fps, misses the 4K30 target", fps)
+	}
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/abr"
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/gpu"
+	"github.com/neuroscaler/neuroscaler/internal/h26x"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// Extension and ablation experiments beyond the paper's evaluation: the
+// §9 discussion items (codec neutrality, joint optimization) realized as
+// runnable studies, plus ablations of this implementation's own design
+// choices.
+
+func init() {
+	register("ext-training", extTraining)
+	register("ext-altref-density", extAltrefDensity)
+	register("ext-h26x", extH26x)
+	register("ext-abr", extABR)
+	register("abl-search", ablSearch)
+	register("abl-pool", ablPool)
+}
+
+// extTraining studies the §9 joint optimization "train the DNN on anchor
+// frames instead of randomly sampled frames": anchor-targeted training vs
+// uniform training at the same anchor budget.
+func extTraining(p Params) (*Report, error) {
+	pl, err := buildPipeline("lol", p)
+	if err != nil {
+		return nil, err
+	}
+	anchorSet := pl.anchorSetFraction(cluster.NeuroScalerAnchorFraction)
+	// The display indices the anchors cover.
+	var targets []int
+	for i := range anchorSet {
+		targets = append(targets, pl.decoded[i].Info.DisplayIndex)
+	}
+	uniform, err := pl.model(sr.HighQuality())
+	if err != nil {
+		return nil, err
+	}
+	targeted, err := sr.NewOracleModelTargeted(sr.HighQuality(), pl.hr, targets)
+	if err != nil {
+		return nil, err
+	}
+	qUniform, err := pl.psnrWith(uniform, anchorSet)
+	if err != nil {
+		return nil, err
+	}
+	qTargeted, err := pl.psnrWith(targeted, anchorSet)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "ext-training", Title: "Joint optimization: anchor-targeted vs uniform training (lol)",
+		Columns: []string{"PSNR dB"}}
+	r.AddRow("uniform training", qUniform)
+	r.AddRow("anchor-targeted training", qTargeted)
+	r.AddRow("gain", qTargeted-qUniform)
+	r.Note("§9: training on anchor frames (not random samples) should raise selective-SR quality at the same training budget")
+	return r, nil
+}
+
+// extAltrefDensity studies the §9 "anchor-aware encoding" direction: with
+// the anchor budget fixed, how does the encoder's altref cadence change
+// achievable quality?
+func extAltrefDensity(p Params) (*Report, error) {
+	prof := "gta"
+	base, err := buildPipeline(prof, p)
+	if err != nil {
+		return nil, err
+	}
+	budget := int(cluster.NeuroScalerAnchorFraction*float64(len(base.metas)) + 0.5)
+	r := &Report{ID: "ext-altref-density", Title: "Anchor-aware encoding: altref cadence vs quality (gta, fixed anchor budget)",
+		Columns: []string{"PSNR dB", "altref frames"}}
+	for _, interval := range []int{4, 8, 16} {
+		lr := make([]*frame.Frame, len(base.hr))
+		for i, f := range base.hr {
+			if lr[i], err = frame.Downscale(f, p.Scale); err != nil {
+				return nil, err
+			}
+		}
+		enc, err := vcodec.NewEncoder(vcodec.Config{
+			Width: p.LRW, Height: p.LRH, FPS: 30, BitrateKbps: ingestBitrateKbps(p),
+			GOP: p.GOP, AltRefInterval: interval, Mode: vcodec.ModeConstrainedVBR,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stream, err := enc.EncodeAll(lr)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sr.NewOracleModel(sr.HighQuality(), base.hr)
+		if err != nil {
+			return nil, err
+		}
+		metas := anchor.MetasFromStream(stream)
+		set := anchor.PacketSet(anchor.SelectTopN(anchor.ZeroInferenceGains(metas), budget), 0)
+		out, err := sr.EnhanceStream(stream, m, set)
+		if err != nil {
+			return nil, err
+		}
+		q, err := metrics.MeanPSNR(base.hr, out)
+		if err != nil {
+			return nil, err
+		}
+		altrefs := 0
+		for _, pkt := range stream.Packets {
+			if pkt.Info.Type == vcodec.AltRef {
+				altrefs++
+			}
+		}
+		r.AddRow(fmt.Sprintf("altref every %d frames", interval), q, altrefs)
+	}
+	r.Note("§9: encoding with anchor placement in mind changes how far a fixed anchor budget goes")
+	return r, nil
+}
+
+// extH26x demonstrates codec neutrality (§9): zero-inference selection
+// over hierarchical H.26x stream metadata, with the tier substitution
+// G_I/G_P/G_B.
+func extH26x(p Params) (*Report, error) {
+	frames, err := h26x.SyntheticGOP(33, 4, 1.0, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "ext-h26x", Title: "Codec neutrality: selection over an H.26x hierarchical GOP",
+		Columns: []string{"count"}}
+	counts := func(n int) (i, pp, b int) {
+		picks, err := h26x.SelectAnchors(frames, n)
+		if err != nil {
+			return 0, 0, 0
+		}
+		for _, idx := range picks {
+			switch frames[idx].Type {
+			case h26x.SliceI:
+				i++
+			case h26x.SliceP:
+				pp++
+			default:
+				b++
+			}
+		}
+		return
+	}
+	for _, n := range []int{1, 5, 10, 20} {
+		i, pp, b := counts(n)
+		r.AddRow(fmt.Sprintf("budget %2d anchors: I/P/B picked", n), fmt.Sprintf("%d/%d/%d", i, pp, b))
+	}
+	r.Note("§9: replacing the VPx tiers with G_I/G_P/G_B is the only change the selector needs")
+	return r, nil
+}
+
+// ablSearch ablates the motion-search radius: its effect on bitrate and
+// end-to-end enhanced quality.
+func ablSearch(p Params) (*Report, error) {
+	prof := "fortnite"
+	base, err := buildPipeline(prof, p)
+	if err != nil {
+		return nil, err
+	}
+	lr := make([]*frame.Frame, len(base.hr))
+	for i, f := range base.hr {
+		if lr[i], err = frame.Downscale(f, p.Scale); err != nil {
+			return nil, err
+		}
+	}
+	r := &Report{ID: "abl-search", Title: "Ablation: motion search radius (fortnite)",
+		Columns: []string{"kbps", "enhanced PSNR dB"}}
+	for _, radius := range []int{2, 4, 8, 16} {
+		enc, err := vcodec.NewEncoder(vcodec.Config{
+			Width: p.LRW, Height: p.LRH, FPS: 30, BitrateKbps: ingestBitrateKbps(p),
+			GOP: p.GOP, SearchRange: radius, Mode: vcodec.ModeConstrainedVBR,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stream, err := enc.EncodeAll(lr)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sr.NewOracleModel(sr.HighQuality(), base.hr)
+		if err != nil {
+			return nil, err
+		}
+		metas := anchor.MetasFromStream(stream)
+		n := int(cluster.NeuroScalerAnchorFraction*float64(len(metas)) + 0.5)
+		set := anchor.PacketSet(anchor.SelectTopN(anchor.ZeroInferenceGains(metas), n), 0)
+		out, err := sr.EnhanceStream(stream, m, set)
+		if err != nil {
+			return nil, err
+		}
+		q, err := metrics.MeanPSNR(base.hr, out)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(fmt.Sprintf("radius %2d", radius), stream.BitrateKbps(), q)
+	}
+	r.Note("wider search finds better predictions (fewer residual bits) until content motion is covered")
+	return r, nil
+}
+
+// ablPool ablates the host memory pool's initial fragment count: growth
+// (slow-path) events for a bursty allocation pattern.
+func ablPool(p Params) (*Report, error) {
+	r := &Report{ID: "abl-pool", Title: "Ablation: host pool initial fragments (Appendix A, N2)",
+		Columns: []string{"slow-path growths"}}
+	workload := func(pool *gpu.HostPool) (int, error) {
+		growths := 0
+		// Bursty per-interval pattern: acquire a batch, release it,
+		// occasionally double the burst (resolution switches).
+		burst := 8
+		for interval := 0; interval < 50; interval++ {
+			if interval%16 == 15 {
+				burst *= 2
+			}
+			for i := 0; i < burst; i++ {
+				grew, err := pool.Acquire(1280, 720)
+				if err != nil {
+					return 0, err
+				}
+				if grew {
+					growths++
+				}
+			}
+			for i := 0; i < burst; i++ {
+				if err := pool.Release(1280, 720); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return growths, nil
+	}
+	for _, n := range []int{1, 8, gpu.DefaultHostFragments, 160} {
+		pool, err := gpu.NewHostPool(n)
+		if err != nil {
+			return nil, err
+		}
+		growths, err := workload(pool)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(fmt.Sprintf("N2 = %3d", n), growths)
+	}
+	r.Note("Appendix A picks N2 = 40: enough to absorb bursts with a handful of doublings, without reserving memory for the worst case up front")
+	return r, nil
+}
+
+// extABR studies the Figure 8 deployment end to end from the viewer's
+// side: a session over a fluctuating bandwidth trace, with and without
+// the NeuroScaler-enhanced rung at the top of the distribution ladder.
+func extABR(p Params) (*Report, error) {
+	ingest := vcodec.Config{Width: 1280, Height: 720}
+	withRung, err := abr.Ladder(ingest, 3)
+	if err != nil {
+		return nil, err
+	}
+	withoutRung, err := abr.Ladder(ingest, 1)
+	if err != nil {
+		return nil, err
+	}
+	// A diurnal-ish trace: ample, congested, recovering.
+	trace := []float64{55000, 48000, 52000, 9000, 6000, 12000, 30000, 45000, 50000, 60000}
+	run := func(rungs []abr.Rung) (*abr.SessionResult, error) {
+		return abr.Simulate(abr.NewClient(), rungs, trace, 120, 2)
+	}
+	withRes, err := run(withRung)
+	if err != nil {
+		return nil, err
+	}
+	withoutRes, err := run(withoutRung)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "ext-abr", Title: "Deployment model: viewer QoE with and without the enhanced rung",
+		Columns: []string{"mean kbps", "rebuffer s", "switches", "enhanced share %"}}
+	r.AddRow("ladder with enhanced rung", withRes.MeanBitrateKbps, withRes.RebufferS,
+		withRes.Switches, withRes.EnhancedShare*100)
+	r.AddRow("traditional ladder", withoutRes.MeanBitrateKbps, withoutRes.RebufferS,
+		withoutRes.Switches, 0.0)
+	r.Note("Figure 8: without ingest-side enhancement, viewers with ample bandwidth are capped at the broadcaster's uplink quality")
+	return r, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// pipeline is a prepared single-stream pixel experiment: HR ground truth,
+// the encoded ingest stream, and decoded packets. Experiments share it via
+// a small cache because encoding dominates setup time.
+type pipeline struct {
+	params  Params
+	content string
+	hr      []*frame.Frame
+	stream  *vcodec.Stream
+	decoded []*vcodec.Decoded
+	metas   []anchor.FrameMeta
+}
+
+var pipeCache sync.Map // cacheKey -> *pipeline
+
+type cacheKey struct {
+	content string
+	params  Params
+}
+
+// buildPipeline synthesizes, encodes, and decodes one content stream.
+func buildPipeline(content string, p Params) (*pipeline, error) {
+	key := cacheKey{content, p}
+	if v, ok := pipeCache.Load(key); ok {
+		return v.(*pipeline), nil
+	}
+	prof, err := synth.ProfileByName(content)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := synth.NewGenerator(prof, p.LRW*p.Scale, p.LRH*p.Scale, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hr := gen.GenerateChunk(p.Frames)
+	lr := make([]*frame.Frame, p.Frames)
+	for i, f := range hr {
+		lr[i], err = frame.Downscale(f, p.Scale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: p.LRW, Height: p.LRH, FPS: 30, BitrateKbps: ingestBitrateKbps(p),
+		GOP: p.GOP, Mode: vcodec.ModeConstrainedVBR,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream, err := enc.EncodeAll(lr)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := vcodec.NewDecoderFor(stream)
+	if err != nil {
+		return nil, err
+	}
+	dec.CaptureResidual = true
+	decoded := make([]*vcodec.Decoded, len(stream.Packets))
+	for i, pkt := range stream.Packets {
+		decoded[i], err = dec.Decode(pkt.Data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s packet %d: %w", content, i, err)
+		}
+	}
+	pl := &pipeline{
+		params:  p,
+		content: content,
+		hr:      hr,
+		stream:  stream,
+		decoded: decoded,
+		metas:   anchor.MetasFromStream(stream),
+	}
+	pipeCache.Store(key, pl)
+	return pl, nil
+}
+
+// ingestBitrateKbps scales the paper's 720p/4125 kbps ladder point to the
+// experiment's ingest resolution.
+func ingestBitrateKbps(p Params) int {
+	ref := 4125.0 * float64(p.LRW*p.LRH) / (1280 * 720)
+	if ref < 120 {
+		ref = 120
+	}
+	return int(ref)
+}
+
+// model returns a content-aware model for this pipeline.
+func (pl *pipeline) model(cfg sr.ModelConfig) (sr.Model, error) {
+	return sr.NewOracleModel(cfg, pl.hr)
+}
+
+// enhance runs selective SR over the prepared decode with the given
+// anchor packet set and returns the HR outputs for visible frames.
+func (pl *pipeline) enhance(m sr.Model, anchorSet map[int]bool) ([]*frame.Frame, error) {
+	rec, err := sr.NewReconstructor(m, pl.stream.Config)
+	if err != nil {
+		return nil, err
+	}
+	var out []*frame.Frame
+	for i, d := range pl.decoded {
+		hr, err := rec.Process(cloneDecodedShallow(d), anchorSet[i])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: packet %d: %w", i, err)
+		}
+		if hr != nil {
+			out = append(out, hr)
+		}
+	}
+	return out, nil
+}
+
+// cloneDecodedShallow re-wraps a cached Decoded; Process never mutates
+// the frames, so sharing pixels across experiment runs is safe.
+func cloneDecodedShallow(d *vcodec.Decoded) *vcodec.Decoded {
+	cp := *d
+	return &cp
+}
+
+// psnrWith returns the mean PSNR of selective SR with the given anchors.
+func (pl *pipeline) psnrWith(m sr.Model, anchorSet map[int]bool) (float64, error) {
+	out, err := pl.enhance(m, anchorSet)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.MeanPSNR(pl.hr, out)
+}
+
+// perFramePSNR returns the per-frame-SR quality (every visible packet an
+// anchor) and the per-frame outputs.
+func (pl *pipeline) perFrame(m sr.Model) ([]*frame.Frame, float64, error) {
+	set := make(map[int]bool)
+	for i, pkt := range pl.stream.Packets {
+		if pkt.Info.Visible {
+			set[i] = true
+		}
+	}
+	out, err := pl.enhance(m, set)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := metrics.MeanPSNR(pl.hr, out)
+	return out, p, err
+}
+
+// originalPSNR is the no-enhancement baseline: bicubic upscale of the
+// decoded ingest stream.
+func (pl *pipeline) originalPSNR() (float64, error) {
+	var sum float64
+	n := 0
+	for _, d := range pl.decoded {
+		if !d.Info.Visible {
+			continue
+		}
+		up, err := frame.ScaleBicubic(d.Frame, pl.params.LRW*pl.params.Scale, pl.params.LRH*pl.params.Scale)
+		if err != nil {
+			return 0, err
+		}
+		p, err := metrics.PSNR(pl.hr[d.Info.DisplayIndex], up)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no visible frames")
+	}
+	return sum / float64(n), nil
+}
+
+// anchorSetTopN selects the top-n zero-inference anchors as a packet set.
+func (pl *pipeline) anchorSetTopN(n int) map[int]bool {
+	cands := anchor.ZeroInferenceGains(pl.metas)
+	return anchor.PacketSet(anchor.SelectTopN(cands, n), 0)
+}
+
+// anchorSetFraction selects ~fraction of packets.
+func (pl *pipeline) anchorSetFraction(f float64) map[int]bool {
+	n := int(f*float64(len(pl.metas)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return pl.anchorSetTopN(n)
+}
+
+// nemoLossSignal measures the per-packet quality loss of pure reuse
+// against per-frame SR — the signal NEMO's selection pays per-frame
+// inference for. Returned values are MSE differences per packet.
+func (pl *pipeline) nemoLossSignal(m sr.Model) ([]float64, error) {
+	perFrameOut, _, err := pl.perFrame(m)
+	if err != nil {
+		return nil, err
+	}
+	reuseOut, err := pl.enhance(m, map[int]bool{})
+	if err != nil {
+		return nil, err
+	}
+	loss := make([]float64, len(pl.decoded))
+	vi := 0
+	for i, d := range pl.decoded {
+		if !d.Info.Visible {
+			// Invisible packets inherit the loss of the frame they
+			// snapshot, approximated by the next visible frame.
+			if vi < len(perFrameOut) {
+				mse, err := metrics.MSE(perFrameOut[vi], reuseOut[vi])
+				if err != nil {
+					return nil, err
+				}
+				loss[i] = mse
+			}
+			continue
+		}
+		mse, err := metrics.MSE(perFrameOut[vi], reuseOut[vi])
+		if err != nil {
+			return nil, err
+		}
+		loss[i] = mse
+		vi++
+	}
+	return loss, nil
+}
+
+// nemoAnchorSet selects n anchors using NEMO's measured-loss gains with
+// pure gain ordering (no frame-type tiers).
+func (pl *pipeline) nemoAnchorSet(m sr.Model, n int) (map[int]bool, error) {
+	loss, err := pl.nemoLossSignal(m)
+	if err != nil {
+		return nil, err
+	}
+	cands := anchor.NEMOGains(pl.metas, loss)
+	return anchor.PacketSet(anchor.SelectTopNByGain(cands, n), 0), nil
+}
+
+// keyUniformSet returns the Key+Uniform baseline anchor set.
+func (pl *pipeline) keyUniformSet(f float64) map[int]bool {
+	set := make(map[int]bool)
+	for _, p := range anchor.KeyUniformAnchors(pl.metas, f) {
+		set[p] = true
+	}
+	return set
+}
+
+// windowGains returns window-relative packet indices in selection
+// priority order for one interval's metadata (used by the scheduling-
+// interval sweep of Figure 29).
+func windowGains(sub []anchor.FrameMeta) []int {
+	local := make([]anchor.FrameMeta, len(sub))
+	for i, m := range sub {
+		m.Packet = i
+		local[i] = m
+	}
+	cands := anchor.SortCandidates(anchor.ZeroInferenceGains(local))
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.Meta.Packet
+	}
+	return out
+}
+
+// keySet returns the Key-only baseline anchor set.
+func (pl *pipeline) keySet() map[int]bool {
+	set := make(map[int]bool)
+	for _, p := range anchor.KeyAnchors(pl.metas) {
+		set[p] = true
+	}
+	return set
+}

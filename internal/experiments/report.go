@@ -1,0 +1,193 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function from Params to a Report; the
+// registry maps paper artifact IDs ("fig13a", "tab7", ...) to them.
+// cmd/repro prints reports on demand and bench_test.go wraps each one in
+// a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Params scales the pixel experiments. Cost-model experiments ignore most
+// fields.
+type Params struct {
+	// Frames is the number of display frames per evaluated stream.
+	Frames int
+	// LRW, LRH is the ingest resolution of the pixel pipeline; the HR
+	// side is Scale times larger.
+	LRW, LRH int
+	// Scale is the SR factor.
+	Scale int
+	// GOP is the key-frame interval.
+	GOP int
+	// Iterations drives the shuffle experiments (Figures 6, 25).
+	Iterations int
+	// Seed makes everything reproducible.
+	Seed int64
+}
+
+// Default returns paper-faithful sizes (minutes of runtime on one core).
+func Default() Params {
+	return Params{Frames: 120, LRW: 144, LRH: 96, Scale: 3, GOP: 40, Iterations: 1000, Seed: 1}
+}
+
+// Quick returns scaled-down sizes for tests and benchmarks. The GOP stays
+// a multiple of the altref interval (8) with room for full altref windows.
+func Quick() Params {
+	return Params{Frames: 48, LRW: 96, LRH: 64, Scale: 3, GOP: 24, Iterations: 60, Seed: 1}
+}
+
+func (p Params) withDefaults() Params {
+	d := Default()
+	if p.Frames == 0 {
+		p.Frames = d.Frames
+	}
+	if p.LRW == 0 || p.LRH == 0 {
+		p.LRW, p.LRH = d.LRW, d.LRH
+	}
+	if p.Scale == 0 {
+		p.Scale = d.Scale
+	}
+	if p.GOP == 0 {
+		p.GOP = d.GOP
+	}
+	if p.Iterations == 0 {
+		p.Iterations = d.Iterations
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Report is one regenerated artifact: labelled rows of values plus notes
+// recording paper-vs-measured context.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labelled result line.
+type Row struct {
+	Label  string
+	Values []string
+}
+
+// AddRow appends a row, formatting each value.
+func (r *Report) AddRow(label string, values ...any) {
+	row := Row{Label: label}
+	for _, v := range values {
+		switch x := v.(type) {
+		case string:
+			row.Values = append(row.Values, x)
+		case float64:
+			row.Values = append(row.Values, formatFloat(x))
+		case int:
+			row.Values = append(row.Values, fmt.Sprintf("%d", x))
+		default:
+			row.Values = append(row.Values, fmt.Sprint(x))
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note records a finding or deviation.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000 || x <= -1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10 || x <= -10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns)+1)
+	update := func(i int, s string) {
+		if len(s) > widths[i] {
+			widths[i] = len(s)
+		}
+	}
+	update(0, "")
+	for i, c := range r.Columns {
+		update(i+1, c)
+	}
+	for _, row := range r.Rows {
+		update(0, row.Label)
+		for i, v := range row.Values {
+			if i+1 < len(widths) {
+				update(i+1, v)
+			}
+		}
+	}
+	if len(r.Columns) > 0 {
+		fmt.Fprintf(&b, "%-*s", widths[0], "")
+		for i, c := range r.Columns {
+			fmt.Fprintf(&b, "  %*s", widths[i+1], c)
+		}
+		b.WriteByte('\n')
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], row.Label)
+		for i, v := range row.Values {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&b, "  %*s", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Func runs one experiment.
+type Func func(Params) (*Report, error)
+
+var registry = map[string]Func{}
+
+func register(id string, f Func) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = f
+}
+
+// Run executes the experiment with the given artifact ID.
+func Run(id string, p Params) (*Report, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (see IDs())", id)
+	}
+	return f(p.withDefaults())
+}
+
+// IDs lists all registered experiments in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

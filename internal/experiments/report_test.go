@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{ID: "x1", Title: "Test artifact", Columns: []string{"alpha", "b"}}
+	r.AddRow("row one", 1.5, "text")
+	r.AddRow("r2", 12345.0, 3)
+	r.Note("a %s note", "formatted")
+	s := r.String()
+	for _, want := range []string{"== x1: Test artifact ==", "alpha", "row one", "1.500", "12345", "note: a formatted note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every data line has the same prefix width for labels.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("short render: %q", s)
+	}
+}
+
+func TestFormatFloatRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.1234:  "0.123",
+		-3.5:    "-3.500",
+		42.42:   "42.4",
+		-1234.5: "-1234", // %.0f rounds half to even
+		98765:   "98765",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	d := Default()
+	if p != d {
+		t.Errorf("empty params resolved to %+v, want defaults %+v", p, d)
+	}
+	custom := Params{Frames: 10}.withDefaults()
+	if custom.Frames != 10 || custom.LRW != d.LRW {
+		t.Errorf("partial params resolved to %+v", custom)
+	}
+}
+
+func TestRegistryHasEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig9a", "fig9b",
+		"fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+		"fig26", "fig27", "fig28", "fig29",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8",
+	}
+	have := make(map[string]bool)
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("paper artifact %q has no registered experiment", id)
+		}
+	}
+}

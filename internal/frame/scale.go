@@ -1,0 +1,162 @@
+package frame
+
+// Resampling kernels. Downscaling uses box averaging (matching how ingest
+// pipelines derive low-resolution ladders); upscaling offers bilinear (the
+// cheap client-side path referenced by NEMO) and bicubic (the reference
+// upscaler the super-resolution model is compared against).
+
+// ScaleBilinear resizes src to w×h with bilinear interpolation.
+func ScaleBilinear(src *Frame, w, h int) (*Frame, error) {
+	dst, err := New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	sp, dp := src.Planes(), dst.Planes()
+	for i := 0; i < 3; i++ {
+		bilinearPlane(sp[i], dp[i])
+	}
+	return dst, nil
+}
+
+func bilinearPlane(src, dst *Plane) {
+	if src.W == dst.W && src.H == dst.H {
+		_ = dst.CopyFrom(src)
+		return
+	}
+	// Fixed-point 16.16 stepping keeps the inner loop integer-only.
+	const fp = 16
+	sx := ((src.W - 1) << fp) / max(dst.W-1, 1)
+	sy := ((src.H - 1) << fp) / max(dst.H-1, 1)
+	for y := 0; y < dst.H; y++ {
+		fy := y * sy
+		y0 := fy >> fp
+		wy := fy & ((1 << fp) - 1)
+		row := dst.Row(y)
+		for x := 0; x < dst.W; x++ {
+			fx := x * sx
+			x0 := fx >> fp
+			wx := fx & ((1 << fp) - 1)
+			p00 := int(src.At(x0, y0))
+			p10 := int(src.At(x0+1, y0))
+			p01 := int(src.At(x0, y0+1))
+			p11 := int(src.At(x0+1, y0+1))
+			top := p00<<fp + (p10-p00)*wx
+			bot := p01<<fp + (p11-p01)*wx
+			v := (top<<fp + (bot-top)*wy) >> (2 * fp)
+			row[x] = clampByte(v)
+		}
+	}
+}
+
+// ScaleBicubic resizes src to w×h with a Catmull-Rom bicubic kernel.
+func ScaleBicubic(src *Frame, w, h int) (*Frame, error) {
+	dst, err := New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	sp, dp := src.Planes(), dst.Planes()
+	for i := 0; i < 3; i++ {
+		bicubicPlane(sp[i], dp[i])
+	}
+	return dst, nil
+}
+
+// cubicWeights returns the four Catmull-Rom weights for fractional
+// position t in [0, 1), scaled by 64 (6-bit fixed point).
+func cubicWeights(t float64) [4]int {
+	t2, t3 := t*t, t*t*t
+	w := [4]float64{
+		-0.5*t3 + t2 - 0.5*t,
+		1.5*t3 - 2.5*t2 + 1,
+		-1.5*t3 + 2*t2 + 0.5*t,
+		0.5*t3 - 0.5*t2,
+	}
+	var q [4]int
+	sum := 0
+	for i, f := range w {
+		q[i] = int(f*64 + 0.5)
+		if f < 0 {
+			q[i] = int(f*64 - 0.5)
+		}
+		sum += q[i]
+	}
+	q[1] += 64 - sum // keep the kernel normalized after rounding
+	return q
+}
+
+func bicubicPlane(src, dst *Plane) {
+	if src.W == dst.W && src.H == dst.H {
+		_ = dst.CopyFrom(src)
+		return
+	}
+	xScale := float64(src.W) / float64(dst.W)
+	yScale := float64(src.H) / float64(dst.H)
+	for y := 0; y < dst.H; y++ {
+		syf := (float64(y)+0.5)*yScale - 0.5
+		y0 := int(syf)
+		if syf < 0 {
+			y0 = -1
+		}
+		wy := cubicWeights(syf - float64(y0))
+		row := dst.Row(y)
+		for x := 0; x < dst.W; x++ {
+			sxf := (float64(x)+0.5)*xScale - 0.5
+			x0 := int(sxf)
+			if sxf < 0 {
+				x0 = -1
+			}
+			wx := cubicWeights(sxf - float64(x0))
+			acc := 0
+			for j := 0; j < 4; j++ {
+				rowAcc := 0
+				for i := 0; i < 4; i++ {
+					rowAcc += wx[i] * int(src.At(x0-1+i, y0-1+j))
+				}
+				acc += wy[j] * rowAcc
+			}
+			row[x] = clampByte((acc + 2048) >> 12)
+		}
+	}
+}
+
+// Downscale shrinks src by an integer factor using box averaging.
+// The factor must evenly divide neither dimension; remainders are
+// truncated, matching encoder-side crop behaviour.
+func Downscale(src *Frame, factor int) (*Frame, error) {
+	if factor <= 0 {
+		return nil, ErrBadDimensions
+	}
+	w, h := src.W/factor, src.H/factor
+	dst, err := New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	sp, dp := src.Planes(), dst.Planes()
+	for i := 0; i < 3; i++ {
+		boxPlane(sp[i], dp[i], factor)
+	}
+	return dst, nil
+}
+
+func boxPlane(src, dst *Plane, factor int) {
+	area := factor * factor
+	for y := 0; y < dst.H; y++ {
+		row := dst.Row(y)
+		for x := 0; x < dst.W; x++ {
+			sum := 0
+			for j := 0; j < factor; j++ {
+				for i := 0; i < factor; i++ {
+					sum += int(src.At(x*factor+i, y*factor+j))
+				}
+			}
+			row[x] = byte((sum + area/2) / area)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

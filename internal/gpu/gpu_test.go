@@ -1,0 +1,289 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+func newDevice(t *testing.T, opts Options) *Device {
+	t.Helper()
+	d, err := NewDevice(cluster.GPUT4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(cluster.GPUNone, Options{}); err == nil {
+		t.Error("NewDevice accepted GPUNone")
+	}
+	if _, err := NewDevice(cluster.GPUT4, Options{MemBytes: -1}); err == nil {
+		t.Error("NewDevice accepted negative memory")
+	}
+}
+
+func TestPreOptimizationReducesCompileLatency(t *testing.T) {
+	// Figure 24: 137 s -> 13 ms.
+	cfg := sr.HighQuality()
+
+	slow := newDevice(t, Options{PreOptimize: false, PreAllocate: true})
+	latSlow, err := slow.LoadModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latSlow < cluster.CompileFull {
+		t.Errorf("unoptimized load = %v, want >= %v", latSlow, cluster.CompileFull)
+	}
+
+	fast := newDevice(t, Options{PreOptimize: true, PreAllocate: true})
+	if _, err := fast.PreOptimizeArch(cfg); err != nil {
+		t.Fatal(err)
+	}
+	latFast, err := fast.LoadModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latFast > 20*time.Millisecond {
+		t.Errorf("pre-optimized load = %v, want ~13ms", latFast)
+	}
+	if ratio := float64(latSlow) / float64(latFast); ratio < 1000 {
+		t.Errorf("compile speedup = %.0fx, want >= 1000x (137s -> 13ms)", ratio)
+	}
+}
+
+func TestPreOptimizeRequiresMatchingArch(t *testing.T) {
+	d := newDevice(t, Options{PreOptimize: true, PreAllocate: true})
+	if _, err := d.PreOptimizeArch(sr.HighQuality()); err != nil {
+		t.Fatal(err)
+	}
+	// A different architecture has no mock engine: full compile.
+	lat, err := d.LoadModel(sr.ModelConfig{Blocks: 4, Channels: 8, Scale: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < cluster.CompileFull {
+		t.Errorf("unseen architecture loaded in %v, want full compile", lat)
+	}
+}
+
+func TestMemoryPoolingReducesLoadLatency(t *testing.T) {
+	// Figure 24: 19.9-46.5 ms raw allocations vs microseconds pooled.
+	cfg := sr.HighQuality()
+
+	raw := newDevice(t, Options{PreOptimize: true, PreAllocate: false})
+	_, _ = raw.PreOptimizeArch(cfg)
+	if _, err := raw.LoadModel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	latRaw, err := raw.Infer(1280, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pooled := newDevice(t, Options{PreOptimize: true, PreAllocate: true})
+	_, _ = pooled.PreOptimizeArch(cfg)
+	if _, err := pooled.LoadModel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	latPooled, err := pooled.Infer(1280, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := latRaw - latPooled
+	if delta < cluster.MemAllocMin-time.Millisecond {
+		t.Errorf("pooling saved only %v per frame, want ~20-46ms", delta)
+	}
+}
+
+func TestInferRequiresModel(t *testing.T) {
+	d := newDevice(t, Options{PreAllocate: true})
+	if _, err := d.Infer(1280, 720); err == nil {
+		t.Error("Infer without a model succeeded")
+	}
+}
+
+func TestInferRejectsBadSize(t *testing.T) {
+	d := newDevice(t, Options{PreAllocate: true, PreOptimize: true})
+	_, _ = d.PreOptimizeArch(sr.HighQuality())
+	if _, err := d.LoadModel(sr.HighQuality()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Infer(0, 720); err == nil {
+		t.Error("Infer accepted zero width")
+	}
+}
+
+func TestModelSwapReleasesFragment(t *testing.T) {
+	d := newDevice(t, Options{PreOptimize: true, PreAllocate: true})
+	a := sr.ModelConfig{Blocks: 8, Channels: 32, Scale: 3}
+	b := sr.ModelConfig{Blocks: 8, Channels: 16, Scale: 3}
+	_, _ = d.PreOptimizeArch(a)
+	_, _ = d.PreOptimizeArch(b)
+	// Swap repeatedly: with N1=2 fragments this only works if eviction
+	// releases the old fragment.
+	for i := 0; i < 10; i++ {
+		cfg := a
+		if i%2 == 1 {
+			cfg = b
+		}
+		if _, err := d.LoadModel(cfg); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		got, ok := d.LoadedModel()
+		if !ok || got != cfg {
+			t.Fatalf("swap %d: loaded %+v, want %+v", i, got, cfg)
+		}
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	d := newDevice(t, Options{PreOptimize: true, PreAllocate: true})
+	_, _ = d.PreOptimizeArch(sr.HighQuality())
+	if d.BusyTime() != 0 {
+		t.Error("fresh device has busy time")
+	}
+	lat1, _ := d.LoadModel(sr.HighQuality())
+	lat2, _ := d.Infer(1280, 720)
+	if d.BusyTime() != lat1+lat2 {
+		t.Errorf("BusyTime = %v, want %v", d.BusyTime(), lat1+lat2)
+	}
+}
+
+func TestDevicePoolExhaustion(t *testing.T) {
+	p, err := NewDevicePool(16<<30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, err := p.Acquire(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire(1 << 30); err == nil {
+		t.Error("third acquire on a 2-fragment pool succeeded")
+	}
+	if err := p.Release(f0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Available() != 1 {
+		t.Errorf("Available = %d, want 1", p.Available())
+	}
+}
+
+func TestDevicePoolRejectsOversizedModel(t *testing.T) {
+	p, _ := NewDevicePool(1<<20, 2)
+	if _, err := p.Acquire(1 << 20); err == nil {
+		t.Error("model larger than a fragment accepted")
+	}
+}
+
+func TestDevicePoolDoubleFree(t *testing.T) {
+	p, _ := NewDevicePool(1<<30, 2)
+	f, _ := p.Acquire(1)
+	if err := p.Release(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(f); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := p.Release(99); err == nil {
+		t.Error("out-of-range free accepted")
+	}
+}
+
+func TestHostPoolDoublesWhenExhausted(t *testing.T) {
+	p, err := NewHostPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the initial class.
+	for i := 0; i < 4; i++ {
+		if _, err := p.Acquire(640, 360); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, free := p.ClassSize(640, 360)
+	if total != 4 || free != 0 {
+		t.Fatalf("class = (%d, %d), want (4, 0)", total, free)
+	}
+	grew, err := p.Acquire(640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grew {
+		t.Error("exhausted class did not grow")
+	}
+	total, free = p.ClassSize(640, 360)
+	if total != 8 || free != 3 {
+		t.Errorf("after doubling class = (%d, %d), want (8, 3)", total, free)
+	}
+}
+
+func TestHostPoolPerResolutionClasses(t *testing.T) {
+	p, _ := NewHostPool(2)
+	_, _ = p.Acquire(640, 360)
+	_, _ = p.Acquire(1280, 720)
+	if total, _ := p.ClassSize(640, 360); total != 2 {
+		t.Errorf("360p class total = %d", total)
+	}
+	if total, _ := p.ClassSize(1280, 720); total != 2 {
+		t.Errorf("720p class total = %d", total)
+	}
+	if err := p.Release(1920, 1080); err == nil {
+		t.Error("release of untouched class accepted")
+	}
+}
+
+func TestHostPoolDoubleFree(t *testing.T) {
+	p, _ := NewHostPool(2)
+	_, _ = p.Acquire(640, 360)
+	if err := p.Release(640, 360); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release(640, 360); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+// Property: any acquire/release sequence keeps 0 <= free <= total and
+// total a power-of-two multiple of the initial size.
+func TestQuickHostPoolInvariants(t *testing.T) {
+	f := func(ops []bool) bool {
+		p, err := NewHostPool(3)
+		if err != nil {
+			return false
+		}
+		outstanding := 0
+		for _, acquire := range ops {
+			if acquire || outstanding == 0 {
+				if _, err := p.Acquire(320, 180); err != nil {
+					return false
+				}
+				outstanding++
+			} else {
+				if err := p.Release(320, 180); err != nil {
+					return false
+				}
+				outstanding--
+			}
+			total, free := p.ClassSize(320, 180)
+			if free < 0 || free > total {
+				return false
+			}
+			if total-free != outstanding {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

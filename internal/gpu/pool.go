@@ -1,0 +1,148 @@
+// Package gpu simulates the accelerator-side mechanics the paper
+// optimizes in §6.2: model optimization (TensorRT-style engine builds),
+// device/host memory allocation, and the two NeuroScaler optimizations —
+// model pre-optimization (compile a randomly initialized "mock" DNN once
+// offline, swap real weights in at runtime) and memory pre-allocation
+// (fragment pools per Appendix A). Latency accounting is virtual and
+// calibrated to Figure 24.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DevicePool manages device memory as N1 equal fragments, each large
+// enough for one super-resolution DNN (Appendix A: N1 = 2 suffices
+// because a single SR DNN saturates the accelerator, so at most one runs
+// while the next is being staged).
+type DevicePool struct {
+	fragBytes int64
+	inUse     []bool
+}
+
+// DefaultDeviceFragments is Appendix A's N1.
+const DefaultDeviceFragments = 2
+
+// NewDevicePool divides totalBytes into n fragments.
+func NewDevicePool(totalBytes int64, n int) (*DevicePool, error) {
+	if totalBytes <= 0 {
+		return nil, errors.New("gpu: device memory must be positive")
+	}
+	if n < 1 {
+		return nil, errors.New("gpu: need at least one fragment")
+	}
+	return &DevicePool{
+		fragBytes: totalBytes / int64(n),
+		inUse:     make([]bool, n),
+	}, nil
+}
+
+// Acquire reserves a fragment for a model of the given size and returns
+// its index.
+func (p *DevicePool) Acquire(modelBytes int64) (int, error) {
+	if modelBytes > p.fragBytes {
+		return 0, fmt.Errorf("gpu: model of %d bytes exceeds fragment size %d", modelBytes, p.fragBytes)
+	}
+	for i, used := range p.inUse {
+		if !used {
+			p.inUse[i] = true
+			return i, nil
+		}
+	}
+	return 0, errors.New("gpu: all device fragments in use")
+}
+
+// Release frees a fragment.
+func (p *DevicePool) Release(i int) error {
+	if i < 0 || i >= len(p.inUse) {
+		return fmt.Errorf("gpu: fragment index %d out of range", i)
+	}
+	if !p.inUse[i] {
+		return fmt.Errorf("gpu: double free of fragment %d", i)
+	}
+	p.inUse[i] = false
+	return nil
+}
+
+// Available returns the number of free fragments.
+func (p *DevicePool) Available() int {
+	n := 0
+	for _, used := range p.inUse {
+		if !used {
+			n++
+		}
+	}
+	return n
+}
+
+// HostPool manages pinned host memory for video frames: per-resolution
+// fragment lists that start at N2 fragments and double when exhausted
+// (Appendix A: N2 = 40).
+type HostPool struct {
+	initial int
+	classes map[string]*hostClass
+}
+
+type hostClass struct {
+	total int
+	free  int
+}
+
+// DefaultHostFragments is Appendix A's N2.
+const DefaultHostFragments = 40
+
+// NewHostPool returns an empty pool; resolution classes are created on
+// first use.
+func NewHostPool(initialFragments int) (*HostPool, error) {
+	if initialFragments < 1 {
+		return nil, errors.New("gpu: initial fragments must be >= 1")
+	}
+	return &HostPool{initial: initialFragments, classes: make(map[string]*hostClass)}, nil
+}
+
+func resClass(w, h int) string { return fmt.Sprintf("%dx%d", w, h) }
+
+// Acquire reserves one frame buffer of the given resolution, growing the
+// class by doubling if no fragment is free. It reports whether the pool
+// had to grow (a slow-path allocation).
+func (p *HostPool) Acquire(w, h int) (grew bool, err error) {
+	if w <= 0 || h <= 0 {
+		return false, errors.New("gpu: non-positive frame dimensions")
+	}
+	key := resClass(w, h)
+	c, ok := p.classes[key]
+	if !ok {
+		c = &hostClass{total: p.initial, free: p.initial}
+		p.classes[key] = c
+		grew = true // first-touch allocation of the class
+	}
+	if c.free == 0 {
+		c.free += c.total
+		c.total *= 2
+		grew = true
+	}
+	c.free--
+	return grew, nil
+}
+
+// Release returns one frame buffer of the given resolution.
+func (p *HostPool) Release(w, h int) error {
+	c, ok := p.classes[resClass(w, h)]
+	if !ok {
+		return fmt.Errorf("gpu: release of unknown class %s", resClass(w, h))
+	}
+	if c.free >= c.total {
+		return fmt.Errorf("gpu: double free in class %s", resClass(w, h))
+	}
+	c.free++
+	return nil
+}
+
+// ClassSize returns (total, free) fragments for a resolution class.
+func (p *HostPool) ClassSize(w, h int) (total, free int) {
+	if c, ok := p.classes[resClass(w, h)]; ok {
+		return c.total, c.free
+	}
+	return 0, 0
+}

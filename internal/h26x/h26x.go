@@ -1,0 +1,170 @@
+// Package h26x demonstrates the codec neutrality of zero-inference anchor
+// selection (§9 of the paper): the algorithm only needs (a) frame tiers
+// ordered by degree of reference and (b) per-frame residual sizes, both of
+// which H.26x codecs expose as I/P/B slice types and coded residuals. This
+// package maps hierarchical-GOP H.26x stream metadata onto the selection
+// tiers (G_I -> key tier, G_P -> altref tier, G_B -> normal tier, exactly
+// the substitution §9 describes) and provides a synthetic H.26x stream
+// descriptor so the mapping can be exercised without an H.26x decoder.
+package h26x
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// SliceType is the H.26x frame classification.
+type SliceType uint8
+
+const (
+	// SliceI is an intra frame (IDR): the highest-reference tier.
+	SliceI SliceType = iota
+	// SliceP is a predicted frame referenced by the B frames around it.
+	SliceP
+	// SliceB is a bi-predicted frame, typically referenced little or not
+	// at all.
+	SliceB
+)
+
+// String implements fmt.Stringer.
+func (t SliceType) String() string {
+	switch t {
+	case SliceI:
+		return "I"
+	case SliceP:
+		return "P"
+	default:
+		return "B"
+	}
+}
+
+// FrameInfo is the codec-level metadata of one H.26x frame, as a parser
+// would extract it from slice headers.
+type FrameInfo struct {
+	// POC is the picture order count (display order).
+	POC int
+	// Type is the slice type.
+	Type SliceType
+	// ResidualBytes is the size of the coded residual.
+	ResidualBytes int
+	// TemporalLayer is the hierarchical-B pyramid layer (0 = base).
+	TemporalLayer int
+}
+
+// tierOf maps an H.26x slice type onto the selection tiers. The
+// anchor package expresses tiers through vcodec.FrameType, which here
+// carries tier semantics rather than codec identity: I maps to the
+// key tier, P to the altref (mid) tier, B to the normal tier.
+func tierOf(t SliceType) vcodec.FrameType {
+	switch t {
+	case SliceI:
+		return vcodec.Key
+	case SliceP:
+		return vcodec.AltRef
+	default:
+		return vcodec.Inter
+	}
+}
+
+// ToMetas converts H.26x frame metadata (in decode order) into the
+// anchor selector's input.
+func ToMetas(frames []FrameInfo) ([]anchor.FrameMeta, error) {
+	out := make([]anchor.FrameMeta, len(frames))
+	for i, f := range frames {
+		if f.ResidualBytes < 0 {
+			return nil, fmt.Errorf("h26x: frame %d has negative residual", i)
+		}
+		res := float64(f.ResidualBytes)
+		if f.Type == SliceI {
+			res = 0 // intra frames reset accumulation, as key frames do
+		}
+		out[i] = anchor.FrameMeta{
+			Packet:       i,
+			Type:         tierOf(f.Type),
+			DisplayIndex: f.POC,
+			Residual:     res,
+		}
+	}
+	return out, nil
+}
+
+// SelectAnchors runs zero-inference selection over H.26x metadata and
+// returns the chosen frame indices (positions in the input slice) in
+// priority order.
+func SelectAnchors(frames []FrameInfo, n int) ([]int, error) {
+	if n < 0 {
+		return nil, errors.New("h26x: negative anchor count")
+	}
+	metas, err := ToMetas(frames)
+	if err != nil {
+		return nil, err
+	}
+	cands := anchor.ZeroInferenceGains(metas)
+	selected := anchor.SelectTopN(cands, n)
+	out := make([]int, len(selected))
+	for i, c := range selected {
+		out[i] = c.Meta.Packet
+	}
+	return out, nil
+}
+
+// SyntheticGOP generates the metadata of one hierarchical H.26x GOP in
+// decode order: an IDR frame, P frames every miniGOP pictures, and a
+// B-pyramid between them. Residual sizes grow with temporal layer and
+// motion, deterministic in seed.
+func SyntheticGOP(gopLen, miniGOP int, motion float64, seed int64) ([]FrameInfo, error) {
+	if gopLen < 1 {
+		return nil, errors.New("h26x: GOP length must be >= 1")
+	}
+	if miniGOP < 1 || miniGOP > gopLen {
+		return nil, fmt.Errorf("h26x: mini-GOP %d out of [1, %d]", miniGOP, gopLen)
+	}
+	if motion <= 0 {
+		return nil, errors.New("h26x: motion must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []FrameInfo
+	out = append(out, FrameInfo{POC: 0, Type: SliceI})
+	for start := 0; start+miniGOP <= gopLen-1 || start == 0 && gopLen > 1; start += miniGOP {
+		end := start + miniGOP
+		if end > gopLen-1 {
+			end = gopLen - 1
+		}
+		if end == start {
+			break
+		}
+		// Anchor P frame of the mini-GOP, coded first.
+		out = append(out, FrameInfo{
+			POC:           end,
+			Type:          SliceP,
+			ResidualBytes: int(motion * (600 + 400*rng.Float64())),
+			TemporalLayer: 0,
+		})
+		// B-pyramid over (start, end), middle-out.
+		appendPyramid(&out, rng, motion, start, end, 1)
+		if end == gopLen-1 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// appendPyramid emits the hierarchical B frames of an open interval.
+func appendPyramid(out *[]FrameInfo, rng *rand.Rand, motion float64, lo, hi, layer int) {
+	if hi-lo < 2 {
+		return
+	}
+	mid := (lo + hi) / 2
+	*out = append(*out, FrameInfo{
+		POC:           mid,
+		Type:          SliceB,
+		ResidualBytes: int(motion * float64(layer) * (150 + 150*rng.Float64())),
+		TemporalLayer: layer,
+	})
+	appendPyramid(out, rng, motion, lo, mid, layer+1)
+	appendPyramid(out, rng, motion, mid, hi, layer+1)
+}

@@ -1,0 +1,165 @@
+package h26x
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+func TestSyntheticGOPStructure(t *testing.T) {
+	frames, err := SyntheticGOP(17, 4, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames[0].Type != SliceI || frames[0].POC != 0 {
+		t.Fatalf("first frame = %+v, want IDR at POC 0", frames[0])
+	}
+	pocs := make(map[int]bool)
+	var nI, nP, nB int
+	for _, f := range frames {
+		if pocs[f.POC] {
+			t.Fatalf("duplicate POC %d", f.POC)
+		}
+		pocs[f.POC] = true
+		switch f.Type {
+		case SliceI:
+			nI++
+		case SliceP:
+			nP++
+		case SliceB:
+			nB++
+		}
+	}
+	if nI != 1 {
+		t.Errorf("IDR count = %d, want 1", nI)
+	}
+	if nP != 4 { // P frames at POC 4, 8, 12, 16
+		t.Errorf("P count = %d, want 4", nP)
+	}
+	if nB == 0 {
+		t.Error("no B frames in a hierarchical GOP")
+	}
+	// B frames carry temporal layers >= 1.
+	for _, f := range frames {
+		if f.Type == SliceB && f.TemporalLayer < 1 {
+			t.Errorf("B frame at POC %d on layer %d", f.POC, f.TemporalLayer)
+		}
+	}
+}
+
+func TestSyntheticGOPValidation(t *testing.T) {
+	if _, err := SyntheticGOP(0, 4, 1, 1); err == nil {
+		t.Error("zero GOP accepted")
+	}
+	if _, err := SyntheticGOP(8, 0, 1, 1); err == nil {
+		t.Error("zero mini-GOP accepted")
+	}
+	if _, err := SyntheticGOP(8, 4, 0, 1); err == nil {
+		t.Error("zero motion accepted")
+	}
+	if _, err := SyntheticGOP(8, 9, 1, 1); err == nil {
+		t.Error("mini-GOP larger than GOP accepted")
+	}
+}
+
+func TestToMetasMapping(t *testing.T) {
+	frames := []FrameInfo{
+		{POC: 0, Type: SliceI, ResidualBytes: 999}, // intra residual ignored
+		{POC: 4, Type: SliceP, ResidualBytes: 700},
+		{POC: 2, Type: SliceB, ResidualBytes: 300},
+	}
+	metas, err := ToMetas(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metas[0].Type != vcodec.Key || metas[0].Residual != 0 {
+		t.Errorf("I mapping = %+v", metas[0])
+	}
+	if metas[1].Type != vcodec.AltRef || metas[1].Residual != 700 {
+		t.Errorf("P mapping = %+v", metas[1])
+	}
+	if metas[2].Type != vcodec.Inter || metas[2].Residual != 300 {
+		t.Errorf("B mapping = %+v", metas[2])
+	}
+	if _, err := ToMetas([]FrameInfo{{ResidualBytes: -1}}); err == nil {
+		t.Error("negative residual accepted")
+	}
+}
+
+func TestSelectAnchorsTierPriority(t *testing.T) {
+	frames, err := SyntheticGOP(33, 4, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a budget of 1 + #P frames, selection must be exactly the IDR
+	// plus every P frame before any B frame.
+	nP := 0
+	for _, f := range frames {
+		if f.Type == SliceP {
+			nP++
+		}
+	}
+	picks, err := SelectAnchors(frames, 1+nP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 1+nP {
+		t.Fatalf("selected %d anchors, want %d", len(picks), 1+nP)
+	}
+	if frames[picks[0]].Type != SliceI {
+		t.Errorf("first pick is %v, want I", frames[picks[0]].Type)
+	}
+	for _, idx := range picks[1:] {
+		if frames[idx].Type != SliceP {
+			t.Errorf("pick %d is %v, want P (tier priority)", idx, frames[idx].Type)
+		}
+	}
+	// One more anchor: the first B pick must be a low-layer (impactful) B.
+	picks, err = SelectAnchors(frames, 2+nP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := frames[picks[len(picks)-1]]
+	if last.Type != SliceB {
+		t.Fatalf("overflow pick is %v, want B", last.Type)
+	}
+	if last.TemporalLayer > 2 {
+		t.Errorf("first B pick from layer %d; gain ordering should prefer low layers", last.TemporalLayer)
+	}
+}
+
+func TestSelectAnchorsValidation(t *testing.T) {
+	frames, _ := SyntheticGOP(9, 4, 1, 1)
+	if _, err := SelectAnchors(frames, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+	picks, err := SelectAnchors(frames, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != len(frames) {
+		t.Errorf("oversized budget selected %d of %d", len(picks), len(frames))
+	}
+}
+
+func TestGainsUseResidualAccumulation(t *testing.T) {
+	// Two B frames, the earlier one preceded by heavy residuals: the
+	// gain machinery must order them by accumulated-residual relief, the
+	// same invariant the VPx-tier path has.
+	frames := []FrameInfo{
+		{POC: 0, Type: SliceI},
+		{POC: 4, Type: SliceP, ResidualBytes: 100},
+		{POC: 2, Type: SliceB, ResidualBytes: 5000},
+		{POC: 1, Type: SliceB, ResidualBytes: 10},
+		{POC: 3, Type: SliceB, ResidualBytes: 10},
+	}
+	metas, err := ToMetas(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := anchor.ZeroInferenceGains(metas)
+	if cands[2].Gain <= cands[4].Gain {
+		t.Errorf("heavy-residual B gain %v <= light B gain %v", cands[2].Gain, cands[4].Gain)
+	}
+}

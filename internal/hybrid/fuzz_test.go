@@ -1,0 +1,19 @@
+package hybrid
+
+import "testing"
+
+// FuzzUnmarshal throws arbitrary bytes at the container parser.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x4E, 0x53, 0x48, 0x59, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Container
+		if err := c.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Whatever parsed must re-serialize without error.
+		if _, err := c.MarshalBinary(); err != nil {
+			t.Fatalf("MarshalBinary of parsed container failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+// Package hybrid implements the paper's hybrid video codec (§6.1): instead
+// of re-encoding every super-resolved frame with a video encoder, the
+// server reuses the ingest video stream verbatim and compresses only the
+// super-resolved anchor frames with an image codec. Both are packaged in a
+// single container whose per-frame header carries the frame kind; clients
+// decode the video, decode anchor images, and reconstruct non-anchor
+// frames by codec-guided reuse.
+package hybrid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// QPForFraction returns the image-codec quality for a given anchor
+// fraction, following Table 2's JPEG2000 column: sparser anchors leave
+// more bitrate headroom per anchor, so they get higher quality. Fractions
+// above 15 % cannot meet the bitrate constraint.
+func QPForFraction(fraction float64) (int, error) {
+	switch {
+	case fraction < 0:
+		return 0, fmt.Errorf("hybrid: negative anchor fraction %v", fraction)
+	case fraction <= 0.05:
+		return 95, nil
+	case fraction <= 0.075:
+		return 95, nil
+	case fraction <= 0.10:
+		return 90, nil
+	case fraction <= 0.15:
+		return 85, nil
+	default:
+		return 0, fmt.Errorf("hybrid: anchor fraction %.1f%% exceeds the 15%% bitrate-constraint limit", fraction*100)
+	}
+}
+
+// ContainerFrame is one frame entry: the pass-through ingest packet plus,
+// for anchors, the image-coded super-resolved frame.
+type ContainerFrame struct {
+	VideoPacket []byte
+	// Anchor holds the icodec payload; nil marks a non-anchor frame.
+	Anchor []byte
+}
+
+// Container is a hybrid-encoded stream segment.
+type Container struct {
+	Config vcodec.Config
+	Scale  int
+	Frames []ContainerFrame
+}
+
+// Stats reports the encoder's work for cost accounting.
+type Stats struct {
+	VideoBytes   int
+	AnchorBytes  int
+	AnchorFrames int
+	// ImageBlocks is the number of 8×8 blocks the image codec processed;
+	// the cost model converts it into vCPU time.
+	ImageBlocks int
+}
+
+// TotalBytes returns the container payload size.
+func (s Stats) TotalBytes() int { return s.VideoBytes + s.AnchorBytes }
+
+// Encode packages an ingest stream with the given super-resolved anchor
+// frames (keyed by packet index). qp is the image-codec quality, normally
+// chosen with QPForFraction.
+func Encode(s *vcodec.Stream, anchors map[int]*frame.Frame, scale, qp int) (*Container, Stats, error) {
+	if scale < 2 || scale > 4 {
+		return nil, Stats{}, fmt.Errorf("hybrid: scale %d out of [2, 4]", scale)
+	}
+	c := &Container{Config: s.Config, Scale: scale, Frames: make([]ContainerFrame, len(s.Packets))}
+	var st Stats
+	for i, pkt := range s.Packets {
+		cf := ContainerFrame{VideoPacket: pkt.Data}
+		st.VideoBytes += len(pkt.Data)
+		if hr, ok := anchors[i]; ok {
+			if hr.W != s.Config.Width*scale || hr.H != s.Config.Height*scale {
+				return nil, Stats{}, fmt.Errorf("hybrid: anchor %d is %dx%d, want %dx%d",
+					i, hr.W, hr.H, s.Config.Width*scale, s.Config.Height*scale)
+			}
+			data, ist, err := icodec.Encode(hr, icodec.Options{Quality: qp})
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("hybrid: anchor %d: %w", i, err)
+			}
+			cf.Anchor = data
+			st.AnchorBytes += len(data)
+			st.AnchorFrames++
+			st.ImageBlocks += ist.BlocksCoded
+		}
+		c.Frames[i] = cf
+	}
+	return c, st, nil
+}
+
+// EncodeBudgeted is Encode with a per-anchor byte budget instead of a
+// fixed quality ("each anchor frame size is equally set to meet the
+// bitrate constraint in live streaming").
+func EncodeBudgeted(s *vcodec.Stream, anchors map[int]*frame.Frame, scale, bytesPerAnchor int) (*Container, Stats, error) {
+	if bytesPerAnchor <= 0 {
+		return nil, Stats{}, errors.New("hybrid: anchor byte budget must be positive")
+	}
+	if scale < 2 || scale > 4 {
+		return nil, Stats{}, fmt.Errorf("hybrid: scale %d out of [2, 4]", scale)
+	}
+	c := &Container{Config: s.Config, Scale: scale, Frames: make([]ContainerFrame, len(s.Packets))}
+	var st Stats
+	for i, pkt := range s.Packets {
+		cf := ContainerFrame{VideoPacket: pkt.Data}
+		st.VideoBytes += len(pkt.Data)
+		if hr, ok := anchors[i]; ok {
+			data, _, ist, err := icodec.EncodeToSize(hr, bytesPerAnchor)
+			if err != nil {
+				return nil, Stats{}, fmt.Errorf("hybrid: anchor %d: %w", i, err)
+			}
+			cf.Anchor = data
+			st.AnchorBytes += len(data)
+			st.AnchorFrames++
+			st.ImageBlocks += ist.BlocksCoded
+		}
+		c.Frames[i] = cf
+	}
+	return c, st, nil
+}
+
+// Decode performs the client-side reconstruction of a full container:
+// anchor frames come from the image codec, non-anchor frames from
+// codec-guided reuse. It returns the high-resolution output for every
+// visible frame in display order.
+func Decode(c *Container) ([]*frame.Frame, error) {
+	vdec, err := vcodec.NewDecoder(c.Config.Width, c.Config.Height)
+	if err != nil {
+		return nil, err
+	}
+	vdec.CaptureResidual = true
+	rec, err := sr.NewProvidedReconstructor(c.Scale, c.Config)
+	if err != nil {
+		return nil, err
+	}
+	var out []*frame.Frame
+	for i, cf := range c.Frames {
+		d, err := vdec.Decode(cf.VideoPacket)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: frame %d: %w", i, err)
+		}
+		var hrAnchor *frame.Frame
+		if cf.Anchor != nil {
+			hrAnchor, err = icodec.Decode(cf.Anchor)
+			if err != nil {
+				return nil, fmt.Errorf("hybrid: frame %d anchor: %w", i, err)
+			}
+		}
+		hr, err := rec.ProcessProvided(d, hrAnchor)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: frame %d: %w", i, err)
+		}
+		if hr != nil {
+			out = append(out, hr)
+		}
+	}
+	return out, nil
+}
+
+// Wire format: a small header followed by length-prefixed frame entries.
+
+const (
+	wireMagic   = 0x4E53_4859 // "NSHY"
+	wireVersion = 1
+)
+
+// MarshalBinary serializes the container.
+func (c *Container) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, wireMagic)
+	buf = append(buf, wireVersion)
+	putUvarint(uint64(c.Config.Width))
+	putUvarint(uint64(c.Config.Height))
+	putUvarint(uint64(c.Config.FPS))
+	putUvarint(uint64(c.Config.BitrateKbps))
+	putUvarint(uint64(c.Config.GOP))
+	putUvarint(uint64(c.Config.AltRefInterval))
+	buf = append(buf, byte(c.Config.Mode))
+	putUvarint(uint64(c.Config.SearchRange))
+	putUvarint(uint64(c.Scale))
+	putUvarint(uint64(len(c.Frames)))
+	for _, f := range c.Frames {
+		putUvarint(uint64(len(f.VideoPacket)))
+		buf = append(buf, f.VideoPacket...)
+		if f.Anchor == nil {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			putUvarint(uint64(len(f.Anchor)))
+			buf = append(buf, f.Anchor...)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary parses a serialized container.
+func (c *Container) UnmarshalBinary(data []byte) error {
+	if len(data) < 5 {
+		return errors.New("hybrid: container too short")
+	}
+	if binary.BigEndian.Uint32(data) != wireMagic {
+		return errors.New("hybrid: bad container magic")
+	}
+	if data[4] != wireVersion {
+		return fmt.Errorf("hybrid: unsupported container version %d", data[4])
+	}
+	pos := 5
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, errors.New("hybrid: truncated container header")
+		}
+		pos += n
+		return v, nil
+	}
+	readInt := func(dst *int) error {
+		v, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		if v > 1<<31 {
+			return fmt.Errorf("hybrid: unreasonable header value %d", v)
+		}
+		*dst = int(v)
+		return nil
+	}
+	var cfg vcodec.Config
+	for _, dst := range []*int{&cfg.Width, &cfg.Height, &cfg.FPS, &cfg.BitrateKbps, &cfg.GOP, &cfg.AltRefInterval} {
+		if err := readInt(dst); err != nil {
+			return err
+		}
+	}
+	if pos >= len(data) {
+		return errors.New("hybrid: truncated container header")
+	}
+	cfg.Mode = vcodec.RateMode(data[pos])
+	pos++
+	if err := readInt(&cfg.SearchRange); err != nil {
+		return err
+	}
+	var scale, count int
+	if err := readInt(&scale); err != nil {
+		return err
+	}
+	if err := readInt(&count); err != nil {
+		return err
+	}
+	if count < 0 || count > 1<<22 {
+		return fmt.Errorf("hybrid: unreasonable frame count %d", count)
+	}
+	frames := make([]ContainerFrame, count)
+	for i := range frames {
+		var n int
+		if err := readInt(&n); err != nil {
+			return err
+		}
+		if pos+n > len(data) {
+			return errors.New("hybrid: truncated video packet")
+		}
+		frames[i].VideoPacket = append([]byte(nil), data[pos:pos+n]...)
+		pos += n
+		if pos >= len(data) {
+			return errors.New("hybrid: truncated anchor flag")
+		}
+		flag := data[pos]
+		pos++
+		if flag == 1 {
+			if err := readInt(&n); err != nil {
+				return err
+			}
+			if pos+n > len(data) {
+				return errors.New("hybrid: truncated anchor payload")
+			}
+			frames[i].Anchor = append([]byte(nil), data[pos:pos+n]...)
+			pos += n
+		} else if flag != 0 {
+			return fmt.Errorf("hybrid: corrupt anchor flag %d", flag)
+		}
+	}
+	c.Config = cfg
+	c.Scale = scale
+	c.Frames = frames
+	return nil
+}

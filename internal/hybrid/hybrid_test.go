@@ -1,0 +1,292 @@
+package hybrid
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// pipeline builds HR ground truth, the encoded LR stream, and
+// super-resolved anchors for the given anchor packet set.
+func pipeline(t *testing.T, n int, anchorEvery int) (hr []*frame.Frame, stream *vcodec.Stream, anchors map[int]*frame.Frame) {
+	t.Helper()
+	p, err := synth.ProfileByName("lol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 3
+	g, err := synth.NewGenerator(p, 144*scale, 96*scale, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr = g.GenerateChunk(n)
+	lr := make([]*frame.Frame, n)
+	for i, f := range hr {
+		lr[i], err = frame.Downscale(f, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: 144, Height: 96, FPS: 30, BitrateKbps: 900,
+		GOP: 24, Mode: vcodec.ModeConstrainedVBR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = enc.EncodeAll(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := sr.NewOracleModel(sr.HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enhance anchors the way the server would: run the reconstructor so
+	// anchor outputs match server-side state.
+	dec, err := vcodec.NewDecoderFor(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.CaptureResidual = true
+	rec, err := sr.NewReconstructor(model, stream.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors = make(map[int]*frame.Frame)
+	for i, pkt := range stream.Packets {
+		d, err := dec.Decode(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isAnchor := pkt.Info.Type == vcodec.Key || (anchorEvery > 0 && i%anchorEvery == 0)
+		if !isAnchor {
+			if _, err := rec.Process(d, false); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		out, err := model.Apply(d.Frame, d.Info.DisplayIndex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors[i] = out
+		if _, err := rec.ProcessProvided(d, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hr, stream, anchors
+}
+
+func TestQPForFractionMatchesTable2(t *testing.T) {
+	cases := []struct {
+		frac float64
+		qp   int
+	}{
+		{0.025, 95}, {0.05, 95}, {0.075, 95}, {0.09, 90}, {0.12, 85}, {0.15, 85},
+	}
+	for _, tc := range cases {
+		qp, err := QPForFraction(tc.frac)
+		if err != nil {
+			t.Errorf("QPForFraction(%v): %v", tc.frac, err)
+			continue
+		}
+		if qp != tc.qp {
+			t.Errorf("QPForFraction(%v) = %d, want %d", tc.frac, qp, tc.qp)
+		}
+	}
+	if _, err := QPForFraction(0.2); err == nil {
+		t.Error("fraction above 15% accepted")
+	}
+	if _, err := QPForFraction(-0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	hr, stream, anchors := pipeline(t, 16, 4)
+	qp, err := QPForFraction(float64(len(anchors)) / float64(len(stream.Packets)))
+	if err != nil {
+		qp = 85
+	}
+	c, st, err := Encode(stream, anchors, 3, qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AnchorFrames != len(anchors) {
+		t.Errorf("Stats.AnchorFrames = %d, want %d", st.AnchorFrames, len(anchors))
+	}
+	if st.VideoBytes != stream.TotalBytes() {
+		t.Errorf("video bytes %d != stream bytes %d (must pass through unmodified)",
+			st.VideoBytes, stream.TotalBytes())
+	}
+	out, err := Decode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("decoded %d frames, want 16", len(out))
+	}
+	psnr, err := metrics.MeanPSNR(hr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hybrid decoding should deliver enhanced quality well above a plain
+	// upscale of this content (~26 dB).
+	if psnr < 28 {
+		t.Errorf("hybrid client PSNR %.2f dB, too low", psnr)
+	}
+}
+
+func TestAnchorQualityImprovesOutput(t *testing.T) {
+	hr, stream, anchors := pipeline(t, 12, 4)
+	psnrAt := func(qp int) float64 {
+		c, _, err := Encode(stream, anchors, 3, qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := metrics.MeanPSNR(hr, out)
+		return p
+	}
+	if lo, hi := psnrAt(40), psnrAt(95); lo >= hi {
+		t.Errorf("higher anchor QP did not improve quality: q40=%.2f q95=%.2f", lo, hi)
+	}
+}
+
+func TestEncodeRejectsWrongAnchorSize(t *testing.T) {
+	_, stream, _ := pipeline(t, 8, 4)
+	bad := map[int]*frame.Frame{0: frame.MustNew(10, 10)}
+	if _, _, err := Encode(stream, bad, 3, 90); err == nil {
+		t.Error("Encode accepted wrong-size anchor")
+	}
+}
+
+func TestEncodeRejectsBadScale(t *testing.T) {
+	_, stream, anchors := pipeline(t, 8, 4)
+	if _, _, err := Encode(stream, anchors, 1, 90); err == nil {
+		t.Error("Encode accepted scale 1")
+	}
+	if _, _, err := EncodeBudgeted(stream, anchors, 9, 1000); err == nil {
+		t.Error("EncodeBudgeted accepted scale 9")
+	}
+}
+
+func TestEncodeBudgetedRespectsBudget(t *testing.T) {
+	_, stream, anchors := pipeline(t, 12, 4)
+	const budget = 2500
+	c, st, err := EncodeBudgeted(stream, anchors, 3, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range c.Frames {
+		if f.Anchor != nil && len(f.Anchor) > budget {
+			t.Errorf("anchor %d is %dB, budget %d", i, len(f.Anchor), budget)
+		}
+	}
+	if st.AnchorBytes > budget*st.AnchorFrames {
+		t.Errorf("total anchor bytes %d exceed %d", st.AnchorBytes, budget*st.AnchorFrames)
+	}
+	if _, _, err := EncodeBudgeted(stream, anchors, 3, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestHybridCheaperThanReencode(t *testing.T) {
+	// The hybrid container reuses the ingest stream: its video section
+	// must be byte-identical, and total size should stay in the same
+	// ballpark as the ingest stream (anchors add only sparse images).
+	_, stream, anchors := pipeline(t, 16, 8)
+	c, st, err := Encode(stream, anchors, 3, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Frames {
+		if !bytes.Equal(c.Frames[i].VideoPacket, stream.Packets[i].Data) {
+			t.Fatalf("video packet %d modified by hybrid encoder", i)
+		}
+	}
+	if st.AnchorBytes == 0 {
+		t.Error("no anchor payload present")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	hr, stream, anchors := pipeline(t, 12, 4)
+	c, _, err := Encode(stream, anchors, 3, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Container
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != c.Scale || back.Config != c.Config || len(back.Frames) != len(c.Frames) {
+		t.Fatalf("header mismatch: %+v vs %+v", back.Config, c.Config)
+	}
+	out, err := Decode(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, _ := metrics.MeanPSNR(hr, out)
+	if psnr < 28 {
+		t.Errorf("round-tripped container PSNR %.2f", psnr)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	_, stream, anchors := pipeline(t, 8, 4)
+	c, _, err := Encode(stream, anchors, 3, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := c.MarshalBinary()
+	var back Container
+	if err := back.UnmarshalBinary(nil); err == nil {
+		t.Error("nil container accepted")
+	}
+	if err := back.UnmarshalBinary(data[:8]); err == nil {
+		t.Error("truncated container accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if err := back.UnmarshalBinary(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := back.UnmarshalBinary(data[:len(data)-5]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestDecodeWithoutAnchorsDegradesGracefully(t *testing.T) {
+	// A container with no anchors is still decodable (pure reuse +
+	// bilinear keys): the worst-case client path.
+	hr, stream, _ := pipeline(t, 8, 0)
+	c, _, err := Encode(stream, map[int]*frame.Frame{}, 3, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("decoded %d frames", len(out))
+	}
+	psnr, _ := metrics.MeanPSNR(hr, out)
+	if psnr < 18 {
+		t.Errorf("anchor-free decode collapsed to %.2f dB", psnr)
+	}
+}

@@ -1,0 +1,83 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: container parsing and decoding face bytes from the network;
+// corruption must surface as errors, never as panics.
+
+func TestUnmarshalSurvivesRandomGarbage(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(size%4096))
+		rng.Read(data)
+		var c Container
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("UnmarshalBinary panicked (seed %d): %v", seed, r)
+				}
+			}()
+			_ = c.UnmarshalBinary(data)
+		}()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalSurvivesTruncationEverywhere(t *testing.T) {
+	_, stream, anchors := pipeline(t, 8, 4)
+	c, _, err := Encode(stream, anchors, 3, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every prefix must either parse (rare) or error cleanly.
+	step := len(data)/64 + 1
+	for cut := 0; cut < len(data); cut += step {
+		var back Container
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("UnmarshalBinary panicked at cut %d: %v", cut, r)
+				}
+			}()
+			_ = back.UnmarshalBinary(data[:cut])
+		}()
+	}
+}
+
+func TestDecodeSurvivesCorruptAnchor(t *testing.T) {
+	_, stream, anchors := pipeline(t, 8, 4)
+	c, _, err := Encode(stream, anchors, 3, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Frames {
+		if c.Frames[i].Anchor == nil {
+			continue
+		}
+		corrupted := *c
+		corrupted.Frames = append([]ContainerFrame(nil), c.Frames...)
+		bad := append([]byte(nil), c.Frames[i].Anchor...)
+		bad[len(bad)/2] ^= 0xFF
+		corrupted.Frames[i].Anchor = bad
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corrupt anchor %d: %v", i, r)
+				}
+			}()
+			// May error or decode to wrong pixels; must not crash.
+			_, _ = Decode(&corrupted)
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+// Package icodec is the intra-only image codec used by the hybrid encoder
+// to compress super-resolved anchor frames (the role JPEG2000/libjpeg play
+// in the paper). It codes 8×8 DCT blocks per plane with a JPEG-style
+// quality knob, DC prediction across blocks, and zero-run entropy coding.
+package icodec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/bitstream"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/transform"
+)
+
+const (
+	magic   = 0x4E53_4952 // "NSIR"
+	version = 1
+)
+
+// Options configures the encoder.
+type Options struct {
+	// Quality in [1, 100]; higher is better quality / larger output.
+	Quality int
+}
+
+// Stats reports the work the encoder performed; the cluster cost model
+// converts block counts into virtual CPU time.
+type Stats struct {
+	Bytes        int
+	BlocksCoded  int
+	NonZeroCoefs int
+}
+
+// Encode compresses f and returns the bitstream plus encoding statistics.
+func Encode(f *frame.Frame, opts Options) ([]byte, Stats, error) {
+	if opts.Quality < 1 || opts.Quality > 100 {
+		return nil, Stats{}, fmt.Errorf("icodec: quality %d out of [1, 100]", opts.Quality)
+	}
+	var w bitstream.Writer
+	w.WriteBits(magic, 32)
+	w.WriteBits(version, 8)
+	w.WriteBits(uint64(f.W), 16)
+	w.WriteBits(uint64(f.H), 16)
+	w.WriteBits(uint64(opts.Quality), 8)
+	table := transform.QuantTable(opts.Quality)
+	var st Stats
+	for _, p := range f.Planes() {
+		encodePlane(&w, p, &table, &st)
+	}
+	buf := w.Bytes()
+	st.Bytes = len(buf)
+	return buf, st, nil
+}
+
+func encodePlane(w *bitstream.Writer, p *frame.Plane, table *[64]int32, st *Stats) {
+	bs := transform.BlockSize
+	prevDC := int32(0)
+	scan := make([]int32, 64)
+	for by := 0; by < p.H; by += bs {
+		for bx := 0; bx < p.W; bx += bs {
+			var b transform.Block
+			loadBlock(&b, p, bx, by)
+			transform.FDCT(&b, &b)
+			transform.Quantize(&b, table)
+			// DC prediction: code the delta from the previous block's DC.
+			dc := b[0]
+			b[0] -= prevDC
+			prevDC = dc
+			transform.Zigzag(scan, &b)
+			bitstream.WriteCoeffs(w, scan)
+			st.BlocksCoded++
+			for _, c := range scan {
+				if c != 0 {
+					st.NonZeroCoefs++
+				}
+			}
+		}
+	}
+}
+
+func loadBlock(b *transform.Block, p *frame.Plane, bx, by int) {
+	bs := transform.BlockSize
+	for y := 0; y < bs; y++ {
+		for x := 0; x < bs; x++ {
+			// Clamped At extends edges for partial blocks.
+			b[y*bs+x] = int32(p.At(bx+x, by+y)) - 128
+		}
+	}
+}
+
+// Decode decompresses a bitstream produced by Encode.
+func Decode(data []byte) (*frame.Frame, error) {
+	r := bitstream.NewReader(data)
+	m, err := r.ReadBits(32)
+	if err != nil || m != magic {
+		return nil, errors.New("icodec: bad magic")
+	}
+	v, err := r.ReadBits(8)
+	if err != nil || v != version {
+		return nil, fmt.Errorf("icodec: unsupported version %d", v)
+	}
+	wdt, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	hgt, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	q, err := r.ReadBits(8)
+	if err != nil {
+		return nil, err
+	}
+	if q < 1 || q > 100 {
+		return nil, fmt.Errorf("icodec: corrupt quality %d", q)
+	}
+	f, err := frame.New(int(wdt), int(hgt))
+	if err != nil {
+		return nil, fmt.Errorf("icodec: corrupt dimensions: %w", err)
+	}
+	table := transform.QuantTable(int(q))
+	for _, p := range f.Planes() {
+		if err := decodePlane(r, p, &table); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func decodePlane(r *bitstream.Reader, p *frame.Plane, table *[64]int32) error {
+	bs := transform.BlockSize
+	prevDC := int32(0)
+	scan := make([]int32, 64)
+	for by := 0; by < p.H; by += bs {
+		for bx := 0; bx < p.W; bx += bs {
+			if err := bitstream.ReadCoeffs(r, scan); err != nil {
+				return fmt.Errorf("icodec: block (%d,%d): %w", bx, by, err)
+			}
+			var b transform.Block
+			transform.Unzigzag(&b, scan)
+			b[0] += prevDC
+			prevDC = b[0]
+			transform.Dequantize(&b, table)
+			transform.IDCT(&b, &b)
+			storeBlock(&b, p, bx, by)
+		}
+	}
+	return nil
+}
+
+func storeBlock(b *transform.Block, p *frame.Plane, bx, by int) {
+	bs := transform.BlockSize
+	for y := 0; y < bs; y++ {
+		if by+y >= p.H {
+			break
+		}
+		for x := 0; x < bs; x++ {
+			if bx+x >= p.W {
+				break
+			}
+			v := b[y*bs+x] + 128
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			p.Set(bx+x, by+y, byte(v))
+		}
+	}
+}
+
+// EncodeToSize searches for the highest quality whose output does not
+// exceed maxBytes, implementing the hybrid encoder's "each anchor frame
+// size is equally set to meet the bitrate constraint" rule. It returns
+// the encoded stream, the quality used, and stats. If even quality 1
+// exceeds maxBytes the quality-1 stream is returned with an error.
+func EncodeToSize(f *frame.Frame, maxBytes int) ([]byte, int, Stats, error) {
+	lo, hi := 1, 100
+	var best []byte
+	var bestQ int
+	var bestStats Stats
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		data, st, err := Encode(f, Options{Quality: mid})
+		if err != nil {
+			return nil, 0, Stats{}, err
+		}
+		if len(data) <= maxBytes {
+			best, bestQ, bestStats = data, mid, st
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if best == nil {
+		data, st, err := Encode(f, Options{Quality: 1})
+		if err != nil {
+			return nil, 0, Stats{}, err
+		}
+		return data, 1, st, fmt.Errorf("icodec: cannot meet %d-byte budget (min %d)", maxBytes, len(data))
+	}
+	return best, bestQ, bestStats, nil
+}

@@ -1,0 +1,155 @@
+package media
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+// Streamer is the ingest-side client: it encodes raw frames and uploads
+// chunks to the media server, as a broadcaster's software would.
+type Streamer struct {
+	conn     net.Conn
+	streamID uint32
+	encoder  *vcodec.Encoder
+	seq      uint32
+}
+
+// NewStreamer connects to the media server, announces the stream, and
+// returns a ready client.
+func NewStreamer(addr string, streamID uint32, hello wire.Hello) (*Streamer, error) {
+	enc, err := vcodec.NewEncoder(hello.Config)
+	if err != nil {
+		return nil, err
+	}
+	// Hello travels with defaults resolved so both sides agree exactly.
+	hello.Config = enc.Config()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("media: dial ingest: %w", err)
+	}
+	payload, err := wire.EncodeHello(hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := wire.Write(conn, wire.Message{Type: wire.TypeHello, StreamID: streamID, Payload: payload}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply, err := wire.Read(conn, wire.DefaultMaxPayload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if reply.Type != wire.TypeAck {
+		conn.Close()
+		return nil, fmt.Errorf("media: hello rejected: %s", reply.Payload)
+	}
+	return &Streamer{conn: conn, streamID: streamID, encoder: enc}, nil
+}
+
+// SendChunk encodes and uploads one chunk of raw frames, returning the
+// chunk sequence number assigned by the server.
+func (s *Streamer) SendChunk(frames []*frame.Frame) (int, error) {
+	pkts, err := s.encoder.EncodeChunk(frames)
+	if err != nil {
+		return 0, err
+	}
+	raw := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		raw[i] = p.Data
+	}
+	s.seq++
+	msg := wire.Message{
+		Type:     wire.TypeChunk,
+		StreamID: s.streamID,
+		Seq:      s.seq,
+		Payload:  wire.EncodeChunk(raw),
+	}
+	if err := wire.Write(s.conn, msg); err != nil {
+		return 0, err
+	}
+	reply, err := wire.Read(s.conn, wire.DefaultMaxPayload)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Type != wire.TypeAck {
+		return 0, fmt.Errorf("media: chunk rejected: %s", reply.Payload)
+	}
+	return int(reply.Seq), nil
+}
+
+// Close ends the session.
+func (s *Streamer) Close() error {
+	_ = wire.Write(s.conn, wire.Message{Type: wire.TypeGoodbye, StreamID: s.streamID})
+	return s.conn.Close()
+}
+
+// Viewer is the distribution-side client: it fetches hybrid containers
+// over HTTP and decodes them to high-resolution frames on the "device".
+type Viewer struct {
+	base   string
+	client *http.Client
+}
+
+// NewViewer returns a viewer for a distribution endpoint
+// (e.g. "http://127.0.0.1:8080").
+func NewViewer(baseURL string) *Viewer {
+	return &Viewer{base: baseURL, client: http.DefaultClient}
+}
+
+// Streams lists available streams.
+func (v *Viewer) Streams() ([]StreamInfo, error) {
+	resp, err := v.client.Get(v.base + "/streams")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("media: list streams: %s", resp.Status)
+	}
+	var infos []StreamInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// FetchChunk downloads one hybrid container.
+func (v *Viewer) FetchChunk(streamID uint32, seq int) (*hybrid.Container, error) {
+	url := fmt.Sprintf("%s/streams/%d/chunks/%d", v.base, streamID, seq)
+	resp, err := v.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("media: fetch chunk: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var c hybrid.Container
+	if err := c.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// WatchChunk downloads and fully decodes one chunk to HR frames.
+func (v *Viewer) WatchChunk(streamID uint32, seq int) ([]*frame.Frame, error) {
+	c, err := v.FetchChunk(streamID, seq)
+	if err != nil {
+		return nil, err
+	}
+	return hybrid.Decode(c)
+}

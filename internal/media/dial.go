@@ -1,0 +1,9 @@
+package media
+
+import "net"
+
+// dialRaw opens a bare TCP connection to a wire endpoint; used by tests
+// and tooling that need protocol-level control.
+func dialRaw(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

@@ -1,0 +1,281 @@
+package media
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+// AnchorEnhancer super-resolves and image-encodes one anchor frame. The
+// media server is configured with one (local or remote).
+type AnchorEnhancer interface {
+	Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error)
+}
+
+// ModelProvider resolves the content-aware model for a stream. In the
+// paper the DNN's weights travel with the stream; in this reproduction
+// the oracle model's "weights" are the HR source, so deployments register
+// models out of band (see DESIGN.md's substitution notes).
+type ModelProvider func(streamID uint32, h wire.Hello) (sr.Model, error)
+
+// LocalEnhancer runs enhancement in-process.
+type LocalEnhancer struct {
+	provider ModelProvider
+
+	mu     sync.Mutex
+	models map[uint32]sr.Model
+}
+
+// NewLocalEnhancer returns an enhancer resolving models via provider.
+func NewLocalEnhancer(provider ModelProvider) (*LocalEnhancer, error) {
+	if provider == nil {
+		return nil, errors.New("media: nil model provider")
+	}
+	return &LocalEnhancer{provider: provider, models: make(map[uint32]sr.Model)}, nil
+}
+
+// Register binds a stream to its model ahead of the first job.
+func (e *LocalEnhancer) Register(streamID uint32, h wire.Hello) error {
+	m, err := e.provider(streamID, h)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.models[streamID] = m
+	e.mu.Unlock()
+	return nil
+}
+
+// Enhance implements AnchorEnhancer.
+func (e *LocalEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error) {
+	e.mu.Lock()
+	m, ok := e.models[streamID]
+	e.mu.Unlock()
+	if !ok {
+		return wire.AnchorResult{}, fmt.Errorf("media: no model registered for stream %d", streamID)
+	}
+	hr, err := m.Apply(job.Frame, job.DisplayIndex)
+	if err != nil {
+		return wire.AnchorResult{}, fmt.Errorf("media: enhance stream %d packet %d: %w", streamID, job.Packet, err)
+	}
+	data, _, err := icodec.Encode(hr, icodec.Options{Quality: job.QP})
+	if err != nil {
+		return wire.AnchorResult{}, err
+	}
+	return wire.AnchorResult{Packet: job.Packet, Encoded: data}, nil
+}
+
+// EnhancerServer exposes a LocalEnhancer over TCP using the wire
+// protocol: Hello registers the stream, AnchorJob frames are answered
+// with AnchorResult frames.
+type EnhancerServer struct {
+	enhancer *LocalEnhancer
+	ln       net.Listener
+	logf     func(string, ...any)
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewEnhancerServer starts serving on addr (use "127.0.0.1:0" for tests).
+func NewEnhancerServer(addr string, enhancer *LocalEnhancer, logf func(string, ...any)) (*EnhancerServer, error) {
+	if enhancer == nil {
+		return nil, errors.New("media: nil enhancer")
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("media: enhancer listen: %w", err)
+	}
+	s := &EnhancerServer{enhancer: enhancer, ln: ln, logf: logf, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *EnhancerServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for connection handlers to drain.
+func (s *EnhancerServer) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *EnhancerServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("media: enhancer accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.serveConn(conn); err != nil {
+				s.logf("media: enhancer conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *EnhancerServer) serveConn(conn net.Conn) error {
+	for {
+		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case wire.TypeHello:
+			h, err := wire.DecodeHello(msg.Payload)
+			if err != nil {
+				return s.replyError(conn, msg, err)
+			}
+			if err := s.enhancer.Register(msg.StreamID, h); err != nil {
+				return s.replyError(conn, msg, err)
+			}
+			if err := wire.Write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+				return err
+			}
+		case wire.TypeAnchorJob:
+			job, err := wire.DecodeAnchorJob(msg.Payload)
+			if err != nil {
+				return s.replyError(conn, msg, err)
+			}
+			res, err := s.enhancer.Enhance(msg.StreamID, job)
+			if err != nil {
+				return s.replyError(conn, msg, err)
+			}
+			reply := wire.Message{
+				Type:     wire.TypeAnchorResult,
+				StreamID: msg.StreamID,
+				Seq:      msg.Seq,
+				Payload:  wire.EncodeAnchorResult(res),
+			}
+			if err := wire.Write(conn, reply); err != nil {
+				return err
+			}
+		case wire.TypeGoodbye:
+			return nil
+		default:
+			return s.replyError(conn, msg, fmt.Errorf("unexpected message %v", msg.Type))
+		}
+	}
+}
+
+func (s *EnhancerServer) replyError(conn net.Conn, msg wire.Message, cause error) error {
+	reply := wire.Message{
+		Type:     wire.TypeError,
+		StreamID: msg.StreamID,
+		Seq:      msg.Seq,
+		Payload:  []byte(cause.Error()),
+	}
+	if err := wire.Write(conn, reply); err != nil {
+		return err
+	}
+	return cause
+}
+
+// RemoteEnhancer is an AnchorEnhancer backed by an EnhancerServer over
+// TCP. It is safe for sequential use per stream; the media server
+// serializes per-stream jobs.
+type RemoteEnhancer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint32
+}
+
+// DialEnhancer connects to an enhancer service.
+func DialEnhancer(addr string) (*RemoteEnhancer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("media: dial enhancer: %w", err)
+	}
+	return &RemoteEnhancer{conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (r *RemoteEnhancer) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = wire.Write(r.conn, wire.Message{Type: wire.TypeGoodbye})
+	return r.conn.Close()
+}
+
+// Register announces a stream to the remote enhancer.
+func (r *RemoteEnhancer) Register(streamID uint32, h wire.Hello) error {
+	payload, err := wire.EncodeHello(h)
+	if err != nil {
+		return err
+	}
+	reply, err := r.call(wire.Message{Type: wire.TypeHello, StreamID: streamID, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypeAck {
+		return fmt.Errorf("media: register: unexpected reply %v", reply.Type)
+	}
+	return nil
+}
+
+// Enhance implements AnchorEnhancer.
+func (r *RemoteEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error) {
+	reply, err := r.call(wire.Message{
+		Type:     wire.TypeAnchorJob,
+		StreamID: streamID,
+		Payload:  wire.EncodeAnchorJob(job),
+	})
+	if err != nil {
+		return wire.AnchorResult{}, err
+	}
+	if reply.Type != wire.TypeAnchorResult {
+		return wire.AnchorResult{}, fmt.Errorf("media: enhance: unexpected reply %v", reply.Type)
+	}
+	return wire.DecodeAnchorResult(reply.Payload)
+}
+
+// call performs one synchronous request/response exchange.
+func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	msg.Seq = r.seq
+	if err := wire.Write(r.conn, msg); err != nil {
+		return wire.Message{}, err
+	}
+	reply, err := wire.Read(r.conn, wire.DefaultMaxPayload)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if reply.Type == wire.TypeError {
+		return wire.Message{}, fmt.Errorf("media: remote: %s", reply.Payload)
+	}
+	if reply.Seq != msg.Seq {
+		return wire.Message{}, fmt.Errorf("media: reply seq %d for request %d", reply.Seq, msg.Seq)
+	}
+	return reply, nil
+}
+
+var _ AnchorEnhancer = (*LocalEnhancer)(nil)
+var _ AnchorEnhancer = (*RemoteEnhancer)(nil)

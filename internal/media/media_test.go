@@ -1,0 +1,332 @@
+package media
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+const (
+	testScale = 3
+	testLRW   = 96
+	testLRH   = 64
+	testGOP   = 12
+)
+
+// contentOracle builds a ModelProvider backed by deterministic synthetic
+// HR content per stream: the test analogue of "the trained DNN knows the
+// content".
+// oracleStore is the synchronized ground-truth registry shared between
+// the model provider and test assertions.
+type oracleStore struct {
+	mu sync.Mutex
+	m  map[uint32][]*frame.Frame
+}
+
+func (s *oracleStore) get(id uint32) []*frame.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[id]
+}
+
+func contentOracle(t *testing.T, frames int) (ModelProvider, *oracleStore) {
+	t.Helper()
+	store := &oracleStore{m: make(map[uint32][]*frame.Frame)}
+	provider := func(streamID uint32, h wire.Hello) (sr.Model, error) {
+		store.mu.Lock()
+		defer store.mu.Unlock()
+		hr, ok := store.m[streamID]
+		if !ok {
+			p, err := synth.ProfileByName(h.Content)
+			if err != nil {
+				return nil, err
+			}
+			g, err := synth.NewGenerator(p, testLRW*testScale, testLRH*testScale, int64(streamID))
+			if err != nil {
+				return nil, err
+			}
+			hr = g.GenerateChunk(frames)
+			store.m[streamID] = hr
+		}
+		return sr.NewOracleModel(h.Model, hr)
+	}
+	return provider, store
+}
+
+func testHello() wire.Hello {
+	return wire.Hello{
+		Config: vcodec.Config{
+			Width: testLRW, Height: testLRH, FPS: 30, BitrateKbps: 700,
+			GOP: testGOP, Mode: vcodec.ModeConstrainedVBR,
+		},
+		Scale:   testScale,
+		Model:   sr.HighQuality(),
+		Content: "lol",
+	}
+}
+
+// lrFromHR downsamples the oracle's HR frames to the ingest resolution.
+func lrFromHR(t *testing.T, hr []*frame.Frame) []*frame.Frame {
+	t.Helper()
+	lr := make([]*frame.Frame, len(hr))
+	for i, f := range hr {
+		var err error
+		lr[i], err = frame.Downscale(f, testScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lr
+}
+
+func TestChunkStore(t *testing.T) {
+	s := NewChunkStore()
+	if n := s.ChunkCount(1); n != 0 {
+		t.Errorf("empty store count = %d", n)
+	}
+	if seq := s.Append(1, []byte("a")); seq != 0 {
+		t.Errorf("first seq = %d", seq)
+	}
+	if seq := s.Append(1, []byte("b")); seq != 1 {
+		t.Errorf("second seq = %d", seq)
+	}
+	s.Append(7, []byte("c"))
+	got, err := s.Chunk(1, 1)
+	if err != nil || string(got) != "b" {
+		t.Errorf("Chunk(1,1) = %q, %v", got, err)
+	}
+	if _, err := s.Chunk(2, 0); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	if _, err := s.Chunk(1, 9); err == nil {
+		t.Error("out-of-range seq accepted")
+	}
+	ids := s.StreamIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 7 {
+		t.Errorf("StreamIDs = %v", ids)
+	}
+}
+
+func TestEndToEndLocalEnhancer(t *testing.T) {
+	const frames = 24 // two GOPs
+	provider, store := contentOracle(t, frames)
+	local, err := NewLocalEnhancer(provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", local, ServerConfig{AnchorFraction: 0.10, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hello := testHello()
+	streamer, err := NewStreamer(srv.Addr(), 42, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamer.Close()
+
+	// The provider generates HR on first model resolution (at hello).
+	hr := store.get(42)
+	if hr == nil {
+		t.Fatal("provider did not materialize HR content at hello")
+	}
+	lr := lrFromHR(t, hr)
+	for i := 0; i < frames; i += testGOP {
+		seq, err := streamer.SendChunk(lr[i : i+testGOP])
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i/testGOP, err)
+		}
+		if seq != i/testGOP {
+			t.Errorf("chunk seq = %d, want %d", seq, i/testGOP)
+		}
+	}
+
+	// Distribution over HTTP.
+	httpSrv := httptest.NewServer(srv.DistributionHandler())
+	defer httpSrv.Close()
+	viewer := NewViewer(httpSrv.URL)
+	infos, err := viewer.Streams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].StreamID != 42 || infos[0].Chunks != 2 {
+		t.Fatalf("stream list = %+v", infos)
+	}
+	if infos[0].Content != "lol" || infos[0].Scale != testScale {
+		t.Errorf("stream info = %+v", infos[0])
+	}
+
+	var out []*frame.Frame
+	for seq := 0; seq < 2; seq++ {
+		chunkFrames, err := viewer.WatchChunk(42, seq)
+		if err != nil {
+			t.Fatalf("watch chunk %d: %v", seq, err)
+		}
+		out = append(out, chunkFrames...)
+	}
+	if len(out) != frames {
+		t.Fatalf("viewer decoded %d frames, want %d", len(out), frames)
+	}
+	psnr, err := metrics.MeanPSNR(hr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 26 {
+		t.Errorf("end-to-end viewer PSNR %.2f dB, too low", psnr)
+	}
+}
+
+func TestEndToEndRemoteEnhancer(t *testing.T) {
+	const frames = 12
+	provider, store := contentOracle(t, frames)
+	local, err := NewLocalEnhancer(provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enhSrv, err := NewEnhancerServer("127.0.0.1:0", local, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enhSrv.Close()
+	remote, err := DialEnhancer(enhSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	srv, err := NewServer("127.0.0.1:0", remote, ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	streamer, err := NewStreamer(srv.Addr(), 7, testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamer.Close()
+	hr := store.get(7)
+	lr := lrFromHR(t, hr)
+	if _, err := streamer.SendChunk(lr); err != nil {
+		t.Fatal(err)
+	}
+
+	httpSrv := httptest.NewServer(srv.DistributionHandler())
+	defer httpSrv.Close()
+	out, err := NewViewer(httpSrv.URL).WatchChunk(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, _ := metrics.MeanPSNR(hr, out)
+	if psnr < 26 {
+		t.Errorf("remote-enhancer path PSNR %.2f dB", psnr)
+	}
+}
+
+func TestChunkBeforeHelloRejected(t *testing.T) {
+	provider, _ := contentOracle(t, 4)
+	local, _ := NewLocalEnhancer(provider)
+	srv, err := NewServer("127.0.0.1:0", local, ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Raw connection that skips the hello.
+	conn, err := dialRaw(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := wire.Message{Type: wire.TypeChunk, StreamID: 1, Payload: wire.EncodeChunk(nil)}
+	if err := wire.Write(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := wire.Read(conn, wire.DefaultMaxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.TypeError {
+		t.Errorf("reply = %v, want error", reply.Type)
+	}
+}
+
+func TestNonGOPAlignedChunkRejected(t *testing.T) {
+	const frames = 18 // GOP 12: second chunk of 6 starts mid-GOP
+	provider, store := contentOracle(t, frames)
+	local, _ := NewLocalEnhancer(provider)
+	srv, err := NewServer("127.0.0.1:0", local, ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	streamer, err := NewStreamer(srv.Addr(), 3, testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamer.Close()
+	lr := lrFromHR(t, store.get(3))
+	if _, err := streamer.SendChunk(lr[:6]); err == nil {
+		// First chunk ends mid-GOP; the *next* chunk then starts mid-GOP
+		// and must be rejected.
+		_, err = streamer.SendChunk(lr[6:12])
+		if err == nil || !strings.Contains(err.Error(), "GOP") {
+			t.Errorf("mid-GOP chunk: err = %v, want GOP-alignment rejection", err)
+		}
+	}
+}
+
+func TestServerRejectsExcessAnchorFraction(t *testing.T) {
+	provider, _ := contentOracle(t, 4)
+	local, _ := NewLocalEnhancer(provider)
+	if _, err := NewServer("127.0.0.1:0", local, ServerConfig{AnchorFraction: 0.4}); err == nil {
+		t.Error("anchor fraction above hybrid limit accepted")
+	}
+	if _, err := NewServer("127.0.0.1:0", nil, ServerConfig{}); err == nil {
+		t.Error("nil enhancer accepted")
+	}
+}
+
+func TestEnhancerServerRejectsUnknownStream(t *testing.T) {
+	provider, _ := contentOracle(t, 4)
+	local, _ := NewLocalEnhancer(provider)
+	enhSrv, err := NewEnhancerServer("127.0.0.1:0", local, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enhSrv.Close()
+	remote, err := DialEnhancer(enhSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	_, err = remote.Enhance(99, wire.AnchorJob{Frame: frame.MustNew(testLRW, testLRH)})
+	if err == nil {
+		t.Error("job for unregistered stream accepted")
+	}
+}
+
+func TestViewerErrors(t *testing.T) {
+	provider, _ := contentOracle(t, 4)
+	local, _ := NewLocalEnhancer(provider)
+	srv, err := NewServer("127.0.0.1:0", local, ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	httpSrv := httptest.NewServer(srv.DistributionHandler())
+	defer httpSrv.Close()
+	viewer := NewViewer(httpSrv.URL)
+	if _, err := viewer.FetchChunk(12345, 0); err == nil {
+		t.Error("fetch of unknown stream succeeded")
+	}
+}

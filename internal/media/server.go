@@ -1,0 +1,320 @@
+package media
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+// ServerConfig tunes the media server.
+type ServerConfig struct {
+	// AnchorFraction is the fraction of frames to enhance per chunk
+	// (the cost-effective default is 0.075).
+	AnchorFraction float64
+	// Logf receives diagnostics; nil uses the standard logger.
+	Logf func(string, ...any)
+}
+
+// Server is the NeuroScaler media server: it terminates ingest
+// connections, runs zero-inference anchor selection per chunk, enhances
+// anchors through an AnchorEnhancer, and stores hybrid containers for
+// HTTP distribution.
+type Server struct {
+	cfg      ServerConfig
+	enhancer AnchorEnhancer
+	store    *ChunkStore
+	ln       net.Listener
+
+	mu      sync.Mutex
+	streams map[uint32]*serverStream
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type serverStream struct {
+	hello   wire.Hello
+	decoder *vcodec.Decoder
+	qp      int
+}
+
+// StreamInfo is the distribution-side metadata for one stream.
+type StreamInfo struct {
+	StreamID uint32 `json:"stream_id"`
+	Width    int    `json:"width"`
+	Height   int    `json:"height"`
+	Scale    int    `json:"scale"`
+	FPS      int    `json:"fps"`
+	Content  string `json:"content"`
+	Chunks   int    `json:"chunks"`
+}
+
+// NewServer starts the ingest listener on addr.
+func NewServer(addr string, enhancer AnchorEnhancer, cfg ServerConfig) (*Server, error) {
+	if enhancer == nil {
+		return nil, errors.New("media: nil enhancer")
+	}
+	if cfg.AnchorFraction <= 0 {
+		cfg.AnchorFraction = 0.075
+	}
+	if cfg.AnchorFraction > 0.15 {
+		return nil, fmt.Errorf("media: anchor fraction %v exceeds the hybrid codec's 15%% limit", cfg.AnchorFraction)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("media: ingest listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		enhancer: enhancer,
+		store:    NewChunkStore(),
+		ln:       ln,
+		streams:  make(map[uint32]*serverStream),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the ingest address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Store exposes the chunk store (read-side).
+func (s *Server) Store() *ChunkStore { return s.store }
+
+// Close stops the ingest listener and drains handlers.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.cfg.Logf("media: ingest accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.serveIngest(conn); err != nil {
+				s.cfg.Logf("media: ingest conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) serveIngest(conn net.Conn) error {
+	for {
+		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case wire.TypeHello:
+			if err := s.handleHello(conn, msg); err != nil {
+				return err
+			}
+		case wire.TypeChunk:
+			if err := s.handleChunk(conn, msg); err != nil {
+				return err
+			}
+		case wire.TypeGoodbye:
+			return nil
+		default:
+			return s.replyError(conn, msg, fmt.Errorf("unexpected message %v", msg.Type))
+		}
+	}
+}
+
+func (s *Server) handleHello(conn net.Conn, msg wire.Message) error {
+	h, err := wire.DecodeHello(msg.Payload)
+	if err != nil {
+		return s.replyError(conn, msg, err)
+	}
+	dec, err := vcodec.NewDecoder(h.Config.Width, h.Config.Height)
+	if err != nil {
+		return s.replyError(conn, msg, err)
+	}
+	dec.CaptureResidual = false // the server only needs codec info + frames
+	qp, err := hybrid.QPForFraction(s.cfg.AnchorFraction)
+	if err != nil {
+		return s.replyError(conn, msg, err)
+	}
+	// If the enhancer needs per-stream registration (local or remote),
+	// forward the hello.
+	type registrar interface {
+		Register(uint32, wire.Hello) error
+	}
+	if r, ok := s.enhancer.(registrar); ok {
+		if err := r.Register(msg.StreamID, h); err != nil {
+			return s.replyError(conn, msg, err)
+		}
+	}
+	s.mu.Lock()
+	s.streams[msg.StreamID] = &serverStream{hello: h, decoder: dec, qp: qp}
+	s.mu.Unlock()
+	return wire.Write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq})
+}
+
+func (s *Server) handleChunk(conn net.Conn, msg wire.Message) error {
+	s.mu.Lock()
+	st := s.streams[msg.StreamID]
+	s.mu.Unlock()
+	if st == nil {
+		return s.replyError(conn, msg, fmt.Errorf("chunk before hello on stream %d", msg.StreamID))
+	}
+	packets, err := wire.DecodeChunk(msg.Payload)
+	if err != nil {
+		return s.replyError(conn, msg, err)
+	}
+	container, err := s.processChunk(msg.StreamID, st, packets)
+	if err != nil {
+		return s.replyError(conn, msg, err)
+	}
+	data, err := container.MarshalBinary()
+	if err != nil {
+		return s.replyError(conn, msg, err)
+	}
+	seq := s.store.Append(msg.StreamID, data)
+	return wire.Write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: uint32(seq)})
+}
+
+// processChunk is the per-chunk enhancement pipeline: decode, select
+// anchors with the zero-inference algorithm, enhance them, and package a
+// hybrid container.
+func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byte) (*hybrid.Container, error) {
+	decoded := make([]*vcodec.Decoded, len(packets))
+	infos := make([]vcodec.Info, len(packets))
+	for i, pkt := range packets {
+		d, err := st.decoder.Decode(pkt)
+		if err != nil {
+			return nil, fmt.Errorf("media: stream %d packet %d: %w", streamID, i, err)
+		}
+		decoded[i] = d
+		infos[i] = d.Info
+	}
+	// Each container must be independently decodable by viewers joining
+	// mid-stream, so distribution chunks are GOP-aligned (as in HLS/DASH).
+	if infos[0].Type != vcodec.Key {
+		return nil, fmt.Errorf("media: stream %d chunk does not start with a key frame; send GOP-aligned chunks", streamID)
+	}
+	metas := anchor.MetasFromInfos(infos)
+	cands := anchor.ZeroInferenceGains(metas)
+	n := int(s.cfg.AnchorFraction*float64(len(packets)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	selected := anchor.SelectTopN(cands, n)
+
+	container := &hybrid.Container{
+		Config: st.hello.Config,
+		Scale:  st.hello.Scale,
+		Frames: make([]hybrid.ContainerFrame, len(packets)),
+	}
+	for i, pkt := range packets {
+		container.Frames[i] = hybrid.ContainerFrame{VideoPacket: pkt}
+	}
+	for _, c := range selected {
+		i := c.Meta.Packet
+		res, err := s.enhancer.Enhance(streamID, wire.AnchorJob{
+			Packet:       i,
+			DisplayIndex: decoded[i].Info.DisplayIndex,
+			QP:           st.qp,
+			Frame:        decoded[i].Frame,
+		})
+		if err != nil {
+			return nil, err
+		}
+		container.Frames[i].Anchor = res.Encoded
+	}
+	return container, nil
+}
+
+func (s *Server) replyError(conn net.Conn, msg wire.Message, cause error) error {
+	reply := wire.Message{
+		Type:     wire.TypeError,
+		StreamID: msg.StreamID,
+		Seq:      msg.Seq,
+		Payload:  []byte(cause.Error()),
+	}
+	if err := wire.Write(conn, reply); err != nil {
+		return err
+	}
+	return cause
+}
+
+// DistributionHandler returns the HTTP handler for the viewer side:
+//
+//	GET /streams                     → JSON list of StreamInfo
+//	GET /streams/{id}/chunks/{seq}   → hybrid container bytes
+func (s *Server) DistributionHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
+		var infos []StreamInfo
+		s.mu.Lock()
+		for id, st := range s.streams {
+			infos = append(infos, StreamInfo{
+				StreamID: id,
+				Width:    st.hello.Config.Width,
+				Height:   st.hello.Config.Height,
+				Scale:    st.hello.Scale,
+				FPS:      st.hello.Config.FPS,
+				Content:  st.hello.Content,
+				Chunks:   s.store.ChunkCount(id),
+			})
+		}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(infos); err != nil {
+			s.cfg.Logf("media: encode stream list: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /streams/{id}/chunks/{seq}", func(w http.ResponseWriter, r *http.Request) {
+		id, err1 := strconv.ParseUint(strings.TrimSpace(r.PathValue("id")), 10, 32)
+		seq, err2 := strconv.Atoi(r.PathValue("seq"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad stream or chunk id", http.StatusBadRequest)
+			return
+		}
+		data, err := s.store.Chunk(uint32(id), seq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(data); err != nil {
+			s.cfg.Logf("media: write chunk: %v", err)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,67 @@
+// Package media implements the networked deployment of NeuroScaler: a
+// media server that accepts ingest streams over TCP, selects and enhances
+// anchor frames (locally or on remote enhancer nodes), packages hybrid
+// containers, and serves them to viewers over HTTP; an enhancer service;
+// and the streamer/viewer clients. It is the system of Figure 7 on plain
+// stdlib networking.
+package media
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ChunkStore holds hybrid-encoded chunks per stream for distribution.
+// It is safe for concurrent use.
+type ChunkStore struct {
+	mu      sync.RWMutex
+	streams map[uint32][][]byte
+}
+
+// NewChunkStore returns an empty store.
+func NewChunkStore() *ChunkStore {
+	return &ChunkStore{streams: make(map[uint32][][]byte)}
+}
+
+// Append stores the next chunk of a stream and returns its sequence
+// number.
+func (s *ChunkStore) Append(streamID uint32, chunk []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streams[streamID] = append(s.streams[streamID], chunk)
+	return len(s.streams[streamID]) - 1
+}
+
+// Chunk returns chunk seq of a stream.
+func (s *ChunkStore) Chunk(streamID uint32, seq int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chunks, ok := s.streams[streamID]
+	if !ok {
+		return nil, fmt.Errorf("media: unknown stream %d", streamID)
+	}
+	if seq < 0 || seq >= len(chunks) {
+		return nil, fmt.Errorf("media: stream %d has no chunk %d (have %d)", streamID, seq, len(chunks))
+	}
+	return chunks[seq], nil
+}
+
+// ChunkCount returns the number of stored chunks for a stream.
+func (s *ChunkStore) ChunkCount(streamID uint32) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.streams[streamID])
+}
+
+// StreamIDs lists all known streams in ascending order.
+func (s *ChunkStore) StreamIDs() []uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint32, 0, len(s.streams))
+	for id := range s.streams {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

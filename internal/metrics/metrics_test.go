@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+)
+
+func TestPSNRIdentical(t *testing.T) {
+	a := frame.MustNew(16, 16)
+	a.Y.Fill(42)
+	p, err := PSNR(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 100 {
+		t.Errorf("identical-frame PSNR = %v, want 100 (cap)", p)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a, b := frame.MustNew(8, 8), frame.MustNew(8, 8)
+	a.Y.Fill(100)
+	b.Y.Fill(110) // constant error 10 -> MSE 100 -> PSNR 28.13 dB
+	p, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", p, want)
+	}
+}
+
+func TestPSNRSizeMismatch(t *testing.T) {
+	if _, err := PSNR(frame.MustNew(8, 8), frame.MustNew(8, 9)); err == nil {
+		t.Error("PSNR accepted mismatched sizes")
+	}
+}
+
+func TestMeanPSNR(t *testing.T) {
+	a, b := frame.MustNew(8, 8), frame.MustNew(8, 8)
+	a.Y.Fill(100)
+	b.Y.Fill(110)
+	mp, err := MeanPSNR([]*frame.Frame{a, a}, []*frame.Frame{b, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _ := PSNR(a, b)
+	if math.Abs(mp-single) > 1e-9 {
+		t.Errorf("MeanPSNR = %v, want %v", mp, single)
+	}
+	if _, err := MeanPSNR(nil, nil); err == nil {
+		t.Error("MeanPSNR accepted empty input")
+	}
+	if _, err := MeanPSNR([]*frame.Frame{a}, nil); err == nil {
+		t.Error("MeanPSNR accepted length mismatch")
+	}
+}
+
+func TestVMAFProxyCalibration(t *testing.T) {
+	// Table 5 anchors: 32.39 dB original ~ 34 VMAF; ~40 dB enhanced ~ 86.
+	if v := VMAFProxy(32.39); v < 25 || v > 45 {
+		t.Errorf("VMAFProxy(32.39) = %.1f, want near 34", v)
+	}
+	if v := VMAFProxy(40.1); v < 80 || v > 95 {
+		t.Errorf("VMAFProxy(40.1) = %.1f, want near 86", v)
+	}
+	// Monotone.
+	prev := -1.0
+	for p := 20.0; p <= 50; p += 2 {
+		v := VMAFProxy(p)
+		if v < prev {
+			t.Fatalf("VMAFProxy not monotone at %v dB", p)
+		}
+		prev = v
+	}
+}
+
+func TestBDRateIdenticalCurves(t *testing.T) {
+	curve := []RatePoint{{1000, 34}, {2000, 37}, {4000, 40}, {8000, 43}}
+	bd, err := BDRate(curve, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd) > 1e-6 {
+		t.Errorf("BD-rate of identical curves = %v, want 0", bd)
+	}
+}
+
+func TestBDRateDoubledBitrate(t *testing.T) {
+	ref := []RatePoint{{1000, 34}, {2000, 37}, {4000, 40}, {8000, 43}}
+	test := make([]RatePoint, len(ref))
+	for i, p := range ref {
+		test[i] = RatePoint{p.BitrateKbps * 2, p.PSNR}
+	}
+	bd, err := BDRate(ref, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd-100) > 1 {
+		t.Errorf("BD-rate of 2x bitrate curve = %v, want ~100%%", bd)
+	}
+}
+
+func TestBDRateErrors(t *testing.T) {
+	if _, err := BDRate([]RatePoint{{1, 1}}, []RatePoint{{1, 1}, {2, 2}}); err == nil {
+		t.Error("BDRate accepted single-point curve")
+	}
+	a := []RatePoint{{1000, 30}, {2000, 32}}
+	b := []RatePoint{{1000, 40}, {2000, 42}}
+	if _, err := BDRate(a, b); err == nil {
+		t.Error("BDRate accepted non-overlapping quality ranges")
+	}
+	bad := []RatePoint{{0, 30}, {2000, 35}}
+	if _, err := BDRate(bad, bad); err == nil {
+		t.Error("BDRate accepted zero bitrate")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson of linear data = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson of anti-linear data = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("Pearson accepted single sample")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("Pearson accepted length mismatch")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("Pearson accepted constant sample")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2)", s.Std)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize accepted empty sample")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {90, 46},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty sample should be NaN")
+	}
+}
+
+func TestNormalize01(t *testing.T) {
+	got := Normalize01([]float64{5, 10, 15})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Normalize01[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, v := range Normalize01([]float64{7, 7, 7}) {
+		if v != 0 {
+			t.Error("constant sample should normalize to zeros")
+		}
+	}
+}
+
+// Property: Pearson is symmetric and in [-1, 1].
+func TestQuickPearsonBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 4 {
+			return true
+		}
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Keep magnitudes small enough that squared sums stay finite.
+			xs[i] = math.Mod(v, 1e6)
+		}
+		n := len(xs) / 2
+		x, y := xs[:n], xs[n:2*n]
+		r1, err1 := Pearson(x, y)
+		r2, err2 := Pearson(y, x)
+		if err1 != nil || err2 != nil {
+			return true // constant samples etc. are allowed to error
+		}
+		return math.Abs(r1-r2) < 1e-9 && r1 >= -1.0000001 && r1 <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling the test curve's bitrate by factor k gives BD-rate
+// approximately (k-1)*100.
+func TestQuickBDRateScaling(t *testing.T) {
+	f := func(seed uint8) bool {
+		k := 0.5 + float64(seed%16)/8 // 0.5 .. 2.375
+		ref := []RatePoint{{700, 33}, {1400, 36}, {2800, 39}, {5600, 42}}
+		test := make([]RatePoint, len(ref))
+		for i, p := range ref {
+			test[i] = RatePoint{p.BitrateKbps * k, p.PSNR}
+		}
+		bd, err := BDRate(ref, test)
+		if err != nil {
+			return false
+		}
+		return math.Abs(bd-(k-1)*100) < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+)
+
+// SSIM computes the mean structural similarity index over the luma plane
+// using the standard 8×8 non-overlapping window formulation with the
+// usual stabilizing constants (K1 = 0.01, K2 = 0.03, L = 255). Values are
+// in [-1, 1]; 1 means identical.
+func SSIM(a, b *frame.Frame) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("metrics: SSIM size mismatch %dx%d != %dx%d", a.W, a.H, b.W, b.H)
+	}
+	const win = 8
+	const (
+		c1 = (0.01 * 255) * (0.01 * 255)
+		c2 = (0.03 * 255) * (0.03 * 255)
+	)
+	var total float64
+	windows := 0
+	for by := 0; by+win <= a.H; by += win {
+		for bx := 0; bx+win <= a.W; bx += win {
+			var sumA, sumB, sumAA, sumBB, sumAB float64
+			for y := 0; y < win; y++ {
+				ra := a.Y.Row(by + y)[bx : bx+win]
+				rb := b.Y.Row(by + y)[bx : bx+win]
+				for x := 0; x < win; x++ {
+					pa, pb := float64(ra[x]), float64(rb[x])
+					sumA += pa
+					sumB += pb
+					sumAA += pa * pa
+					sumBB += pb * pb
+					sumAB += pa * pb
+				}
+			}
+			n := float64(win * win)
+			muA, muB := sumA/n, sumB/n
+			varA := sumAA/n - muA*muA
+			varB := sumBB/n - muB*muB
+			cov := sumAB/n - muA*muB
+			total += ((2*muA*muB + c1) * (2*cov + c2)) /
+				((muA*muA + muB*muB + c1) * (varA + varB + c2))
+			windows++
+		}
+	}
+	if windows == 0 {
+		return 0, fmt.Errorf("metrics: frame %dx%d smaller than the SSIM window", a.W, a.H)
+	}
+	return total / float64(windows), nil
+}
+
+// MeanSSIM averages SSIM over paired frame sequences.
+func MeanSSIM(ref, got []*frame.Frame) (float64, error) {
+	if len(ref) != len(got) {
+		return 0, fmt.Errorf("metrics: sequence length mismatch %d != %d", len(ref), len(got))
+	}
+	if len(ref) == 0 {
+		return 0, fmt.Errorf("metrics: empty sequence")
+	}
+	var sum float64
+	for i := range ref {
+		s, err := SSIM(ref[i], got[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum / float64(len(ref)), nil
+}

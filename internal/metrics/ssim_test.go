@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+)
+
+func texturedFrame(seed int64) *frame.Frame {
+	f := frame.MustNew(32, 32)
+	rng := rand.New(rand.NewSource(seed))
+	v := 128.0
+	for i := range f.Y.Pix {
+		v += rng.Float64()*30 - 15
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		f.Y.Pix[i] = byte(v)
+	}
+	return f
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	a := texturedFrame(1)
+	s, err := SSIM(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.999 {
+		t.Errorf("SSIM of identical frames = %v, want ~1", s)
+	}
+}
+
+func TestSSIMOrdersDistortion(t *testing.T) {
+	a := texturedFrame(2)
+	light, heavy := a.Clone(), a.Clone()
+	rng := rand.New(rand.NewSource(3))
+	for i := range light.Y.Pix {
+		light.Y.Pix[i] = clampTest(int(light.Y.Pix[i]) + rng.Intn(7) - 3)
+		heavy.Y.Pix[i] = clampTest(int(heavy.Y.Pix[i]) + rng.Intn(61) - 30)
+	}
+	sl, err := SSIM(a, light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := SSIM(a, heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sl > sh) {
+		t.Errorf("SSIM ordering broken: light %v <= heavy %v", sl, sh)
+	}
+	if sl < 0.5 || sh > 0.95 {
+		t.Errorf("SSIM values implausible: light %v heavy %v", sl, sh)
+	}
+}
+
+func TestSSIMStructureSensitive(t *testing.T) {
+	// A constant-luma-shift keeps structure (high SSIM) even though MSE
+	// is large; random noise with the same MSE destroys structure.
+	a := texturedFrame(4)
+	shifted := a.Clone()
+	for i := range shifted.Y.Pix {
+		shifted.Y.Pix[i] = clampTest(int(shifted.Y.Pix[i]) + 12)
+	}
+	noisy := a.Clone()
+	rng := rand.New(rand.NewSource(5))
+	for i := range noisy.Y.Pix {
+		delta := 12
+		if rng.Intn(2) == 0 {
+			delta = -12
+		}
+		noisy.Y.Pix[i] = clampTest(int(noisy.Y.Pix[i]) + delta)
+	}
+	ss, _ := SSIM(a, shifted)
+	sn, _ := SSIM(a, noisy)
+	if ss <= sn {
+		t.Errorf("SSIM should prefer structural shift (%v) over noise (%v)", ss, sn)
+	}
+}
+
+func TestSSIMErrors(t *testing.T) {
+	if _, err := SSIM(frame.MustNew(16, 16), frame.MustNew(16, 17)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := SSIM(frame.MustNew(4, 4), frame.MustNew(4, 4)); err == nil {
+		t.Error("sub-window frame accepted")
+	}
+}
+
+func TestMeanSSIM(t *testing.T) {
+	a, b := texturedFrame(6), texturedFrame(7)
+	single, err := SSIM(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := MeanSSIM([]*frame.Frame{a, a}, []*frame.Frame{b, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != single {
+		t.Errorf("MeanSSIM = %v, want %v", mean, single)
+	}
+	if _, err := MeanSSIM(nil, nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := MeanSSIM([]*frame.Frame{a}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func clampTest(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

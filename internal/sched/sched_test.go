@@ -1,0 +1,339 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Policy{}, 2); err == nil {
+		t.Error("zero-interval policy accepted")
+	}
+	if _, err := New(CostEffective(), 0); err == nil {
+		t.Error("zero instances accepted")
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	ce, ls := CostEffective(), LatencySensitive()
+	if ce.Interval != 666*time.Millisecond || ce.IntervalFrames != 40 {
+		t.Errorf("cost-effective policy = %+v", ce)
+	}
+	if ls.Interval != 66*time.Millisecond || ls.IntervalFrames != 4 {
+		t.Errorf("latency-sensitive policy = %+v", ls)
+	}
+}
+
+func mixedIntervals(t *testing.T, n, intervalIdx int) ([]SimStream, []StreamInterval) {
+	t.Helper()
+	streams, err := MixedStreams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals := make([]StreamInterval, n)
+	for i, s := range streams {
+		intervals[i] = s.MakeInterval(intervalIdx, 40, 120)
+	}
+	return streams, intervals
+}
+
+func TestScheduleRespectsBudgets(t *testing.T) {
+	_, intervals := mixedIntervals(t, 10, 0)
+	s, err := New(CostEffective(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) == 0 {
+		t.Fatal("empty plan")
+	}
+	for i, load := range plan.LoadPerInstance {
+		if load > s.Policy().Interval {
+			t.Errorf("instance %d load %v exceeds interval %v", i, load, s.Policy().Interval)
+		}
+	}
+	for _, a := range plan.Assignments {
+		if a.Instance < 0 || a.Instance >= 2 {
+			t.Errorf("assignment to instance %d", a.Instance)
+		}
+	}
+}
+
+func TestScheduleSelectsKeysFirst(t *testing.T) {
+	_, intervals := mixedIntervals(t, 4, 0)
+	s, _ := New(CostEffective(), 1)
+	plan, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyCount := 0
+	for _, iv := range intervals {
+		for _, m := range iv.Metas {
+			if m.Type == 0 { // vcodec.Key
+				keyCount++
+			}
+		}
+	}
+	gotKeys := 0
+	for _, a := range plan.Assignments {
+		if a.Group == anchor.GroupKey {
+			gotKeys++
+		}
+	}
+	if gotKeys != keyCount {
+		t.Errorf("selected %d of %d key frames; keys must always be anchored first", gotKeys, keyCount)
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	s, _ := New(CostEffective(), 1)
+	if _, err := s.Schedule([]StreamInterval{{StreamID: 1}}); err == nil {
+		t.Error("zero anchor latency accepted")
+	}
+	iv := StreamInterval{StreamID: 1, AnchorLatency: time.Millisecond}
+	if _, err := s.Schedule([]StreamInterval{iv, iv}); err == nil {
+		t.Error("duplicate stream IDs accepted")
+	}
+}
+
+func TestAnchorAwareBalancesLoad(t *testing.T) {
+	// With heterogeneous stream costs, the anchor-aware balancer should
+	// produce much more even per-instance load than round-robin.
+	streams, intervals := mixedIntervals(t, 10, 1)
+	_ = streams
+	aware, _ := New(CostEffective(), 2)
+	planAware, err := aware.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planAgn, err := aware.ScheduleAgnostic(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalance := func(load []time.Duration) float64 {
+		hi, lo := load[0], load[0]
+		for _, l := range load {
+			if l > hi {
+				hi = l
+			}
+			if l < lo {
+				lo = l
+			}
+		}
+		return float64(hi - lo)
+	}
+	if imbalance(planAware.LoadPerInstance) > imbalance(planAgn.LoadPerInstance) {
+		t.Errorf("anchor-aware imbalance %v > agnostic %v",
+			imbalance(planAware.LoadPerInstance), imbalance(planAgn.LoadPerInstance))
+	}
+}
+
+func TestInstancesNeededAutoScale(t *testing.T) {
+	_, intervals := mixedIntervals(t, 10, 0)
+	s, _ := New(CostEffective(), 2)
+	plan, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.InstancesNeeded < 1 {
+		t.Errorf("InstancesNeeded = %d", plan.InstancesNeeded)
+	}
+}
+
+func TestExpQualityMonotone(t *testing.T) {
+	q := ExpQuality{Max: 6, Tau: 5}
+	prev := math.Inf(1)
+	for n := 0; n <= 30; n += 3 {
+		d := q.Diff(n)
+		if d > prev {
+			t.Fatalf("quality diff not monotone at n=%d", n)
+		}
+		if d < 0 {
+			t.Fatalf("negative quality diff at n=%d", n)
+		}
+		prev = d
+	}
+	if q.Diff(-5) != q.Diff(0) {
+		t.Error("negative anchor count should clamp to zero")
+	}
+}
+
+func TestDefaultQualityModelOrdering(t *testing.T) {
+	hi := DefaultQualityModel(720).Diff(0)
+	lo := DefaultQualityModel(360).Diff(0)
+	if hi <= lo {
+		t.Errorf("720p max diff %v <= 360p %v; higher resolutions have more at stake", hi, lo)
+	}
+}
+
+func TestMixedStreamsComposition(t *testing.T) {
+	streams, err := MixedStreams(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n360, n720 := 0, 0
+	for _, s := range streams {
+		switch s.Height {
+		case 360:
+			n360++
+		case 720:
+			n720++
+		}
+	}
+	if n360 != 5 || n720 != 5 {
+		t.Errorf("mixed workload = %d x 360p + %d x 720p, want 5+5", n360, n720)
+	}
+	if _, err := MixedStreams(3); err == nil {
+		t.Error("odd stream count accepted")
+	}
+	// §3.2: a 720p anchor is ~4.2x more expensive than a 360p anchor.
+	r := float64(streams[9].AnchorLatency()) / float64(streams[0].AnchorLatency())
+	if r < 3.9 || r > 4.5 {
+		t.Errorf("720p/360p anchor cost ratio = %.2f, want ~4.2", r)
+	}
+}
+
+func TestMakeIntervalDeterministicAndStructured(t *testing.T) {
+	streams, _ := MixedStreams(2)
+	a := streams[0].MakeInterval(3, 40, 120)
+	b := streams[0].MakeInterval(3, 40, 120)
+	for i := range a.Metas {
+		if a.Metas[i] != b.Metas[i] {
+			t.Fatal("MakeInterval is not deterministic")
+		}
+	}
+	// Interval 0 must contain the GOP-start key frame; interval 1 none.
+	iv0 := streams[0].MakeInterval(0, 40, 120)
+	iv1 := streams[0].MakeInterval(1, 40, 120)
+	countKeys := func(iv StreamInterval) int {
+		n := 0
+		for _, m := range iv.Metas {
+			if m.Type == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if countKeys(iv0) != 1 || countKeys(iv1) != 0 {
+		t.Errorf("keys per interval = %d, %d; want 1, 0", countKeys(iv0), countKeys(iv1))
+	}
+}
+
+func TestSimulationAwareBeatsAgnostic(t *testing.T) {
+	// Figure 6 / Figure 25: the anchor-aware scheduler must reduce both
+	// the tail quality difference and its variance across shuffles.
+	// Figure 25 setup: 36 mixed streams on 8 single-GPU instances, the
+	// cost-effective operating point.
+	streams, err := MixedStreams(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(agnostic bool) (mean, p95 float64) {
+		sim := &Simulation{
+			Streams:   streams,
+			Instances: 8,
+			Policy:    CostEffective(),
+			Agnostic:  agnostic,
+		}
+		results, err := sim.Run(60, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []float64
+		for _, r := range results {
+			all = append(all, r.QualityDiffs...)
+		}
+		s, err := metrics.Summarize(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Mean, s.P95
+	}
+	awareMean, awareP95 := run(false)
+	agnMean, agnP95 := run(true)
+	if awareMean > agnMean {
+		t.Errorf("aware mean diff %.3f dB > agnostic %.3f dB", awareMean, agnMean)
+	}
+	if awareP95 > agnP95 {
+		t.Errorf("aware p95 diff %.3f dB > agnostic %.3f dB", awareP95, agnP95)
+	}
+}
+
+func TestSimulationValidation(t *testing.T) {
+	sim := &Simulation{Policy: CostEffective(), Instances: 1}
+	if _, err := sim.Run(5, 1); err == nil {
+		t.Error("empty stream set accepted")
+	}
+	streams, _ := MixedStreams(2)
+	sim = &Simulation{Streams: streams, Policy: CostEffective(), Instances: 1}
+	if _, err := sim.Run(0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestEstimateLatencyTable8Shape(t *testing.T) {
+	// Cost-effective on T4: E2E in the high hundreds of ms, dominated by
+	// queueing (Table 8: 669 ± 338 ms, queue 557 ms).
+	ce, err := EstimateLatency(CostEffective(), cluster.GPUT4, sr.HighQuality(),
+		1280, 720, 3840, 2160, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e := ce.E2E(); e2e < 450*time.Millisecond || e2e > 950*time.Millisecond {
+		t.Errorf("cost-effective E2E = %v, want ~670ms", e2e)
+	}
+	if ce.Queue < ce.Infer {
+		t.Error("cost-effective latency should be queue-dominated")
+	}
+	// Latency-sensitive on A10: under the 200 ms conferencing budget
+	// (Table 8: 90.8 ± 25.8 ms).
+	ls, err := EstimateLatency(LatencySensitive(), cluster.GPUA10, sr.HighQuality(),
+		1280, 720, 3840, 2160, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e := ls.E2E(); e2e > 200*time.Millisecond {
+		t.Errorf("latency-sensitive E2E = %v, violates the 200ms budget", e2e)
+	}
+	if _, err := EstimateLatency(CostEffective(), cluster.GPUT4, sr.HighQuality(),
+		1280, 720, 3840, 2160, 0); err == nil {
+		t.Error("zero anchors accepted")
+	}
+}
+
+func TestMaxAnchorFractionCapsSelection(t *testing.T) {
+	_, intervals := mixedIntervals(t, 4, 0)
+	s, err := New(CostEffective(), 8) // huge budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncapped, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxAnchorFraction = 0.10
+	capped, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, iv := range intervals {
+		total += len(iv.Metas)
+	}
+	want := int(0.10*float64(total) + 0.5)
+	if len(capped.Assignments) > want {
+		t.Errorf("capped selection = %d anchors, cap %d", len(capped.Assignments), want)
+	}
+	if len(uncapped.Assignments) <= len(capped.Assignments) {
+		t.Errorf("cap had no effect: %d vs %d", len(uncapped.Assignments), len(capped.Assignments))
+	}
+}

@@ -1,0 +1,52 @@
+package sr
+
+import (
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// EnhanceStream decodes an ingest stream and runs selective
+// super-resolution over it. anchorPackets holds the packet indices
+// (positions in s.Packets) to enhance with the model; all other frames
+// take the reuse path. It returns the high-resolution output for every
+// visible frame in display order.
+func EnhanceStream(s *vcodec.Stream, model Model, anchorPackets map[int]bool) ([]*frame.Frame, error) {
+	dec, err := vcodec.NewDecoderFor(s)
+	if err != nil {
+		return nil, err
+	}
+	dec.CaptureResidual = true
+	rec, err := NewReconstructor(model, s.Config)
+	if err != nil {
+		return nil, err
+	}
+	var out []*frame.Frame
+	for i, pkt := range s.Packets {
+		d, err := dec.Decode(pkt.Data)
+		if err != nil {
+			return nil, fmt.Errorf("sr: packet %d: %w", i, err)
+		}
+		hr, err := rec.Process(d, anchorPackets[i])
+		if err != nil {
+			return nil, fmt.Errorf("sr: packet %d: %w", i, err)
+		}
+		if hr != nil {
+			out = append(out, hr)
+		}
+	}
+	return out, nil
+}
+
+// AllVisibleAnchors returns the anchor set of the per-frame baseline:
+// every visible packet is enhanced.
+func AllVisibleAnchors(s *vcodec.Stream) map[int]bool {
+	set := make(map[int]bool, len(s.Packets))
+	for i, p := range s.Packets {
+		if p.Info.Visible {
+			set[i] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,449 @@
+package sr
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// testStream generates HR ground truth, downscales to the ingest
+// resolution, and encodes.
+func testStream(t *testing.T, content string, n int) (hr []*frame.Frame, stream *vcodec.Stream) {
+	t.Helper()
+	p, err := synth.ProfileByName(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 3
+	g, err := synth.NewGenerator(p, 144*scale, 96*scale, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr = g.GenerateChunk(n)
+	lr := make([]*frame.Frame, n)
+	for i, f := range hr {
+		lr[i], err = frame.Downscale(f, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := vcodec.NewEncoder(vcodec.Config{
+		Width: 144, Height: 96, FPS: 30, BitrateKbps: 900,
+		GOP: 24, AltRefInterval: 8, Mode: vcodec.ModeConstrainedVBR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = enc.EncodeAll(lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hr, stream
+}
+
+func TestModelConfigValidate(t *testing.T) {
+	good := HighQuality()
+	if err := good.Validate(); err != nil {
+		t.Errorf("high-quality config invalid: %v", err)
+	}
+	bad := []ModelConfig{
+		{Blocks: 0, Channels: 32, Scale: 3},
+		{Blocks: 8, Channels: 0, Scale: 3},
+		{Blocks: 8, Channels: 32, Scale: 1},
+		{Blocks: 8, Channels: 32, Scale: 5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestFidelityOrdering(t *testing.T) {
+	// Larger networks must remove more error; all fidelities in [0, 1).
+	prev := -1.0
+	for _, ch := range []int{10, 20, 24, 32, 48} {
+		f := (ModelConfig{Blocks: 8, Channels: ch, Scale: 3}).Fidelity()
+		if f <= prev {
+			t.Errorf("fidelity not increasing at channels=%d: %v <= %v", ch, f, prev)
+		}
+		if f < 0 || f >= 1 {
+			t.Errorf("fidelity %v out of [0, 1)", f)
+		}
+		prev = f
+	}
+}
+
+func TestWeightBytesScaling(t *testing.T) {
+	small := (ModelConfig{Blocks: 8, Channels: 16, Scale: 3}).WeightBytes()
+	big := (ModelConfig{Blocks: 8, Channels: 32, Scale: 3}).WeightBytes()
+	if big != small*4 {
+		t.Errorf("weights should scale with channels^2: %d vs %d", small, big)
+	}
+}
+
+func TestOracleModelBeatsBicubic(t *testing.T) {
+	hr, stream := testStream(t, "lol", 8)
+	decoded, err := vcodec.DecodeStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewOracleModel(HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bicubic, err := NewBicubicModel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d0 *vcodec.Decoded
+	for _, d := range decoded {
+		if d.Info.Visible {
+			d0 = d
+			break
+		}
+	}
+	srOut, err := model.Apply(d0.Frame, d0.Info.DisplayIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upOut, err := bicubic.Apply(d0.Frame, d0.Info.DisplayIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srPSNR, _ := metrics.PSNR(hr[0], srOut)
+	upPSNR, _ := metrics.PSNR(hr[0], upOut)
+	if srPSNR < upPSNR+2 {
+		t.Errorf("SR %.2f dB vs bicubic %.2f dB: want >= 2 dB gain", srPSNR, upPSNR)
+	}
+}
+
+func TestOracleModelNotPerfect(t *testing.T) {
+	hr, stream := testStream(t, "lol", 4)
+	decoded, _ := vcodec.DecodeStream(stream)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	out, err := model.Apply(decoded[0].Frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, _ := metrics.PSNR(hr[0], out)
+	if psnr > 55 {
+		t.Errorf("oracle output suspiciously perfect: %.2f dB", psnr)
+	}
+}
+
+func TestOracleModelRangeChecked(t *testing.T) {
+	hr, stream := testStream(t, "lol", 4)
+	decoded, _ := vcodec.DecodeStream(stream)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	if _, err := model.Apply(decoded[0].Frame, 99); err == nil {
+		t.Error("Apply accepted out-of-range display index")
+	}
+	if _, err := NewOracleModel(HighQuality(), nil); err == nil {
+		t.Error("NewOracleModel accepted empty training set")
+	}
+	if _, err := NewOracleModel(ModelConfig{}, hr); err == nil {
+		t.Error("NewOracleModel accepted invalid config")
+	}
+}
+
+func TestBiggerModelHigherQuality(t *testing.T) {
+	hr, stream := testStream(t, "gta", 6)
+	decoded, _ := vcodec.DecodeStream(stream)
+	psnrFor := func(ch int) float64 {
+		model, err := NewOracleModel(ModelConfig{Blocks: 8, Channels: ch, Scale: 3}, hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := model.Apply(decoded[0].Frame, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := metrics.PSNR(hr[0], out)
+		return p
+	}
+	if psnrFor(32) <= psnrFor(10) {
+		t.Error("larger network did not improve anchor quality")
+	}
+}
+
+func TestSelectiveReconstruction(t *testing.T) {
+	hr, stream := testStream(t, "lol", 16)
+	model, err := NewOracleModel(HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor every key and altref packet only (sparse anchors).
+	anchors := make(map[int]bool)
+	for i, p := range stream.Packets {
+		if p.Info.Type != vcodec.Inter {
+			anchors[i] = true
+		}
+	}
+	out, err := EnhanceStream(stream, model, anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 16 {
+		t.Fatalf("got %d output frames, want 16", len(out))
+	}
+	selPSNR, err := metrics.MeanPSNR(hr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: plain bilinear upscale of decoded frames.
+	bicubic, _ := NewBicubicModel(3)
+	baseOut, err := EnhanceStream(stream, bicubic, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePSNR, _ := metrics.MeanPSNR(hr, baseOut)
+	if selPSNR <= basePSNR {
+		t.Errorf("selective SR %.2f dB did not beat plain upscale %.2f dB", selPSNR, basePSNR)
+	}
+}
+
+func TestMoreAnchorsMoreQuality(t *testing.T) {
+	hr, stream := testStream(t, "fortnite", 16)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	psnrFor := func(anchors map[int]bool) float64 {
+		out, err := EnhanceStream(stream, model, anchors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := metrics.MeanPSNR(hr, out)
+		return p
+	}
+	few := make(map[int]bool)
+	for i, p := range stream.Packets {
+		if p.Info.Type == vcodec.Key {
+			few[i] = true
+		}
+	}
+	all := AllVisibleAnchors(stream)
+	if psnrFor(all) <= psnrFor(few) {
+		t.Error("per-frame anchors did not beat key-only anchors")
+	}
+}
+
+func TestErrorAccumulatesBetweenAnchors(t *testing.T) {
+	// With a single anchor at the start, per-frame PSNR should trend
+	// downward across the non-anchor run (loss accumulation, §2).
+	hr, stream := testStream(t, "gta", 12)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	anchors := map[int]bool{0: true}
+	out, err := EnhanceStream(stream, model, anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := metrics.PSNR(hr[0], out[0])
+	var tail float64
+	for _, i := range []int{9, 10, 11} {
+		p, _ := metrics.PSNR(hr[i], out[i])
+		tail += p / 3
+	}
+	if tail >= first {
+		t.Errorf("no accumulation: first %.2f dB, tail mean %.2f dB", first, tail)
+	}
+}
+
+func TestAnchorResetsAccumulatedLoss(t *testing.T) {
+	hr, stream := testStream(t, "gta", 16)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	// Anchor at packet 0 and at the packet of display frame 12.
+	anchors := map[int]bool{0: true}
+	idx12 := -1
+	for i, p := range stream.Packets {
+		if p.Info.Visible && p.Info.DisplayIndex == 12 {
+			idx12 = i
+		}
+	}
+	if idx12 < 0 {
+		t.Fatal("no packet for display frame 12")
+	}
+	anchors[idx12] = true
+	out, err := EnhanceStream(stream, model, anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := metrics.PSNR(hr[11], out[11])
+	at, _ := metrics.PSNR(hr[12], out[12])
+	if at <= before {
+		t.Errorf("anchor did not reset loss: frame 11 %.2f dB, frame 12 %.2f dB", before, at)
+	}
+}
+
+func TestReconstructorCountsAndErrors(t *testing.T) {
+	hr, stream := testStream(t, "lol", 8)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	rec, err := NewReconstructor(model, stream.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := vcodec.NewDecoderFor(stream)
+	dec.CaptureResidual = true
+	for i, p := range stream.Packets {
+		d, err := dec.Decode(p.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rec.Process(d, i == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.AnchorCount() != 1 {
+		t.Errorf("AnchorCount = %d, want 1", rec.AnchorCount())
+	}
+	if rec.FrameCount() != len(stream.Packets) {
+		t.Errorf("FrameCount = %d, want %d", rec.FrameCount(), len(stream.Packets))
+	}
+	// Wrong-size frame rejected.
+	if _, err := rec.Process(&vcodec.Decoded{Frame: frame.MustNew(10, 10)}, false); err == nil {
+		t.Error("Process accepted wrong-size frame")
+	}
+}
+
+func TestReuseRequiresResidual(t *testing.T) {
+	hr, stream := testStream(t, "lol", 6)
+	model, _ := NewOracleModel(HighQuality(), hr)
+	rec, _ := NewReconstructor(model, stream.Config)
+	dec, _ := vcodec.NewDecoderFor(stream) // CaptureResidual NOT set
+	for i, p := range stream.Packets {
+		d, err := dec.Decode(p.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = rec.Process(d, false)
+		if i == 0 {
+			if err != nil {
+				t.Fatalf("key frame processing failed: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatal("reuse path accepted packet without captured residual")
+		}
+		return
+	}
+}
+
+func TestTargetedTrainingBoostsTargets(t *testing.T) {
+	hr, stream := testStream(t, "lol", 8)
+	decoded, err := vcodec.DecodeStream(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := NewOracleModel(HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targeted, err := NewOracleModelTargeted(HighQuality(), hr, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnrOf := func(m Model, idx int) float64 {
+		out, err := m.Apply(decoded[idx].Frame, decoded[idx].Info.DisplayIndex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := metrics.PSNR(hr[decoded[idx].Info.DisplayIndex], out)
+		return p
+	}
+	// Frame 0 is targeted: targeted model must beat uniform there.
+	if psnrOf(targeted, 0) <= psnrOf(uniform, 0) {
+		t.Error("targeted training did not improve the target frame")
+	}
+	// A non-target frame pays a small price.
+	lastVisible := -1
+	for i, d := range decoded {
+		if d.Info.Visible && d.Info.DisplayIndex > 0 {
+			lastVisible = i
+			break
+		}
+	}
+	if lastVisible >= 0 && psnrOf(targeted, lastVisible) > psnrOf(uniform, lastVisible) {
+		t.Error("non-target frame should not improve under a fixed training budget")
+	}
+}
+
+func TestTargetedTrainingValidation(t *testing.T) {
+	hr, _ := testStream(t, "lol", 4)
+	if _, err := NewOracleModelTargeted(HighQuality(), hr, nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if _, err := NewOracleModelTargeted(HighQuality(), hr, []int{99}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestProvidedReconstructor(t *testing.T) {
+	hr, stream := testStream(t, "lol", 10)
+	model, err := NewOracleModel(HighQuality(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewProvidedReconstructor(3, stream.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := vcodec.NewDecoderFor(stream)
+	dec.CaptureResidual = true
+	var out []*frame.Frame
+	for i, pkt := range stream.Packets {
+		d, err := dec.Decode(pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var provided *frame.Frame
+		if i == 0 { // provide the key anchor externally
+			if provided, err = model.Apply(d.Frame, d.Info.DisplayIndex); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hrOut, err := rec.ProcessProvided(d, provided)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hrOut != nil {
+			out = append(out, hrOut)
+		}
+	}
+	if len(out) != 10 {
+		t.Fatalf("decoded %d frames", len(out))
+	}
+	if rec.AnchorCount() != 1 {
+		t.Errorf("AnchorCount = %d", rec.AnchorCount())
+	}
+	psnr, _ := metrics.MeanPSNR(hr, out)
+	if psnr < 25 {
+		t.Errorf("provided-anchor reconstruction %.2f dB", psnr)
+	}
+}
+
+func TestProvidedReconstructorValidation(t *testing.T) {
+	_, stream := testStream(t, "lol", 4)
+	if _, err := NewProvidedReconstructor(1, stream.Config); err == nil {
+		t.Error("scale 1 accepted")
+	}
+	rec, err := NewProvidedReconstructor(3, stream.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := vcodec.NewDecoderFor(stream)
+	dec.CaptureResidual = true
+	d, err := dec.Decode(stream.Packets[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-size provided anchor rejected.
+	if _, err := rec.ProcessProvided(d, frame.MustNew(10, 10)); err == nil {
+		t.Error("wrong-size provided anchor accepted")
+	}
+	// Model-free reconstructor must refuse the model path.
+	if _, err := rec.Process(d, true); err == nil {
+		t.Error("model-free reconstructor ran the anchor path")
+	}
+}

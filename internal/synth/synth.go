@@ -1,0 +1,360 @@
+// Package synth deterministically generates synthetic video that stands in
+// for the paper's six Twitch content categories. Each profile controls the
+// properties that matter to neural-enhanced streaming: motion magnitude
+// (temporal redundancy), texture complexity (spatial detail the SR model
+// must recover), scene-cut rate (residual spikes and key-frame pressure),
+// static-overlay fraction (HUD regions that compress to nothing), and film
+// grain (noise floor in residuals).
+//
+// Frames are produced by compositing a panning procedural-noise background,
+// independently moving textured sprites, and a static overlay band, with
+// periodic scene cuts that rerandomize the layout. The generator is
+// deterministic for a given (profile, size, seed) triple, which keeps every
+// experiment reproducible.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+)
+
+// Profile describes one content category.
+type Profile struct {
+	Name string
+	// Motion is the mean background pan speed in luma pixels per frame.
+	Motion float64
+	// SpriteMotion is the mean sprite speed in pixels per frame.
+	SpriteMotion float64
+	// Sprites is the number of independently moving objects.
+	Sprites int
+	// Texture in [0,1] scales high-frequency detail amplitude.
+	Texture float64
+	// CutInterval is the mean number of frames between scene cuts;
+	// zero disables cuts.
+	CutInterval int
+	// OverlayFrac in [0,1] is the height fraction of the static HUD band.
+	OverlayFrac float64
+	// Grain is the per-frame noise amplitude in luma levels.
+	Grain float64
+}
+
+// Profiles returns the six content categories used across the evaluation,
+// ordered as in the paper's figures.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "chat", Motion: 0.2, SpriteMotion: 0.6, Sprites: 1, Texture: 0.35, CutInterval: 0, OverlayFrac: 0.30, Grain: 0.8},
+		{Name: "gta", Motion: 2.2, SpriteMotion: 2.5, Sprites: 4, Texture: 0.85, CutInterval: 420, OverlayFrac: 0.08, Grain: 1.6},
+		{Name: "lol", Motion: 1.2, SpriteMotion: 1.8, Sprites: 6, Texture: 0.60, CutInterval: 600, OverlayFrac: 0.18, Grain: 1.0},
+		{Name: "fortnite", Motion: 3.0, SpriteMotion: 3.5, Sprites: 5, Texture: 0.90, CutInterval: 300, OverlayFrac: 0.10, Grain: 2.0},
+		{Name: "valorant", Motion: 2.6, SpriteMotion: 3.0, Sprites: 3, Texture: 0.75, CutInterval: 360, OverlayFrac: 0.12, Grain: 1.4},
+		{Name: "minecraft", Motion: 0.9, SpriteMotion: 1.0, Sprites: 2, Texture: 0.45, CutInterval: 700, OverlayFrac: 0.06, Grain: 0.7},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown content profile %q", name)
+}
+
+const textureTile = 256
+
+// texture is a tileable procedural-noise tile sampled with wraparound.
+type texture struct {
+	y, u, v [textureTile * textureTile]byte
+}
+
+func (t *texture) at(buf *[textureTile * textureTile]byte, x, y int) byte {
+	x &= textureTile - 1
+	y &= textureTile - 1
+	return buf[y*textureTile+x]
+}
+
+// makeTexture builds a multi-octave value-noise tile whose high-frequency
+// amplitude follows the profile's texture parameter.
+func makeTexture(rng *rand.Rand, detail float64) *texture {
+	t := &texture{}
+	var base [textureTile * textureTile]float64
+	// Octaves from coarse (period 128) to fine (period 4).
+	for period := 128; period >= 4; period /= 2 {
+		amp := 56.0 * math.Pow(0.62, math.Log2(128/float64(period)))
+		if period <= 16 {
+			amp *= detail // fine octaves carry the "texture complexity"
+		}
+		n := textureTile / period
+		lattice := make([]float64, (n+1)*(n+1))
+		for i := range lattice {
+			lattice[i] = rng.Float64()*2 - 1
+		}
+		for y := 0; y < textureTile; y++ {
+			gy := y / period
+			fy := float64(y%period) / float64(period)
+			for x := 0; x < textureTile; x++ {
+				gx := x / period
+				fx := float64(x%period) / float64(period)
+				// Wrap the lattice so the tile is seamless.
+				v00 := lattice[(gy%n)*(n+1)+gx%n]
+				v10 := lattice[(gy%n)*(n+1)+(gx+1)%n]
+				v01 := lattice[((gy+1)%n)*(n+1)+gx%n]
+				v11 := lattice[((gy+1)%n)*(n+1)+(gx+1)%n]
+				sx := fx * fx * (3 - 2*fx)
+				sy := fy * fy * (3 - 2*fy)
+				top := v00 + (v10-v00)*sx
+				bot := v01 + (v11-v01)*sx
+				base[y*textureTile+x] += amp * (top + (bot-top)*sy)
+			}
+		}
+	}
+	uShift := rng.Float64()*40 - 20
+	vShift := rng.Float64()*40 - 20
+	for i, v := range base {
+		t.y[i] = clamp(128 + v)
+		t.u[i] = clamp(128 + uShift + v*0.25)
+		t.v[i] = clamp(128 + vShift - v*0.25)
+	}
+	return t
+}
+
+func clamp(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+type sprite struct {
+	x, y   float64
+	vx, vy float64
+	w, h   int
+	tex    *texture
+	phase  int
+}
+
+// Generator produces the frame sequence for one stream.
+type Generator struct {
+	profile Profile
+	w, h    int
+	rng     *rand.Rand
+
+	bg        *texture
+	bgX, bgY  float64
+	bgVX      float64
+	bgVY      float64
+	sprites   []sprite
+	overlay   *texture
+	overlayH  int
+	nextCut   int
+	frameIdx  int
+	grainSeed int64
+}
+
+// NewGenerator returns a generator for the profile at w×h, deterministic
+// in seed.
+func NewGenerator(p Profile, w, h int, seed int64) (*Generator, error) {
+	if w <= 0 || h <= 0 {
+		return nil, frame.ErrBadDimensions
+	}
+	g := &Generator{
+		profile:   p,
+		w:         w,
+		h:         h,
+		rng:       rand.New(rand.NewSource(seed)),
+		grainSeed: seed ^ 0x5eed,
+	}
+	g.overlayH = int(float64(h) * p.OverlayFrac)
+	g.overlay = makeTexture(g.rng, 1.0) // HUD is always high-contrast
+	g.newScene()
+	return g, nil
+}
+
+// newScene rerandomizes the layout, used at start-up and at scene cuts.
+func (g *Generator) newScene() {
+	p := g.profile
+	g.bg = makeTexture(g.rng, p.Texture)
+	g.bgX = g.rng.Float64() * textureTile
+	g.bgY = g.rng.Float64() * textureTile
+	ang := g.rng.Float64() * 2 * math.Pi
+	speed := p.Motion * (0.6 + 0.8*g.rng.Float64())
+	g.bgVX = speed * math.Cos(ang)
+	g.bgVY = speed * math.Sin(ang)
+	g.sprites = g.sprites[:0]
+	for i := 0; i < p.Sprites; i++ {
+		sw := g.w/10 + g.rng.Intn(g.w/10+1)
+		sh := g.h/10 + g.rng.Intn(g.h/10+1)
+		sa := g.rng.Float64() * 2 * math.Pi
+		sv := p.SpriteMotion * (0.5 + g.rng.Float64())
+		g.sprites = append(g.sprites, sprite{
+			x:     g.rng.Float64() * float64(g.w-sw),
+			y:     g.rng.Float64() * float64(g.h-g.overlayH-sh),
+			vx:    sv * math.Cos(sa),
+			vy:    sv * math.Sin(sa),
+			w:     sw,
+			h:     sh,
+			tex:   g.bg, // sprites reuse the scene texture at a phase offset
+			phase: g.rng.Intn(textureTile * textureTile),
+		})
+	}
+	if p.CutInterval > 0 {
+		g.nextCut = g.frameIdx + p.CutInterval/2 + g.rng.Intn(p.CutInterval)
+	} else {
+		g.nextCut = -1
+	}
+}
+
+// Size returns the generated frame dimensions.
+func (g *Generator) Size() (w, h int) { return g.w, g.h }
+
+// Profile returns the content profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// Next renders and returns the next frame in the sequence.
+func (g *Generator) Next() *frame.Frame {
+	if g.nextCut >= 0 && g.frameIdx >= g.nextCut {
+		g.newScene()
+	}
+	f := frame.MustNew(g.w, g.h)
+	g.renderBackground(f)
+	for i := range g.sprites {
+		g.renderSprite(f, &g.sprites[i])
+	}
+	g.renderOverlay(f)
+	g.addGrain(f)
+	g.advance()
+	g.frameIdx++
+	return f
+}
+
+// FrameIndex returns the index of the next frame Next will produce.
+func (g *Generator) FrameIndex() int { return g.frameIdx }
+
+func (g *Generator) renderBackground(f *frame.Frame) {
+	ox, oy := int(g.bgX), int(g.bgY)
+	for y := 0; y < g.h; y++ {
+		row := f.Y.Row(y)
+		for x := 0; x < g.w; x++ {
+			row[x] = g.bg.at(&g.bg.y, x+ox, y+oy)
+		}
+	}
+	cw, ch := f.U.W, f.U.H
+	for y := 0; y < ch; y++ {
+		ru, rv := f.U.Row(y), f.V.Row(y)
+		for x := 0; x < cw; x++ {
+			ru[x] = g.bg.at(&g.bg.u, 2*x+ox, 2*y+oy)
+			rv[x] = g.bg.at(&g.bg.v, 2*x+ox, 2*y+oy)
+		}
+	}
+}
+
+func (g *Generator) renderSprite(f *frame.Frame, s *sprite) {
+	x0, y0 := int(s.x), int(s.y)
+	px, py := s.phase%textureTile, s.phase/textureTile
+	for y := 0; y < s.h; y++ {
+		fy := y0 + y
+		if fy < 0 || fy >= g.h {
+			continue
+		}
+		row := f.Y.Row(fy)
+		for x := 0; x < s.w; x++ {
+			fx := x0 + x
+			if fx < 0 || fx >= g.w {
+				continue
+			}
+			row[fx] = s.tex.at(&s.tex.y, x+px, y+py)
+		}
+	}
+	for y := 0; y < (s.h+1)/2; y++ {
+		fy := y0/2 + y
+		if fy < 0 || fy >= f.U.H {
+			continue
+		}
+		ru, rv := f.U.Row(fy), f.V.Row(fy)
+		for x := 0; x < (s.w+1)/2; x++ {
+			fx := x0/2 + x
+			if fx < 0 || fx >= f.U.W {
+				continue
+			}
+			ru[fx] = s.tex.at(&s.tex.u, 2*x+px, 2*y+py)
+			rv[fx] = s.tex.at(&s.tex.v, 2*x+px, 2*y+py)
+		}
+	}
+}
+
+func (g *Generator) renderOverlay(f *frame.Frame) {
+	if g.overlayH == 0 {
+		return
+	}
+	top := g.h - g.overlayH
+	for y := top; y < g.h; y++ {
+		row := f.Y.Row(y)
+		for x := 0; x < g.w; x++ {
+			// High-contrast static pattern: texture plus text-like stripes.
+			v := int(g.overlay.at(&g.overlay.y, x, y))
+			if (x/4+y/6)%5 == 0 {
+				v += 70
+			}
+			row[x] = clamp(float64(v))
+		}
+	}
+	for y := top / 2; y < f.U.H; y++ {
+		ru, rv := f.U.Row(y), f.V.Row(y)
+		for x := 0; x < f.U.W; x++ {
+			ru[x] = 120
+			rv[x] = 132
+		}
+	}
+}
+
+// addGrain applies deterministic per-frame noise above the overlay line.
+func (g *Generator) addGrain(f *frame.Frame) {
+	if g.profile.Grain <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(g.grainSeed + int64(g.frameIdx)))
+	amp := g.profile.Grain
+	top := g.h - g.overlayH
+	for y := 0; y < top; y++ {
+		row := f.Y.Row(y)
+		for x := 0; x < g.w; x += 2 { // sparse grain keeps generation cheap
+			n := (rng.Float64()*2 - 1) * amp
+			row[x] = clamp(float64(row[x]) + n)
+		}
+	}
+}
+
+func (g *Generator) advance() {
+	g.bgX += g.bgVX
+	g.bgY += g.bgVY
+	for i := range g.sprites {
+		s := &g.sprites[i]
+		s.x += s.vx
+		s.y += s.vy
+		if s.x < 0 || int(s.x)+s.w >= g.w {
+			s.vx = -s.vx
+			s.x += s.vx
+		}
+		limH := g.h - g.overlayH
+		if s.y < 0 || int(s.y)+s.h >= limH {
+			s.vy = -s.vy
+			s.y += s.vy
+		}
+	}
+}
+
+// GenerateChunk renders n consecutive frames.
+func (g *Generator) GenerateChunk(n int) []*frame.Frame {
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

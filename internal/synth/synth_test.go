@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+)
+
+func TestProfilesAreDistinctAndComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("want 6 content profiles, got %d", len(ps))
+	}
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Texture <= 0 || p.Texture > 1 {
+			t.Errorf("%s: texture %v out of (0,1]", p.Name, p.Texture)
+		}
+		if p.OverlayFrac < 0 || p.OverlayFrac > 0.5 {
+			t.Errorf("%s: overlay fraction %v unreasonable", p.Name, p.OverlayFrac)
+		}
+	}
+	for _, name := range []string{"chat", "gta", "lol", "fortnite", "valorant", "minecraft"} {
+		if !seen[name] {
+			t.Errorf("missing profile %q", name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("lol")
+	if err != nil || p.Name != "lol" {
+		t.Errorf("ProfileByName(lol) = %v, %v", p, err)
+	}
+	if _, err := ProfileByName("nosuch"); err == nil {
+		t.Error("ProfileByName accepted unknown name")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ProfileByName("gta")
+	g1, err := NewGenerator(p, 64, 36, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(p, 64, 36, 42)
+	for i := 0; i < 5; i++ {
+		f1, f2 := g1.Next(), g2.Next()
+		sad, err := frame.AbsDiffSum(f1, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sad != 0 {
+			t.Fatalf("frame %d differs between identical generators (SAD %d)", i, sad)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p, _ := ProfileByName("lol")
+	g1, _ := NewGenerator(p, 64, 36, 1)
+	g2, _ := NewGenerator(p, 64, 36, 2)
+	sad, _ := frame.AbsDiffSum(g1.Next(), g2.Next())
+	if sad == 0 {
+		t.Error("different seeds produced identical first frames")
+	}
+}
+
+func TestGeneratorRejectsBadSize(t *testing.T) {
+	p, _ := ProfileByName("chat")
+	if _, err := NewGenerator(p, 0, 36, 1); err == nil {
+		t.Error("NewGenerator accepted zero width")
+	}
+}
+
+func TestTemporalRedundancyOrdering(t *testing.T) {
+	// Chat (low motion) must have much smaller frame-to-frame change than
+	// fortnite (high motion): this property is what the anchor-selection
+	// results depend on.
+	diff := func(name string) float64 {
+		p, _ := ProfileByName(name)
+		g, _ := NewGenerator(p, 96, 54, 9)
+		prev := g.Next()
+		var total int64
+		const n = 12
+		for i := 0; i < n; i++ {
+			cur := g.Next()
+			sad, _ := frame.AbsDiffSum(cur, prev)
+			total += sad
+			prev = cur
+		}
+		return float64(total) / n
+	}
+	chat, fn := diff("chat"), diff("fortnite")
+	if chat*2 > fn {
+		t.Errorf("temporal change: chat=%.0f fortnite=%.0f, want fortnite >> chat", chat, fn)
+	}
+}
+
+func TestOverlayIsStatic(t *testing.T) {
+	p, _ := ProfileByName("chat") // 30% overlay
+	g, _ := NewGenerator(p, 64, 40, 5)
+	a := g.Next()
+	var b *frame.Frame
+	for i := 0; i < 10; i++ {
+		b = g.Next()
+	}
+	// Bottom overlay rows must be identical across frames.
+	top := 40 - int(0.30*40)
+	for y := top + 1; y < 40; y++ {
+		for x := 0; x < 64; x++ {
+			if a.Y.At(x, y) != b.Y.At(x, y) {
+				t.Fatalf("overlay pixel (%d,%d) changed between frames", x, y)
+			}
+		}
+	}
+}
+
+func TestSceneCutChangesFrame(t *testing.T) {
+	p, _ := ProfileByName("fortnite")
+	p.CutInterval = 4 // force frequent cuts
+	g, _ := NewGenerator(p, 64, 36, 77)
+	prev := g.Next()
+	maxSAD := int64(0)
+	for i := 0; i < 12; i++ {
+		cur := g.Next()
+		sad, _ := frame.AbsDiffSum(cur, prev)
+		if sad > maxSAD {
+			maxSAD = sad
+		}
+		prev = cur
+	}
+	// A cut rerandomizes the whole background; expect at least one jump
+	// with mean per-pixel change above ~8 levels.
+	if maxSAD < int64(64*36*8) {
+		t.Errorf("no scene cut detected in 12 frames (max SAD %d)", maxSAD)
+	}
+}
+
+func TestGenerateChunk(t *testing.T) {
+	p, _ := ProfileByName("minecraft")
+	g, _ := NewGenerator(p, 32, 18, 3)
+	chunk := g.GenerateChunk(7)
+	if len(chunk) != 7 {
+		t.Fatalf("chunk length %d", len(chunk))
+	}
+	if g.FrameIndex() != 7 {
+		t.Errorf("FrameIndex = %d, want 7", g.FrameIndex())
+	}
+	for i, f := range chunk {
+		if f.W != 32 || f.H != 18 {
+			t.Fatalf("frame %d size %dx%d", i, f.W, f.H)
+		}
+	}
+}
+
+func TestTextureComplexityOrdering(t *testing.T) {
+	// Fortnite (texture 0.9) must have more high-frequency energy than
+	// minecraft (0.45): horizontal gradient magnitude as proxy.
+	grad := func(name string) float64 {
+		p, _ := ProfileByName(name)
+		p.Grain = 0 // isolate texture from noise
+		g, _ := NewGenerator(p, 96, 54, 11)
+		f := g.Next()
+		var sum float64
+		for y := 0; y < f.H; y++ {
+			row := f.Y.Row(y)
+			for x := 1; x < f.W; x++ {
+				d := int(row[x]) - int(row[x-1])
+				if d < 0 {
+					d = -d
+				}
+				sum += float64(d)
+			}
+		}
+		return sum
+	}
+	if grad("fortnite") <= grad("minecraft") {
+		t.Error("texture parameter does not order high-frequency energy")
+	}
+}

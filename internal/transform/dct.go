@@ -1,0 +1,192 @@
+// Package transform implements the 8×8 type-II DCT / inverse DCT,
+// quantization, and zigzag scanning shared by the image codec (intra
+// blocks) and the video codec (residual blocks).
+package transform
+
+import "math"
+
+// BlockSize is the transform block edge length in samples.
+const BlockSize = 8
+
+// blockLen is the number of samples per block.
+const blockLen = BlockSize * BlockSize
+
+// Block is an 8×8 sample block in row-major order. Forward input is
+// level-shifted signed samples; inverse output is the same domain.
+type Block [blockLen]int32
+
+var cosTable [BlockSize][BlockSize]float64
+
+func init() {
+	for k := 0; k < BlockSize; k++ {
+		for n := 0; n < BlockSize; n++ {
+			cosTable[k][n] = math.Cos(math.Pi * float64(2*n+1) * float64(k) / 16)
+		}
+	}
+}
+
+// FDCT computes the forward 8×8 DCT of src into dst (may alias).
+// Output coefficients are scaled ×4 relative to the orthonormal DCT so
+// that integer quantization keeps enough precision.
+func FDCT(dst, src *Block) {
+	var tmp [blockLen]float64
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for k := 0; k < BlockSize; k++ {
+			var s float64
+			for n := 0; n < BlockSize; n++ {
+				s += float64(src[y*BlockSize+n]) * cosTable[k][n]
+			}
+			if k == 0 {
+				s *= math.Sqrt2 / 2
+			}
+			tmp[y*BlockSize+k] = s / 2
+		}
+	}
+	// Columns.
+	for x := 0; x < BlockSize; x++ {
+		var col [BlockSize]float64
+		for k := 0; k < BlockSize; k++ {
+			var s float64
+			for n := 0; n < BlockSize; n++ {
+				s += tmp[n*BlockSize+x] * cosTable[k][n]
+			}
+			if k == 0 {
+				s *= math.Sqrt2 / 2
+			}
+			col[k] = s / 2
+		}
+		for k := 0; k < BlockSize; k++ {
+			dst[k*BlockSize+x] = int32(math.RoundToEven(col[k]))
+		}
+	}
+}
+
+// IDCT computes the inverse 8×8 DCT of src into dst (may alias),
+// undoing FDCT's scaling.
+func IDCT(dst, src *Block) {
+	var tmp [blockLen]float64
+	// Columns.
+	for x := 0; x < BlockSize; x++ {
+		for n := 0; n < BlockSize; n++ {
+			var s float64
+			for k := 0; k < BlockSize; k++ {
+				c := float64(src[k*BlockSize+x])
+				if k == 0 {
+					c *= math.Sqrt2 / 2
+				}
+				s += c * cosTable[k][n]
+			}
+			tmp[n*BlockSize+x] = s / 2
+		}
+	}
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		var row [BlockSize]float64
+		for n := 0; n < BlockSize; n++ {
+			var s float64
+			for k := 0; k < BlockSize; k++ {
+				c := tmp[y*BlockSize+k]
+				if k == 0 {
+					c *= math.Sqrt2 / 2
+				}
+				s += c * cosTable[k][n]
+			}
+			row[n] = s / 2
+		}
+		for n := 0; n < BlockSize; n++ {
+			dst[y*BlockSize+n] = int32(math.RoundToEven(row[n]))
+		}
+	}
+}
+
+// zigzag[i] is the row-major index of the i-th coefficient in zigzag
+// scan order (low frequencies first).
+var zigzag = [blockLen]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Zigzag reorders a row-major block into zigzag scan order.
+func Zigzag(dst []int32, src *Block) {
+	for i := 0; i < blockLen; i++ {
+		dst[i] = src[zigzag[i]]
+	}
+}
+
+// Unzigzag reverses Zigzag.
+func Unzigzag(dst *Block, src []int32) {
+	for i := 0; i < blockLen; i++ {
+		dst[zigzag[i]] = src[i]
+	}
+}
+
+// baseQuant is a JPEG-style luma quantization matrix biased toward
+// preserving low frequencies.
+var baseQuant = [blockLen]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// QuantTable returns the quantization matrix for quality q in [1, 100].
+// Higher quality yields smaller divisors (finer quantization), following
+// the JPEG quality-scaling convention.
+func QuantTable(q int) [blockLen]int32 {
+	if q < 1 {
+		q = 1
+	} else if q > 100 {
+		q = 100
+	}
+	var scale int32
+	if q < 50 {
+		scale = int32(5000 / q)
+	} else {
+		scale = int32(200 - 2*q)
+	}
+	var t [blockLen]int32
+	for i, b := range baseQuant {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 1024 {
+			v = 1024
+		}
+		t[i] = v
+	}
+	return t
+}
+
+// Quantize divides each coefficient by the matching table entry with
+// round-to-nearest, in place.
+func Quantize(b *Block, table *[blockLen]int32) {
+	for i := range b {
+		q := table[i]
+		v := b[i]
+		if v >= 0 {
+			b[i] = (v + q/2) / q
+		} else {
+			b[i] = -((-v + q/2) / q)
+		}
+	}
+}
+
+// Dequantize multiplies each coefficient by the matching table entry,
+// in place.
+func Dequantize(b *Block, table *[blockLen]int32) {
+	for i := range b {
+		b[i] *= table[i]
+	}
+}

@@ -1,0 +1,308 @@
+package vcodec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/bitstream"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/transform"
+)
+
+// Decoded is one decoded frame plus the codec-level side information the
+// paper's modified decoding API exposes. Invisible (altref) frames are
+// returned too, because the anchor enhancer may super-resolve them.
+type Decoded struct {
+	Frame *frame.Frame
+	Info  Info
+	// Residual is the decoded residual in biased form (+128), present for
+	// inter/altref packets when the decoder's CaptureResidual flag is set.
+	// Selective super-resolution upscales it onto warped frames.
+	Residual *frame.Frame
+}
+
+// Decoder reconstructs frames from packets, mirroring the encoder's
+// reference-slot state machine.
+type Decoder struct {
+	w, h   int
+	grid   frame.BlockGrid
+	last   *frame.Frame
+	altref *frame.Frame
+
+	// CaptureResidual requests that Decode also return the decoded
+	// residual of inter/altref frames (the paper's extension of
+	// vpx_codec_get_frame).
+	CaptureResidual bool
+}
+
+// NewDecoder returns a decoder for w×h streams.
+func NewDecoder(w, h int) (*Decoder, error) {
+	if w <= 0 || h <= 0 {
+		return nil, errors.New("vcodec: decoder dimensions must be positive")
+	}
+	return &Decoder{
+		w: w, h: h,
+		grid: frame.BlockGrid{FrameW: w, FrameH: h, Block: MEBlock},
+	}, nil
+}
+
+// NewDecoderFor returns a decoder matching a stream's configuration.
+func NewDecoderFor(s *Stream) (*Decoder, error) {
+	return NewDecoder(s.Config.Width, s.Config.Height)
+}
+
+// Decode parses one packet and returns its reconstruction. The returned
+// frame is owned by the caller; decoder reference state keeps its own
+// copies.
+func (d *Decoder) Decode(data []byte) (*Decoded, error) {
+	r := bitstream.NewReader(data)
+	typBits, err := r.ReadBits(2)
+	if err != nil {
+		return nil, fmt.Errorf("vcodec: truncated header: %w", err)
+	}
+	typ := FrameType(typBits)
+	if typ > Inter {
+		return nil, fmt.Errorf("vcodec: invalid frame type %d", typBits)
+	}
+	qBits, err := r.ReadBits(7)
+	if err != nil {
+		return nil, fmt.Errorf("vcodec: truncated header: %w", err)
+	}
+	quality := int(qBits)
+	if quality < 1 || quality > 100 {
+		return nil, fmt.Errorf("vcodec: corrupt quality %d", quality)
+	}
+	idx, err := r.ReadUE()
+	if err != nil {
+		return nil, fmt.Errorf("vcodec: truncated header: %w", err)
+	}
+	info := Info{
+		DisplayIndex: int(idx),
+		Type:         typ,
+		Visible:      typ != AltRef,
+		Bytes:        len(data),
+		Quality:      quality,
+	}
+
+	if typ == Key {
+		f, err := decodeIntraPlanes(r, d.w, d.h, quality)
+		if err != nil {
+			return nil, err
+		}
+		d.last = f
+		d.altref = f.Clone()
+		return &Decoded{Frame: f.Clone(), Info: info}, nil
+	}
+
+	if d.last == nil {
+		return nil, errors.New("vcodec: inter frame before any key frame")
+	}
+	n := d.grid.NumBlocks()
+	mvs := make([]frame.MotionVector, n)
+	refs := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("vcodec: truncated motion data: %w", err)
+		}
+		refs[i] = uint8(bit)
+		dx, err := r.ReadSE()
+		if err != nil {
+			return nil, fmt.Errorf("vcodec: truncated motion data: %w", err)
+		}
+		dy, err := r.ReadSE()
+		if err != nil {
+			return nil, fmt.Errorf("vcodec: truncated motion data: %w", err)
+		}
+		mvs[i] = frame.MotionVector{DX: int(dx), DY: int(dy)}
+	}
+	residualStart := r.BitsRead()
+	pred := predictFrame(d.last, d.altref, d.grid, mvs, refs)
+	var capture *frame.Frame
+	if d.CaptureResidual {
+		capture = frame.MustNew(d.w, d.h)
+		capture.Y.Fill(128)
+		capture.U.Fill(128)
+		capture.V.Fill(128)
+	}
+	if err := decodeResidualWithCapture(r, pred, quality, capture); err != nil {
+		return nil, err
+	}
+	info.ResidualBytes = (r.BitsRead() - residualStart + 7) / 8
+	info.MVs = mvs
+	info.Refs = refs
+
+	switch typ {
+	case AltRef:
+		d.altref = pred
+	default:
+		d.last = pred
+	}
+	return &Decoded{Frame: pred.Clone(), Info: info, Residual: capture}, nil
+}
+
+// DecodeStream decodes every packet of a stream in order.
+func DecodeStream(s *Stream) ([]*Decoded, error) {
+	d, err := NewDecoderFor(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Decoded, 0, len(s.Packets))
+	for i, p := range s.Packets {
+		dec, err := d.Decode(p.Data)
+		if err != nil {
+			return nil, fmt.Errorf("vcodec: packet %d: %w", i, err)
+		}
+		out = append(out, dec)
+	}
+	return out, nil
+}
+
+// VisibleFrames filters a decode result to display-order visible frames.
+func VisibleFrames(decoded []*Decoded) []*frame.Frame {
+	var out []*frame.Frame
+	for _, d := range decoded {
+		if d.Info.Visible {
+			out = append(out, d.Frame)
+		}
+	}
+	return out
+}
+
+func decodeIntraPlanes(r *bitstream.Reader, w, h, quality int) (*frame.Frame, error) {
+	f, err := frame.New(w, h)
+	if err != nil {
+		return nil, err
+	}
+	table := transform.QuantTable(quality)
+	scan := make([]int32, 64)
+	for _, p := range f.Planes() {
+		prevDC := int32(0)
+		var derr error
+		forEachBlock(p, func(bx, by int) {
+			if derr != nil {
+				return
+			}
+			if err := bitstream.ReadCoeffs(r, scan); err != nil {
+				derr = fmt.Errorf("vcodec: intra block (%d,%d): %w", bx, by, err)
+				return
+			}
+			var b transform.Block
+			transform.Unzigzag(&b, scan)
+			b[0] += prevDC
+			prevDC = b[0]
+			transform.Dequantize(&b, &table)
+			transform.IDCT(&b, &b)
+			storeShifted(&b, p, bx, by)
+		})
+		if derr != nil {
+			return nil, derr
+		}
+	}
+	return f, nil
+}
+
+// decodeResidualInto adds the coded residual onto pred in place.
+func decodeResidualInto(r *bitstream.Reader, pred *frame.Frame, quality int) error {
+	return decodeResidualWithCapture(r, pred, quality, nil)
+}
+
+// decodeResidualWithCapture adds the coded residual onto pred in place
+// and, when capture is non-nil, also stores the residual samples in
+// biased (+128) form into capture.
+func decodeResidualWithCapture(r *bitstream.Reader, pred *frame.Frame, quality int, capture *frame.Frame) error {
+	table := transform.QuantTable(quality)
+	scan := make([]int32, 64)
+	pp := pred.Planes()
+	var cp [3]*frame.Plane
+	if capture != nil {
+		cp = capture.Planes()
+	}
+	for pi, p := range pp {
+		var derr error
+		forEachBlock(p, func(bx, by int) {
+			if derr != nil {
+				return
+			}
+			if err := bitstream.ReadCoeffs(r, scan); err != nil {
+				derr = fmt.Errorf("vcodec: residual block (%d,%d): %w", bx, by, err)
+				return
+			}
+			var b transform.Block
+			transform.Unzigzag(&b, scan)
+			transform.Dequantize(&b, &table)
+			transform.IDCT(&b, &b)
+			addBlock(&b, p, bx, by)
+			if capture != nil {
+				storeShifted(&b, cp[pi], bx, by)
+			}
+		})
+		if derr != nil {
+			return derr
+		}
+	}
+	return nil
+}
+
+func storeShifted(b *transform.Block, p *frame.Plane, bx, by int) {
+	bs := transform.BlockSize
+	for y := 0; y < bs && by+y < p.H; y++ {
+		for x := 0; x < bs && bx+x < p.W; x++ {
+			v := b[y*bs+x] + 128
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			p.Set(bx+x, by+y, byte(v))
+		}
+	}
+}
+
+func addBlock(b *transform.Block, p *frame.Plane, bx, by int) {
+	bs := transform.BlockSize
+	for y := 0; y < bs && by+y < p.H; y++ {
+		for x := 0; x < bs && bx+x < p.W; x++ {
+			v := int32(p.At(bx+x, by+y)) + b[y*bs+x]
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			p.Set(bx+x, by+y, byte(v))
+		}
+	}
+}
+
+// decodeIntraFromPacket is the encoder's closed-loop helper: parse a key
+// packet we just produced and return its reconstruction.
+func decodeIntraFromPacket(data []byte, w, h int) *frame.Frame {
+	r := bitstream.NewReader(data)
+	_, _ = r.ReadBits(2)
+	q, _ := r.ReadBits(7)
+	_, _ = r.ReadUE()
+	f, err := decodeIntraPlanes(r, w, h, int(q))
+	if err != nil {
+		// The encoder parsing its own output cannot fail; treat it as a
+		// programming error.
+		panic(fmt.Sprintf("vcodec: closed-loop intra decode: %v", err))
+	}
+	return f
+}
+
+// applyResidualFromPacket is the encoder's closed-loop helper for inter
+// packets: skip the header and motion section, then add the residual onto
+// pred.
+func applyResidualFromPacket(data []byte, pred *frame.Frame, grid frame.BlockGrid, quality int) {
+	r := bitstream.NewReader(data)
+	_, _ = r.ReadBits(2 + 7)
+	_, _ = r.ReadUE()
+	for i := 0; i < grid.NumBlocks(); i++ {
+		_, _ = r.ReadBit()
+		_, _ = r.ReadSE()
+		_, _ = r.ReadSE()
+	}
+	if err := decodeResidualInto(r, pred, quality); err != nil {
+		panic(fmt.Sprintf("vcodec: closed-loop residual decode: %v", err))
+	}
+}

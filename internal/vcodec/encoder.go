@@ -1,0 +1,238 @@
+package vcodec
+
+import (
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/bitstream"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/transform"
+)
+
+// Encoder carries coding state across chunks: the two reference slots
+// (decoded, i.e. closed-loop), the display-frame counter, and the rate
+// controller.
+type Encoder struct {
+	cfg  Config
+	grid frame.BlockGrid
+
+	last     *frame.Frame // previous visible decoded frame
+	altref   *frame.Frame // latest decoded altref snapshot
+	frameIdx int
+
+	rc rateController
+}
+
+// NewEncoder validates cfg and returns a ready encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		cfg:  cfg,
+		grid: cfg.grid(),
+		rc:   newRateController(cfg),
+	}, nil
+}
+
+// Config returns the encoder configuration (with defaults resolved).
+func (e *Encoder) Config() Config { return e.cfg }
+
+// EncodeChunk encodes a batch of display frames and returns the packets in
+// decode order (altref packets precede the frames that reference them).
+// Chunks may be any length; GOP and altref cadence continue across calls.
+func (e *Encoder) EncodeChunk(frames []*frame.Frame) ([]Packet, error) {
+	var out []Packet
+	for i, f := range frames {
+		if f.W != e.cfg.Width || f.H != e.cfg.Height {
+			return nil, fmt.Errorf("vcodec: frame %d is %dx%d, config is %dx%d",
+				i, f.W, f.H, e.cfg.Width, e.cfg.Height)
+		}
+		gi := e.frameIdx
+		if gi%e.cfg.GOP == 0 {
+			pkt := e.encodeKey(f, gi)
+			out = append(out, pkt)
+		} else {
+			if e.cfg.Mode == ModeConstrainedVBR && gi%e.cfg.AltRefInterval == 0 {
+				// Snapshot a mid-window future frame (lag-in-frames
+				// lookahead) as an invisible altref: the midpoint keeps
+				// the reference close to every frame in the window, the
+				// role VP9's temporally filtered altref plays. Clamped to
+				// the chunk boundary.
+				target := i + e.cfg.AltRefInterval/2
+				if target >= len(frames) {
+					target = len(frames) - 1
+				}
+				if target > i {
+					pkt := e.encodeInter(frames[target], e.frameIdx+(target-i), AltRef)
+					e.altref = pkt.recon
+					out = append(out, pkt.Packet)
+				}
+			}
+			pkt := e.encodeInter(f, gi, Inter)
+			e.last = pkt.recon
+			out = append(out, pkt.Packet)
+		}
+		e.frameIdx++
+	}
+	return out, nil
+}
+
+// EncodeAll encodes a full sequence and returns the assembled stream.
+func (e *Encoder) EncodeAll(frames []*frame.Frame) (*Stream, error) {
+	pkts, err := e.EncodeChunk(frames)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{Config: e.cfg, Packets: pkts}, nil
+}
+
+func (e *Encoder) encodeKey(f *frame.Frame, displayIdx int) Packet {
+	quality := e.rc.keyQuality()
+	var w bitstream.Writer
+	writeHeader(&w, Key, quality, displayIdx)
+	encodeIntraPlanes(&w, f, quality)
+	data := w.Bytes()
+	recon := decodeIntraFromPacket(data, e.cfg.Width, e.cfg.Height)
+	e.last = recon
+	e.altref = recon.Clone() // a key frame resets both reference slots
+	e.rc.observe(len(data)*8, true)
+	return Packet{
+		Data: data,
+		Info: Info{
+			DisplayIndex:  displayIdx,
+			Type:          Key,
+			Visible:       true,
+			ResidualBytes: 0,
+			Bytes:         len(data),
+			Quality:       quality,
+		},
+	}
+}
+
+// interResult pairs a packet with its closed-loop reconstruction.
+type interResult struct {
+	Packet
+	recon *frame.Frame
+}
+
+func (e *Encoder) encodeInter(f *frame.Frame, displayIdx int, typ FrameType) interResult {
+	quality := e.rc.interQuality(typ)
+	for {
+		res := e.encodeInterAt(f, displayIdx, typ, quality)
+		// Constrain per-frame overshoot by retrying once at a coarser
+		// quantizer, mimicking a real encoder's recode pass.
+		if e.rc.overshoots(len(res.Data)*8) && quality > e.rc.minQuality()+10 {
+			quality -= 10
+			continue
+		}
+		e.rc.observe(len(res.Data)*8, false)
+		return res
+	}
+}
+
+func (e *Encoder) encodeInterAt(f *frame.Frame, displayIdx int, typ FrameType, quality int) interResult {
+	last := e.last
+	if last == nil {
+		last = frame.MustNew(e.cfg.Width, e.cfg.Height)
+	}
+	mvs, refs, _ := estimateMotion(f, last, e.altref, e.grid, e.cfg.SearchRange)
+	pred := predictFrame(last, e.altref, e.grid, mvs, refs)
+
+	var w bitstream.Writer
+	writeHeader(&w, typ, quality, displayIdx)
+	for i := range mvs {
+		w.WriteBit(int(refs[i]))
+		w.WriteSE(int64(mvs[i].DX))
+		w.WriteSE(int64(mvs[i].DY))
+	}
+	residualStart := w.BitLen()
+	encodeResidualPlanes(&w, f, pred, quality)
+	residualBits := w.BitLen() - residualStart
+	data := w.Bytes()
+
+	// Closed-loop reconstruction: decode our own residual on top of the
+	// prediction so encoder and decoder reference states match exactly.
+	recon := pred
+	applyResidualFromPacket(data, recon, e.grid, quality)
+
+	return interResult{
+		Packet: Packet{
+			Data: data,
+			Info: Info{
+				DisplayIndex:  displayIdx,
+				Type:          typ,
+				Visible:       typ != AltRef,
+				ResidualBytes: (residualBits + 7) / 8,
+				Bytes:         len(data),
+				Quality:       quality,
+				MVs:           mvs,
+				Refs:          refs,
+			},
+		},
+		recon: recon,
+	}
+}
+
+// writeHeader writes the common packet header.
+func writeHeader(w *bitstream.Writer, typ FrameType, quality, displayIdx int) {
+	w.WriteBits(uint64(typ), 2)
+	w.WriteBits(uint64(quality), 7)
+	w.WriteUE(uint64(displayIdx))
+}
+
+// encodeIntraPlanes codes all three planes as level-shifted DCT blocks
+// with DC prediction, as in the image codec.
+func encodeIntraPlanes(w *bitstream.Writer, f *frame.Frame, quality int) {
+	table := transform.QuantTable(quality)
+	scan := make([]int32, 64)
+	for _, p := range f.Planes() {
+		prevDC := int32(0)
+		forEachBlock(p, func(bx, by int) {
+			var b transform.Block
+			for y := 0; y < transform.BlockSize; y++ {
+				for x := 0; x < transform.BlockSize; x++ {
+					b[y*transform.BlockSize+x] = int32(p.At(bx+x, by+y)) - 128
+				}
+			}
+			transform.FDCT(&b, &b)
+			transform.Quantize(&b, &table)
+			dc := b[0]
+			b[0] -= prevDC
+			prevDC = dc
+			transform.Zigzag(scan, &b)
+			bitstream.WriteCoeffs(w, scan)
+		})
+	}
+}
+
+// encodeResidualPlanes codes (src - pred) for all planes as DCT blocks
+// without level shift or DC prediction (residuals are already zero-mean).
+func encodeResidualPlanes(w *bitstream.Writer, src, pred *frame.Frame, quality int) {
+	table := transform.QuantTable(quality)
+	scan := make([]int32, 64)
+	sp, pp := src.Planes(), pred.Planes()
+	for pi := 0; pi < 3; pi++ {
+		s, p := sp[pi], pp[pi]
+		forEachBlock(s, func(bx, by int) {
+			var b transform.Block
+			for y := 0; y < transform.BlockSize; y++ {
+				for x := 0; x < transform.BlockSize; x++ {
+					b[y*transform.BlockSize+x] = int32(s.At(bx+x, by+y)) - int32(p.At(bx+x, by+y))
+				}
+			}
+			transform.FDCT(&b, &b)
+			transform.Quantize(&b, &table)
+			transform.Zigzag(scan, &b)
+			bitstream.WriteCoeffs(w, scan)
+		})
+	}
+}
+
+// forEachBlock visits the top-left corner of every 8×8 block covering p.
+func forEachBlock(p *frame.Plane, fn func(bx, by int)) {
+	for by := 0; by < p.H; by += transform.BlockSize {
+		for bx := 0; bx < p.W; bx += transform.BlockSize {
+			fn(bx, by)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package vcodec
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+)
+
+// FuzzDecode throws arbitrary packets at a primed video decoder.
+func FuzzDecode(f *testing.F) {
+	p, err := synth.ProfileByName("lol")
+	if err != nil {
+		f.Fatal(err)
+	}
+	g, err := synth.NewGenerator(p, 48, 32, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := NewEncoder(Config{Width: 48, Height: 32, FPS: 30, BitrateKbps: 200, GOP: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	stream, err := enc.EncodeAll(g.GenerateChunk(4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, pkt := range stream.Packets {
+		f.Add(pkt.Data)
+	}
+	f.Add([]byte{})
+	key := stream.Packets[0].Data
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(48, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.CaptureResidual = true
+		// Prime with a valid key so inter parsing paths are reachable.
+		if _, err := d.Decode(key); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = d.Decode(data)
+	})
+}

@@ -1,0 +1,115 @@
+package vcodec
+
+import "github.com/neuroscaler/neuroscaler/internal/frame"
+
+// Motion estimation: a three-step logarithmic search per block against
+// both reference slots, picking the (reference, vector) pair with the
+// lowest SAD. The zero vector is always evaluated so static content costs
+// nothing to represent.
+
+// blockSAD returns the sum of absolute luma differences between the block
+// at (x0, y0) in src and the block displaced by (dx, dy) in ref, with
+// clamped (border-extended) reference access.
+func blockSAD(src, ref *frame.Plane, x0, y0, w, h, dx, dy int) int {
+	sad := 0
+	for y := 0; y < h; y++ {
+		srow := src.Row(y0 + y)
+		for x := 0; x < w; x++ {
+			d := int(srow[x0+x]) - int(ref.At(x0+x+dx, y0+y+dy))
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// searchBlock runs a three-step search around the zero vector and returns
+// the best vector and its SAD.
+func searchBlock(src, ref *frame.Plane, x0, y0, w, h, searchRange int) (frame.MotionVector, int) {
+	bestDX, bestDY := 0, 0
+	bestSAD := blockSAD(src, ref, x0, y0, w, h, 0, 0)
+	step := searchRange
+	for step >= 1 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [8][2]int{
+				{-step, 0}, {step, 0}, {0, -step}, {0, step},
+				{-step, -step}, {-step, step}, {step, -step}, {step, step},
+			} {
+				dx, dy := bestDX+d[0], bestDY+d[1]
+				if dx < -searchRange || dx > searchRange || dy < -searchRange || dy > searchRange {
+					continue
+				}
+				sad := blockSAD(src, ref, x0, y0, w, h, dx, dy)
+				if sad < bestSAD {
+					bestSAD, bestDX, bestDY = sad, dx, dy
+					improved = true
+				}
+			}
+		}
+		step /= 2
+	}
+	return frame.MotionVector{DX: bestDX, DY: bestDY}, bestSAD
+}
+
+// estimateMotion searches every block of src against last and altref,
+// returning per-block vectors, reference choices, and total SAD.
+func estimateMotion(src *frame.Frame, last, altref *frame.Frame, grid frame.BlockGrid, searchRange int) (mvs []frame.MotionVector, refs []uint8, totalSAD int64) {
+	n := grid.NumBlocks()
+	mvs = make([]frame.MotionVector, n)
+	refs = make([]uint8, n)
+	for i := 0; i < n; i++ {
+		x0, y0, w, h := grid.BlockRect(i)
+		mvL, sadL := searchBlock(&src.Y, &last.Y, x0, y0, w, h, searchRange)
+		mv, sad, ref := mvL, sadL, RefLast
+		if altref != nil {
+			mvA, sadA := searchBlock(&src.Y, &altref.Y, x0, y0, w, h, searchRange)
+			// Prefer the altref on ties and near-ties: it is coded at a
+			// finer quantizer, so equal-SAD prediction from it carries
+			// less accumulated quantization noise (this is why VP9's
+			// altref earns its high reference counts).
+			margin := (w * h) / 64 // ~4 luma levels per 16x16 block
+			if sadA <= sad+margin {
+				mv, sad, ref = mvA, sadA, RefAltRef
+			}
+		}
+		mvs[i], refs[i] = mv, ref
+		totalSAD += int64(sad)
+	}
+	return mvs, refs, totalSAD
+}
+
+// predictFrame builds the motion-compensated prediction for a frame from
+// the two reference slots using per-block reference choices.
+func predictFrame(last, altref *frame.Frame, grid frame.BlockGrid, mvs []frame.MotionVector, refs []uint8) *frame.Frame {
+	pred := frame.MustNew(grid.FrameW, grid.FrameH)
+	for i := range mvs {
+		ref := last
+		if refs[i] == RefAltRef && altref != nil {
+			ref = altref
+		}
+		x0, y0, w, h := grid.BlockRect(i)
+		warpRectPlanes(pred, ref, x0, y0, w, h, mvs[i])
+	}
+	return pred
+}
+
+// warpRectPlanes copies one motion-compensated block (luma + chroma) from
+// ref into dst.
+func warpRectPlanes(dst, ref *frame.Frame, x0, y0, w, h int, mv frame.MotionVector) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dst.Y.Set(x0+x, y0+y, ref.Y.At(x0+x+mv.DX, y0+y+mv.DY))
+		}
+	}
+	cx0, cy0, cw, ch := x0/2, y0/2, (w+1)/2, (h+1)/2
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			dst.U.Set(cx0+x, cy0+y, ref.U.At(cx0+x+mv.DX/2, cy0+y+mv.DY/2))
+			dst.V.Set(cx0+x, cy0+y, ref.V.At(cx0+x+mv.DX/2, cy0+y+mv.DY/2))
+		}
+	}
+}

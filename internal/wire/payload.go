@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// Payload codecs for the message types that carry structured data. All
+// integers are big-endian; variable-length fields are length-prefixed.
+
+// Hello announces a new ingest stream.
+type Hello struct {
+	Config vcodec.Config
+	Scale  int
+	Model  sr.ModelConfig
+	// Content is a free-form label (profile name) for diagnostics.
+	Content string
+}
+
+// EncodeHello serializes a Hello payload.
+func EncodeHello(h Hello) ([]byte, error) {
+	if len(h.Content) > 255 {
+		return nil, errors.New("wire: content label too long")
+	}
+	buf := make([]byte, 0, 64)
+	buf = appendConfig(buf, h.Config)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Scale))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Model.Blocks))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Model.Channels))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Model.Scale))
+	buf = append(buf, byte(len(h.Content)))
+	buf = append(buf, h.Content...)
+	return buf, nil
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(data []byte) (Hello, error) {
+	var h Hello
+	cfg, rest, err := readConfig(data)
+	if err != nil {
+		return h, err
+	}
+	if len(rest) < 9 {
+		return h, errors.New("wire: truncated hello")
+	}
+	h.Config = cfg
+	h.Scale = int(binary.BigEndian.Uint16(rest))
+	h.Model.Blocks = int(binary.BigEndian.Uint16(rest[2:]))
+	h.Model.Channels = int(binary.BigEndian.Uint16(rest[4:]))
+	h.Model.Scale = int(binary.BigEndian.Uint16(rest[6:]))
+	n := int(rest[8])
+	if len(rest) < 9+n {
+		return h, errors.New("wire: truncated hello content")
+	}
+	h.Content = string(rest[9 : 9+n])
+	return h, nil
+}
+
+func appendConfig(buf []byte, c vcodec.Config) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Width))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Height))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.FPS))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.BitrateKbps))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.GOP))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.AltRefInterval))
+	buf = append(buf, byte(c.Mode))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.SearchRange))
+	return buf
+}
+
+func readConfig(data []byte) (vcodec.Config, []byte, error) {
+	const need = 2 + 2 + 2 + 4 + 2 + 2 + 1 + 2
+	if len(data) < need {
+		return vcodec.Config{}, nil, errors.New("wire: truncated stream config")
+	}
+	c := vcodec.Config{
+		Width:          int(binary.BigEndian.Uint16(data)),
+		Height:         int(binary.BigEndian.Uint16(data[2:])),
+		FPS:            int(binary.BigEndian.Uint16(data[4:])),
+		BitrateKbps:    int(binary.BigEndian.Uint32(data[6:])),
+		GOP:            int(binary.BigEndian.Uint16(data[10:])),
+		AltRefInterval: int(binary.BigEndian.Uint16(data[12:])),
+		Mode:           vcodec.RateMode(data[14]),
+		SearchRange:    int(binary.BigEndian.Uint16(data[15:])),
+	}
+	return c, data[need:], nil
+}
+
+// EncodeChunk serializes a batch of encoded video packets.
+func EncodeChunk(packets [][]byte) []byte {
+	size := 4
+	for _, p := range packets {
+		size += 4 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(packets)))
+	for _, p := range packets {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// DecodeChunk parses a chunk payload.
+func DecodeChunk(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("wire: truncated chunk")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > 1<<20 {
+		return nil, fmt.Errorf("wire: unreasonable packet count %d", n)
+	}
+	data = data[4:]
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("wire: truncated packet length")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, errors.New("wire: truncated packet body")
+		}
+		out = append(out, append([]byte(nil), data[:l]...))
+		data = data[l:]
+	}
+	return out, nil
+}
+
+// EncodeFrame serializes a raw YUV frame.
+func EncodeFrame(f *frame.Frame) []byte {
+	buf := make([]byte, 0, 4+f.SizeBytes())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(f.W))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(f.H))
+	for _, p := range f.Planes() {
+		for y := 0; y < p.H; y++ {
+			buf = append(buf, p.Row(y)...)
+		}
+	}
+	return buf
+}
+
+// DecodeFrame parses a raw YUV frame.
+func DecodeFrame(data []byte) (*frame.Frame, error) {
+	if len(data) < 4 {
+		return nil, errors.New("wire: truncated frame header")
+	}
+	w := int(binary.BigEndian.Uint16(data))
+	h := int(binary.BigEndian.Uint16(data[2:]))
+	f, err := frame.New(w, h)
+	if err != nil {
+		return nil, fmt.Errorf("wire: frame header: %w", err)
+	}
+	data = data[4:]
+	if len(data) != f.SizeBytes() {
+		return nil, fmt.Errorf("wire: frame body %d bytes, want %d", len(data), f.SizeBytes())
+	}
+	for _, p := range f.Planes() {
+		for y := 0; y < p.H; y++ {
+			copy(p.Row(y), data[:p.W])
+			data = data[p.W:]
+		}
+	}
+	return f, nil
+}
+
+// AnchorJob asks an enhancer to super-resolve one anchor frame.
+type AnchorJob struct {
+	Packet       int
+	DisplayIndex int
+	QP           int
+	Frame        *frame.Frame
+}
+
+// EncodeAnchorJob serializes an anchor job payload.
+func EncodeAnchorJob(j AnchorJob) []byte {
+	buf := make([]byte, 0, 12+4+j.Frame.SizeBytes())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(j.Packet))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(j.DisplayIndex))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(j.QP))
+	buf = append(buf, EncodeFrame(j.Frame)...)
+	return buf
+}
+
+// DecodeAnchorJob parses an anchor job payload.
+func DecodeAnchorJob(data []byte) (AnchorJob, error) {
+	var j AnchorJob
+	if len(data) < 12 {
+		return j, errors.New("wire: truncated anchor job")
+	}
+	j.Packet = int(binary.BigEndian.Uint32(data))
+	j.DisplayIndex = int(binary.BigEndian.Uint32(data[4:]))
+	j.QP = int(binary.BigEndian.Uint32(data[8:]))
+	f, err := DecodeFrame(data[12:])
+	if err != nil {
+		return j, err
+	}
+	j.Frame = f
+	return j, nil
+}
+
+// AnchorResult returns one enhanced anchor.
+type AnchorResult struct {
+	Packet  int
+	Encoded []byte
+}
+
+// EncodeAnchorResult serializes an anchor result payload.
+func EncodeAnchorResult(r AnchorResult) []byte {
+	buf := make([]byte, 0, 8+len(r.Encoded))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Packet))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Encoded)))
+	buf = append(buf, r.Encoded...)
+	return buf
+}
+
+// DecodeAnchorResult parses an anchor result payload.
+func DecodeAnchorResult(data []byte) (AnchorResult, error) {
+	var r AnchorResult
+	if len(data) < 8 {
+		return r, errors.New("wire: truncated anchor result")
+	}
+	r.Packet = int(binary.BigEndian.Uint32(data))
+	n := binary.BigEndian.Uint32(data[4:])
+	if uint32(len(data)-8) != n {
+		return r, errors.New("wire: anchor result length mismatch")
+	}
+	r.Encoded = append([]byte(nil), data[8:]...)
+	return r, nil
+}

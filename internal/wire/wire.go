@@ -1,0 +1,139 @@
+// Package wire implements the length-prefixed binary framing used between
+// NeuroScaler components: streamer → media server (ingest chunks), media
+// server → anchor enhancer (anchor jobs), and enhancer → media server
+// (enhanced results). It plays the role gRPC plays in the paper, on plain
+// TCP with CRC-protected frames.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Type identifies a message kind.
+type Type uint8
+
+const (
+	// TypeHello opens a session and carries the stream configuration.
+	TypeHello Type = iota + 1
+	// TypeChunk carries one encoded ingest chunk.
+	TypeChunk
+	// TypeAnchorJob carries one decoded anchor frame to an enhancer.
+	TypeAnchorJob
+	// TypeAnchorResult carries one enhanced, image-coded anchor back.
+	TypeAnchorResult
+	// TypeAck acknowledges a chunk or job.
+	TypeAck
+	// TypeError reports a failure; the payload is a human-readable reason.
+	TypeError
+	// TypeGoodbye closes a session cleanly.
+	TypeGoodbye
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeChunk:
+		return "chunk"
+	case TypeAnchorJob:
+		return "anchor-job"
+	case TypeAnchorResult:
+		return "anchor-result"
+	case TypeAck:
+		return "ack"
+	case TypeError:
+		return "error"
+	case TypeGoodbye:
+		return "goodbye"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type     Type
+	StreamID uint32
+	Seq      uint32
+	Payload  []byte
+}
+
+const (
+	frameMagic = 0x4E53 // "NS"
+	headerLen  = 2 + 1 + 4 + 4 + 4 + 4
+	// DefaultMaxPayload bounds frame size against malicious peers.
+	DefaultMaxPayload = 64 << 20
+)
+
+// ErrFrameTooLarge reports a frame exceeding the reader's payload bound.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds payload limit")
+
+// ErrBadFrame reports a corrupt frame (magic or checksum mismatch).
+var ErrBadFrame = errors.New("wire: corrupt frame")
+
+// Write serializes a message to w.
+// Frame layout: magic(2) type(1) streamID(4) seq(4) len(4) crc32(4) payload.
+func Write(w io.Writer, m Message) error {
+	if m.Type == 0 {
+		return errors.New("wire: message type unset")
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = byte(m.Type)
+	binary.BigEndian.PutUint32(hdr[3:], m.StreamID)
+	binary.BigEndian.PutUint32(hdr[7:], m.Seq)
+	binary.BigEndian.PutUint32(hdr[11:], uint32(len(m.Payload)))
+	binary.BigEndian.PutUint32(hdr[15:], crc32.ChecksumIEEE(m.Payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read parses the next message from r, rejecting frames larger than
+// maxPayload (use DefaultMaxPayload when in doubt).
+func Read(r io.Reader, maxPayload int) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("wire: read header: %w", err)
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+		return Message{}, ErrBadFrame
+	}
+	if hdr[2] == 0 || Type(hdr[2]) > TypeGoodbye {
+		return Message{}, ErrBadFrame
+	}
+	m := Message{
+		Type:     Type(hdr[2]),
+		StreamID: binary.BigEndian.Uint32(hdr[3:]),
+		Seq:      binary.BigEndian.Uint32(hdr[7:]),
+	}
+	n := binary.BigEndian.Uint32(hdr[11:])
+	sum := binary.BigEndian.Uint32(hdr[15:])
+	if int64(n) > int64(maxPayload) {
+		return Message{}, ErrFrameTooLarge
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return Message{}, fmt.Errorf("wire: read payload: %w", err)
+		}
+	}
+	if crc32.ChecksumIEEE(m.Payload) != sum {
+		return Message{}, ErrBadFrame
+	}
+	return m, nil
+}

@@ -1,0 +1,251 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: TypeHello, StreamID: 7, Seq: 0, Payload: []byte("hi")},
+		{Type: TypeChunk, StreamID: 7, Seq: 1, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Type: TypeAck, StreamID: 7, Seq: 1},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Read(&buf, DefaultMaxPayload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.StreamID != want.StreamID || got.Seq != want.Seq {
+			t.Fatalf("header mismatch: %+v vs %+v", got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatal("payload mismatch")
+		}
+	}
+	if _, err := Read(&buf, DefaultMaxPayload); err != io.EOF {
+		t.Errorf("after drain, err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteRejectsUnsetType(t *testing.T) {
+	if err := Write(io.Discard, Message{}); err == nil {
+		t.Error("unset type accepted")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Message{Type: TypeAck})
+	data := buf.Bytes()
+	data[0] ^= 0xFF
+	if _, err := Read(bytes.NewReader(data), DefaultMaxPayload); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadRejectsCorruptPayload(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Message{Type: TypeChunk, Payload: []byte("hello world")})
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0x01
+	if _, err := Read(bytes.NewReader(data), DefaultMaxPayload); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame (CRC)", err)
+	}
+}
+
+func TestReadEnforcesPayloadLimit(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Message{Type: TypeChunk, Payload: make([]byte, 100)})
+	if _, err := Read(&buf, 50); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, Message{Type: TypeChunk, Payload: make([]byte, 100)})
+	data := buf.Bytes()[:40]
+	if _, err := Read(bytes.NewReader(data), DefaultMaxPayload); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		m, err := Read(conn, DefaultMaxPayload)
+		if err != nil {
+			done <- err
+			return
+		}
+		m.Type = TypeAck
+		done <- Write(conn, m)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Write(conn, Message{Type: TypeChunk, StreamID: 3, Seq: 9, Payload: []byte("data")}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := Read(conn, DefaultMaxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeAck || reply.Seq != 9 {
+		t.Errorf("reply = %+v", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{
+		Config: vcodec.Config{
+			Width: 1280, Height: 720, FPS: 60, BitrateKbps: 4125,
+			GOP: 120, AltRefInterval: 8, Mode: vcodec.ModeConstrainedVBR, SearchRange: 8,
+		},
+		Scale:   3,
+		Model:   sr.HighQuality(),
+		Content: "lol",
+	}
+	data, err := EncodeHello(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("hello round trip: %+v != %+v", got, h)
+	}
+	if _, err := DecodeHello(data[:5]); err == nil {
+		t.Error("truncated hello accepted")
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	pkts := [][]byte{{1, 2, 3}, {}, {0xFF}}
+	got, err := DecodeChunk(EncodeChunk(pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("count %d != %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if !bytes.Equal(got[i], pkts[i]) {
+			t.Fatalf("packet %d mismatch", i)
+		}
+	}
+	if _, err := DecodeChunk([]byte{0, 0}); err == nil {
+		t.Error("truncated chunk accepted")
+	}
+	bad := EncodeChunk(pkts)
+	if _, err := DecodeChunk(bad[:len(bad)-1]); err == nil {
+		t.Error("truncated packet body accepted")
+	}
+}
+
+func TestFramePayloadRoundTrip(t *testing.T) {
+	f := frame.MustNew(33, 17)
+	for i := range f.Y.Pix {
+		f.Y.Pix[i] = byte(i * 7)
+	}
+	got, err := DecodeFrame(EncodeFrame(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sad, err := frame.AbsDiffSum(got, f)
+	if err != nil || sad != 0 {
+		t.Errorf("frame payload round trip: sad=%d err=%v", sad, err)
+	}
+	if _, err := DecodeFrame([]byte{0, 10, 0, 10, 1}); err == nil {
+		t.Error("wrong-size frame body accepted")
+	}
+}
+
+func TestAnchorJobRoundTrip(t *testing.T) {
+	j := AnchorJob{Packet: 5, DisplayIndex: 42, QP: 90, Frame: frame.MustNew(16, 16)}
+	j.Frame.Y.Fill(99)
+	got, err := DecodeAnchorJob(EncodeAnchorJob(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Packet != 5 || got.DisplayIndex != 42 || got.QP != 90 {
+		t.Errorf("job fields: %+v", got)
+	}
+	if got.Frame.Y.At(3, 3) != 99 {
+		t.Error("job frame corrupted")
+	}
+	if _, err := DecodeAnchorJob([]byte{1, 2}); err == nil {
+		t.Error("truncated job accepted")
+	}
+}
+
+func TestAnchorResultRoundTrip(t *testing.T) {
+	r := AnchorResult{Packet: 9, Encoded: []byte("jpeg-ish bytes")}
+	got, err := DecodeAnchorResult(EncodeAnchorResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Packet != 9 || !bytes.Equal(got.Encoded, r.Encoded) {
+		t.Errorf("result round trip: %+v", got)
+	}
+	if _, err := DecodeAnchorResult([]byte{0}); err == nil {
+		t.Error("truncated result accepted")
+	}
+	bad := EncodeAnchorResult(r)
+	if _, err := DecodeAnchorResult(bad[:len(bad)-2]); err == nil {
+		t.Error("length-mismatched result accepted")
+	}
+}
+
+// Property: any message round-trips bit-exactly through Write/Read.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(typ uint8, stream, seq uint32, payload []byte) bool {
+		m := Message{Type: Type(typ%7 + 1), StreamID: stream, Seq: seq, Payload: payload}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf, DefaultMaxPayload)
+		if err != nil {
+			return false
+		}
+		return got.Type == m.Type && got.StreamID == m.StreamID &&
+			got.Seq == m.Seq && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

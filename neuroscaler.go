@@ -1,0 +1,235 @@
+// Package neuroscaler is a from-scratch Go implementation of NeuroScaler
+// (Yeo et al., SIGCOMM 2022): scalable neural enhancement for live video
+// streams. A media server ingests low-resolution streams, selects the
+// most beneficial anchor frames with a zero-inference algorithm driven by
+// codec-level information, super-resolves only those anchors, re-encodes
+// them with a hybrid video+image codec, and schedules the work across a
+// cluster at anchor-frame granularity.
+//
+// The package exposes four entry points:
+//
+//   - EnhanceChunk: one-call selective super-resolution of an encoded
+//     chunk into a hybrid container (the server-side data path).
+//   - DecodeChunk: the client-side reconstruction of a hybrid container.
+//   - SelectAnchors: the zero-inference anchor selection algorithm on its
+//     own, for integration into other pipelines.
+//   - PlanDeployment: cost/throughput estimation of an enhancement fleet
+//     on the built-in instance catalog.
+//
+// The networked deployment (ingest server, enhancer service, HTTP
+// distribution) lives in cmd/neuroscaler; runnable walkthroughs live in
+// examples/.
+package neuroscaler
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/anchor"
+	"github.com/neuroscaler/neuroscaler/internal/cluster"
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/sr"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// Frame is a planar YUV 4:2:0 video frame.
+type Frame = frame.Frame
+
+// StreamConfig describes an ingest stream's encoding.
+type StreamConfig = vcodec.Config
+
+// ModelConfig describes a NAS-style super-resolution network.
+type ModelConfig = sr.ModelConfig
+
+// Model super-resolves single frames; see NewOracleModel.
+type Model = sr.Model
+
+// HighQualityModel returns the paper's default DNN configuration
+// (8 residual blocks, 32 channels, 3× upscale).
+func HighQualityModel() ModelConfig { return sr.HighQuality() }
+
+// NewOracleModel builds the simulated content-aware model used throughout
+// this reproduction: its "weights" are the stream's high-resolution
+// source frames (the data an online trainer would have seen), and its
+// fidelity follows the network size. See DESIGN.md for the substitution
+// rationale.
+func NewOracleModel(cfg ModelConfig, hrFrames []*Frame) (Model, error) {
+	return sr.NewOracleModel(cfg, hrFrames)
+}
+
+// EncodeIngest encodes raw low-resolution frames into an ingest stream
+// with the paper's constrained-VBR configuration.
+func EncodeIngest(cfg StreamConfig, frames []*Frame) (*vcodec.Stream, error) {
+	enc, err := vcodec.NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return enc.EncodeAll(frames)
+}
+
+// EnhanceOptions tunes EnhanceChunk.
+type EnhanceOptions struct {
+	// AnchorFraction is the fraction of frames to enhance (default
+	// 0.075, the cost-effective knee). Must not exceed 0.15.
+	AnchorFraction float64
+	// Scale is the upscale factor; it must match the model's scale.
+	Scale int
+}
+
+// EnhanceResult is the output of EnhanceChunk.
+type EnhanceResult struct {
+	// Container is the hybrid-encoded chunk ready for distribution.
+	Container *hybrid.Container
+	// Anchors is the number of anchor frames enhanced.
+	Anchors int
+	// AnchorPackets lists the selected packet indices.
+	AnchorPackets []int
+	// Bytes is the container payload size (video + anchor images).
+	Bytes int
+}
+
+// EnhanceChunk runs the full server-side NeuroScaler data path over one
+// encoded chunk: zero-inference anchor selection, model inference on the
+// selected anchors, and hybrid packaging.
+func EnhanceChunk(stream *vcodec.Stream, model Model, opts EnhanceOptions) (*EnhanceResult, error) {
+	if model == nil {
+		return nil, errors.New("neuroscaler: nil model")
+	}
+	if opts.AnchorFraction == 0 {
+		opts.AnchorFraction = 0.075
+	}
+	if opts.Scale == 0 {
+		opts.Scale = model.Config().Scale
+	}
+	if opts.Scale != model.Config().Scale {
+		return nil, fmt.Errorf("neuroscaler: scale %d does not match model scale %d", opts.Scale, model.Config().Scale)
+	}
+	qp, err := hybrid.QPForFraction(opts.AnchorFraction)
+	if err != nil {
+		return nil, err
+	}
+	metas := anchor.MetasFromStream(stream)
+	cands := anchor.ZeroInferenceGains(metas)
+	n := int(opts.AnchorFraction*float64(len(stream.Packets)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	selected := anchor.SelectTopN(cands, n)
+	anchorSet := anchor.PacketSet(selected, 0)
+
+	dec, err := vcodec.NewDecoderFor(stream)
+	if err != nil {
+		return nil, err
+	}
+	dec.CaptureResidual = true
+	rec, err := sr.NewReconstructor(model, stream.Config)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[int]*frame.Frame, len(anchorSet))
+	for i, pkt := range stream.Packets {
+		d, err := dec.Decode(pkt.Data)
+		if err != nil {
+			return nil, fmt.Errorf("neuroscaler: packet %d: %w", i, err)
+		}
+		if !anchorSet[i] {
+			if _, err := rec.Process(d, false); err != nil {
+				return nil, fmt.Errorf("neuroscaler: packet %d: %w", i, err)
+			}
+			continue
+		}
+		hr, err := model.Apply(d.Frame, d.Info.DisplayIndex)
+		if err != nil {
+			return nil, fmt.Errorf("neuroscaler: anchor %d: %w", i, err)
+		}
+		anchors[i] = hr
+		if _, err := rec.ProcessProvided(d, hr); err != nil {
+			return nil, fmt.Errorf("neuroscaler: anchor %d: %w", i, err)
+		}
+	}
+	container, st, err := hybrid.Encode(stream, anchors, opts.Scale, qp)
+	if err != nil {
+		return nil, err
+	}
+	packets := make([]int, 0, len(anchors))
+	for _, c := range selected {
+		packets = append(packets, c.Meta.Packet)
+	}
+	return &EnhanceResult{
+		Container:     container,
+		Anchors:       st.AnchorFrames,
+		AnchorPackets: packets,
+		Bytes:         st.TotalBytes(),
+	}, nil
+}
+
+// DecodeChunk performs the client-side reconstruction of a hybrid
+// container, returning the high-resolution frames in display order.
+func DecodeChunk(c *hybrid.Container) ([]*Frame, error) {
+	return hybrid.Decode(c)
+}
+
+// AnchorChoice reports one selected anchor.
+type AnchorChoice struct {
+	Packet       int
+	DisplayIndex int
+	FrameType    vcodec.FrameType
+	Gain         float64
+}
+
+// SelectAnchors runs the zero-inference selection (§5.1) over a stream's
+// packet metadata and returns the top anchors for the given fraction.
+func SelectAnchors(stream *vcodec.Stream, fraction float64) ([]AnchorChoice, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("neuroscaler: anchor fraction %v out of (0, 1]", fraction)
+	}
+	metas := anchor.MetasFromStream(stream)
+	cands := anchor.ZeroInferenceGains(metas)
+	n := int(fraction*float64(len(metas)) + 0.5)
+	selected := anchor.SelectTopN(cands, n)
+	out := make([]AnchorChoice, len(selected))
+	for i, c := range selected {
+		out[i] = AnchorChoice{
+			Packet:       c.Meta.Packet,
+			DisplayIndex: c.Meta.DisplayIndex,
+			FrameType:    c.Meta.Type,
+			Gain:         c.Gain,
+		}
+	}
+	return out, nil
+}
+
+// Deployment estimates the fleet for a stream population.
+type Deployment struct {
+	Instance         string
+	Instances        int
+	CostPerHour      float64
+	CostPerStreamHr  float64
+	StreamsPerInst   float64
+	InferencePerNode time.Duration
+}
+
+// PlanDeployment sizes the most cost-effective enhancer fleet for n
+// concurrent streams of the given workload (720p→2160p at 60 fps with
+// the high-quality model by default; see cluster.Standard720pWorkload).
+func PlanDeployment(n int) (Deployment, error) {
+	w := cluster.Standard720pWorkload()
+	d, err := w.Demand(cluster.NeuroScaler)
+	if err != nil {
+		return Deployment{}, err
+	}
+	fleet, err := cluster.ProvisionFleet(d, n)
+	if err != nil {
+		return Deployment{}, err
+	}
+	return Deployment{
+		Instance:         fleet.Instance.Name,
+		Instances:        fleet.Instances,
+		CostPerHour:      fleet.CostPerHr,
+		CostPerStreamHr:  fleet.PerStream,
+		StreamsPerInst:   fleet.StreamsPer,
+		InferencePerNode: cluster.InferLatency(sr.HighQuality(), w.InW, w.InH),
+	}, nil
+}

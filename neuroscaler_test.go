@@ -1,0 +1,128 @@
+package neuroscaler
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/synth"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+func buildStream(t *testing.T, n int) (hr []*Frame, stream *vcodec.Stream, model Model) {
+	t.Helper()
+	p, err := synth.ProfileByName("gta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := synth.NewGenerator(p, 144*3, 96*3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr = g.GenerateChunk(n)
+	lr := make([]*Frame, n)
+	for i, f := range hr {
+		lr[i], err = frame.Downscale(f, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := StreamConfig{Width: 144, Height: 96, FPS: 30, BitrateKbps: 900, GOP: 24}
+	stream, err = EncodeIngest(cfg, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err = NewOracleModel(HighQualityModel(), hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hr, stream, model
+}
+
+func TestEnhanceDecodeRoundTrip(t *testing.T) {
+	hr, stream, model := buildStream(t, 24)
+	res, err := EnhanceChunk(stream, model, EnhanceOptions{AnchorFraction: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anchors < 2 {
+		t.Errorf("only %d anchors selected for 10%% of 24+ packets", res.Anchors)
+	}
+	if res.Bytes <= stream.TotalBytes() {
+		t.Errorf("container %dB not larger than ingest %dB (anchors missing?)", res.Bytes, stream.TotalBytes())
+	}
+	out, err := DecodeChunk(res.Container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 24 {
+		t.Fatalf("decoded %d frames", len(out))
+	}
+	enhanced, err := metrics.MeanPSNR(hr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: container with zero anchors (pure client-side reuse).
+	base, err := EnhanceChunk(stream, model, EnhanceOptions{AnchorFraction: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOut, err := DecodeChunk(base.Container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePSNR, _ := metrics.MeanPSNR(hr, baseOut)
+	if enhanced <= basePSNR {
+		t.Errorf("10%% anchors PSNR %.2f <= minimal anchors %.2f", enhanced, basePSNR)
+	}
+}
+
+func TestEnhanceChunkValidation(t *testing.T) {
+	_, stream, model := buildStream(t, 8)
+	if _, err := EnhanceChunk(stream, nil, EnhanceOptions{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := EnhanceChunk(stream, model, EnhanceOptions{AnchorFraction: 0.5}); err == nil {
+		t.Error("fraction above hybrid limit accepted")
+	}
+	if _, err := EnhanceChunk(stream, model, EnhanceOptions{Scale: 2}); err == nil {
+		t.Error("mismatched scale accepted")
+	}
+}
+
+func TestSelectAnchorsPrioritizesKeys(t *testing.T) {
+	_, stream, _ := buildStream(t, 24)
+	choices, err := SelectAnchors(stream, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) == 0 {
+		t.Fatal("no anchors selected")
+	}
+	if choices[0].FrameType != vcodec.Key {
+		t.Errorf("first anchor type %v, want key", choices[0].FrameType)
+	}
+	if _, err := SelectAnchors(stream, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := SelectAnchors(stream, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestPlanDeploymentTwitchScale(t *testing.T) {
+	d, err := PlanDeployment(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 27: g4dn.xlarge fleet, ≈$7.5k/hr for the enhancer tier.
+	if d.Instance != "g4dn.xlarge" {
+		t.Errorf("instance = %s, want g4dn.xlarge", d.Instance)
+	}
+	if d.CostPerHour < 5000 || d.CostPerHour > 12000 {
+		t.Errorf("cost = $%.0f/hr, want ~$7.5k", d.CostPerHour)
+	}
+	if d.StreamsPerInst < 2 || d.StreamsPerInst > 4 {
+		t.Errorf("streams per g4dn.xlarge = %.2f, want ~3 (Table 4: 34 per 100)", d.StreamsPerInst)
+	}
+}
