@@ -1,0 +1,98 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/par"
+)
+
+func TestBorrowZeroMatchesNew(t *testing.T) {
+	f := Borrow(33, 17)
+	// Dirty the buffer so BorrowZero has something to clean up after the
+	// frame cycles through the arena.
+	f.Y.Fill(7)
+	f.U.Fill(9)
+	f.V.Fill(11)
+	Release(f)
+
+	g := BorrowZero(33, 17)
+	want := MustNew(33, 17)
+	if !bytes.Equal(g.Y.Pix, want.Y.Pix) || !bytes.Equal(g.U.Pix, want.U.Pix) || !bytes.Equal(g.V.Pix, want.V.Pix) {
+		t.Fatal("BorrowZero frame differs from New frame")
+	}
+	Release(g)
+}
+
+func TestBorrowPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Borrow(0, 10) did not panic")
+		}
+	}()
+	Borrow(0, 10)
+}
+
+func TestReleaseIgnoresNilAndAliased(t *testing.T) {
+	Release(nil) // must not panic
+
+	// A frame whose planes alias a parent (non-compact stride) must not
+	// enter the pool: a future Borrow has to hand out independent pixels.
+	parent := MustNew(32, 32)
+	sub := &Frame{W: 16, H: 16,
+		Y: Plane{W: 16, H: 16, Stride: 32, Pix: parent.Y.Pix},
+		U: Plane{W: 8, H: 8, Stride: 16, Pix: parent.U.Pix},
+		V: Plane{W: 8, H: 8, Stride: 16, Pix: parent.V.Pix},
+	}
+	Release(sub)
+	got := Borrow(16, 16)
+	if &got.Y.Pix[0] == &parent.Y.Pix[0] {
+		t.Fatal("arena handed out a frame aliasing another frame's pixels")
+	}
+	Release(got)
+}
+
+// TestScaleIntoMatchesAllocating pins the arena-destination kernels to the
+// allocating ones, across worker counts.
+func TestScaleIntoMatchesAllocating(t *testing.T) {
+	src := MustNew(96, 64)
+	for y := 0; y < src.H; y++ {
+		row := src.Y.Row(y)
+		for x := range row {
+			row[x] = byte((x*7 + y*13) % 251)
+		}
+	}
+	for y := 0; y < src.U.H; y++ {
+		ru, rv := src.U.Row(y), src.V.Row(y)
+		for x := range ru {
+			ru[x] = byte((x*3 + y*5) % 251)
+			rv[x] = byte((x*11 + y*2) % 251)
+		}
+	}
+
+	oldWorkers := par.Workers()
+	defer par.SetWorkers(oldWorkers)
+
+	par.SetWorkers(1)
+	wantBi, err := ScaleBilinear(src, 288, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCu, err := ScaleBicubic(src, 288, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par.SetWorkers(workers)
+		dst := Borrow(288, 192)
+		ScaleBilinearInto(dst, src)
+		if !bytes.Equal(dst.Y.Pix, wantBi.Y.Pix) || !bytes.Equal(dst.U.Pix, wantBi.U.Pix) {
+			t.Fatalf("workers=%d: ScaleBilinearInto differs from ScaleBilinear", workers)
+		}
+		ScaleBicubicInto(dst, src)
+		if !bytes.Equal(dst.Y.Pix, wantCu.Y.Pix) || !bytes.Equal(dst.V.Pix, wantCu.V.Pix) {
+			t.Fatalf("workers=%d: ScaleBicubicInto differs from ScaleBicubic", workers)
+		}
+		Release(dst)
+	}
+}

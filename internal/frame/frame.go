@@ -12,6 +12,8 @@ package frame
 import (
 	"errors"
 	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/par"
 )
 
 // Plane is a single 8-bit sample plane with an explicit stride so that
@@ -156,16 +158,28 @@ func AbsDiffSum(a, b *Frame) (int64, error) {
 	if a.W != b.W || a.H != b.H {
 		return 0, fmt.Errorf("frame: SAD dimension mismatch %dx%d != %dx%d", a.W, a.H, b.W, b.H)
 	}
-	var sum int64
-	for y := 0; y < a.H; y++ {
-		ra, rb := a.Y.Row(y), b.Y.Row(y)
-		for x := range ra {
-			d := int(ra[x]) - int(rb[x])
-			if d < 0 {
-				d = -d
+	// Integer sums are associative, so per-chunk partials folded in any
+	// order are exact; the chunk layout (fixed by grain, not worker count)
+	// keeps everything deterministic anyway.
+	grain := par.RowGrain(a.W)
+	partials := make([]int64, par.Chunks(a.H, grain))
+	par.ForChunks(a.H, grain, func(chunk, yLo, yHi int) {
+		var s int64
+		for y := yLo; y < yHi; y++ {
+			ra, rb := a.Y.Row(y), b.Y.Row(y)
+			for x := range ra {
+				d := int(ra[x]) - int(rb[x])
+				if d < 0 {
+					d = -d
+				}
+				s += int64(d)
 			}
-			sum += int64(d)
 		}
+		partials[chunk] = s
+	})
+	var sum int64
+	for _, s := range partials {
+		sum += s
 	}
 	return sum, nil
 }

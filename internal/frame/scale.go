@@ -4,6 +4,14 @@ package frame
 // pipelines derive low-resolution ladders); upscaling offers bilinear (the
 // cheap client-side path referenced by NEMO) and bicubic (the reference
 // upscaler the super-resolution model is compared against).
+//
+// All kernels are row-banded across the worker pool: each worker owns a
+// disjoint range of destination rows, so output is bit-identical for any
+// worker count. The Into variants write a caller-provided destination
+// (typically from the arena, see Borrow/Release) so steady-state scaling
+// allocates nothing.
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
 
 // ScaleBilinear resizes src to w×h with bilinear interpolation.
 func ScaleBilinear(src *Frame, w, h int) (*Frame, error) {
@@ -11,11 +19,17 @@ func ScaleBilinear(src *Frame, w, h int) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	ScaleBilinearInto(dst, src)
+	return dst, nil
+}
+
+// ScaleBilinearInto resizes src into dst, which supplies the target
+// dimensions. Every destination sample is overwritten.
+func ScaleBilinearInto(dst, src *Frame) {
 	sp, dp := src.Planes(), dst.Planes()
 	for i := 0; i < 3; i++ {
 		bilinearPlane(sp[i], dp[i])
 	}
-	return dst, nil
 }
 
 func bilinearPlane(src, dst *Plane) {
@@ -27,25 +41,27 @@ func bilinearPlane(src, dst *Plane) {
 	const fp = 16
 	sx := ((src.W - 1) << fp) / max(dst.W-1, 1)
 	sy := ((src.H - 1) << fp) / max(dst.H-1, 1)
-	for y := 0; y < dst.H; y++ {
-		fy := y * sy
-		y0 := fy >> fp
-		wy := fy & ((1 << fp) - 1)
-		row := dst.Row(y)
-		for x := 0; x < dst.W; x++ {
-			fx := x * sx
-			x0 := fx >> fp
-			wx := fx & ((1 << fp) - 1)
-			p00 := int(src.At(x0, y0))
-			p10 := int(src.At(x0+1, y0))
-			p01 := int(src.At(x0, y0+1))
-			p11 := int(src.At(x0+1, y0+1))
-			top := p00<<fp + (p10-p00)*wx
-			bot := p01<<fp + (p11-p01)*wx
-			v := (top<<fp + (bot-top)*wy) >> (2 * fp)
-			row[x] = clampByte(v)
+	par.For(dst.H, par.RowGrain(dst.W), func(yLo, yHi int) {
+		for y := yLo; y < yHi; y++ {
+			fy := y * sy
+			y0 := fy >> fp
+			wy := fy & ((1 << fp) - 1)
+			row := dst.Row(y)
+			for x := 0; x < dst.W; x++ {
+				fx := x * sx
+				x0 := fx >> fp
+				wx := fx & ((1 << fp) - 1)
+				p00 := int(src.At(x0, y0))
+				p10 := int(src.At(x0+1, y0))
+				p01 := int(src.At(x0, y0+1))
+				p11 := int(src.At(x0+1, y0+1))
+				top := p00<<fp + (p10-p00)*wx
+				bot := p01<<fp + (p11-p01)*wx
+				v := (top<<fp + (bot-top)*wy) >> (2 * fp)
+				row[x] = clampByte(v)
+			}
 		}
-	}
+	})
 }
 
 // ScaleBicubic resizes src to w×h with a Catmull-Rom bicubic kernel.
@@ -54,11 +70,17 @@ func ScaleBicubic(src *Frame, w, h int) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	ScaleBicubicInto(dst, src)
+	return dst, nil
+}
+
+// ScaleBicubicInto resizes src into dst, which supplies the target
+// dimensions. Every destination sample is overwritten.
+func ScaleBicubicInto(dst, src *Frame) {
 	sp, dp := src.Planes(), dst.Planes()
 	for i := 0; i < 3; i++ {
 		bicubicPlane(sp[i], dp[i])
 	}
-	return dst, nil
 }
 
 // cubicWeights returns the four Catmull-Rom weights for fractional
@@ -91,32 +113,34 @@ func bicubicPlane(src, dst *Plane) {
 	}
 	xScale := float64(src.W) / float64(dst.W)
 	yScale := float64(src.H) / float64(dst.H)
-	for y := 0; y < dst.H; y++ {
-		syf := (float64(y)+0.5)*yScale - 0.5
-		y0 := int(syf)
-		if syf < 0 {
-			y0 = -1
-		}
-		wy := cubicWeights(syf - float64(y0))
-		row := dst.Row(y)
-		for x := 0; x < dst.W; x++ {
-			sxf := (float64(x)+0.5)*xScale - 0.5
-			x0 := int(sxf)
-			if sxf < 0 {
-				x0 = -1
+	par.For(dst.H, par.RowGrain(dst.W), func(yLo, yHi int) {
+		for y := yLo; y < yHi; y++ {
+			syf := (float64(y)+0.5)*yScale - 0.5
+			y0 := int(syf)
+			if syf < 0 {
+				y0 = -1
 			}
-			wx := cubicWeights(sxf - float64(x0))
-			acc := 0
-			for j := 0; j < 4; j++ {
-				rowAcc := 0
-				for i := 0; i < 4; i++ {
-					rowAcc += wx[i] * int(src.At(x0-1+i, y0-1+j))
+			wy := cubicWeights(syf - float64(y0))
+			row := dst.Row(y)
+			for x := 0; x < dst.W; x++ {
+				sxf := (float64(x)+0.5)*xScale - 0.5
+				x0 := int(sxf)
+				if sxf < 0 {
+					x0 = -1
 				}
-				acc += wy[j] * rowAcc
+				wx := cubicWeights(sxf - float64(x0))
+				acc := 0
+				for j := 0; j < 4; j++ {
+					rowAcc := 0
+					for i := 0; i < 4; i++ {
+						rowAcc += wx[i] * int(src.At(x0-1+i, y0-1+j))
+					}
+					acc += wy[j] * rowAcc
+				}
+				row[x] = clampByte((acc + 2048) >> 12)
 			}
-			row[x] = clampByte((acc + 2048) >> 12)
 		}
-	}
+	})
 }
 
 // Downscale shrinks src by an integer factor using box averaging.
@@ -140,18 +164,20 @@ func Downscale(src *Frame, factor int) (*Frame, error) {
 
 func boxPlane(src, dst *Plane, factor int) {
 	area := factor * factor
-	for y := 0; y < dst.H; y++ {
-		row := dst.Row(y)
-		for x := 0; x < dst.W; x++ {
-			sum := 0
-			for j := 0; j < factor; j++ {
-				for i := 0; i < factor; i++ {
-					sum += int(src.At(x*factor+i, y*factor+j))
+	par.For(dst.H, par.RowGrain(dst.W*area), func(yLo, yHi int) {
+		for y := yLo; y < yHi; y++ {
+			row := dst.Row(y)
+			for x := 0; x < dst.W; x++ {
+				sum := 0
+				for j := 0; j < factor; j++ {
+					for i := 0; i < factor; i++ {
+						sum += int(src.At(x*factor+i, y*factor+j))
+					}
 				}
+				row[x] = byte((sum + area/2) / area)
 			}
-			row[x] = byte((sum + area/2) / area)
 		}
-	}
+	})
 }
 
 func max(a, b int) int {

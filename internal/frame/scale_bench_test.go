@@ -1,0 +1,51 @@
+package frame
+
+import "testing"
+
+func benchSrc(w, h int) *Frame {
+	f := MustNew(w, h)
+	for _, p := range f.Planes() {
+		for y := 0; y < p.H; y++ {
+			row := p.Row(y)
+			for x := range row {
+				row[x] = byte((x*7 + y*13) % 255)
+			}
+		}
+	}
+	return f
+}
+
+// 720p -> 2160p, the paper's 3× enhancement shape.
+
+func BenchmarkScaleBicubic(b *testing.B) {
+	src := benchSrc(1280, 720)
+	dst := Borrow(3840, 2160)
+	defer Release(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScaleBicubicInto(dst, src)
+	}
+}
+
+func BenchmarkScaleBilinear(b *testing.B) {
+	src := benchSrc(1280, 720)
+	dst := Borrow(3840, 2160)
+	defer Release(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScaleBilinearInto(dst, src)
+	}
+}
+
+func BenchmarkDownscale(b *testing.B) {
+	src := benchSrc(3840, 2160)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Downscale(src, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

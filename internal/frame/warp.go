@@ -1,6 +1,10 @@
 package frame
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/neuroscaler/neuroscaler/internal/par"
+)
 
 // MotionVector is a block displacement in full-pel units at the resolution
 // of the frame it was estimated on. Selective super-resolution scales
@@ -61,7 +65,8 @@ func WarpBlocks(dst, ref *Frame, grid BlockGrid, mvs []MotionVector) error {
 	if len(mvs) != grid.NumBlocks() {
 		return fmt.Errorf("frame: warp expects %d vectors, got %d", grid.NumBlocks(), len(mvs))
 	}
-	for i, mv := range mvs {
+	warpOne := func(i int) {
+		mv := mvs[i]
 		x0, y0, w, h := grid.BlockRect(i)
 		warpRect(&dst.Y, &ref.Y, x0, y0, w, h, mv.DX, mv.DY)
 		cx0, cy0 := x0/2, y0/2
@@ -69,6 +74,24 @@ func WarpBlocks(dst, ref *Frame, grid BlockGrid, mvs []MotionVector) error {
 		warpRect(&dst.U, &ref.U, cx0, cy0, cw, ch, mv.DX/2, mv.DY/2)
 		warpRect(&dst.V, &ref.V, cx0, cy0, cw, ch, mv.DX/2, mv.DY/2)
 	}
+	if grid.Block%2 != 0 {
+		// Odd block sizes let the half-resolution chroma rectangles of
+		// adjacent blocks overlap by one sample; keep the serial write
+		// order so the result is well defined.
+		for i := range mvs {
+			warpOne(i)
+		}
+		return nil
+	}
+	// Even block sizes tile luma and chroma disjointly, so blocks can be
+	// warped concurrently. Banding by whole block rows keeps each worker's
+	// writes contiguous.
+	cols := grid.Cols()
+	par.For(grid.Rows(), 1, func(rLo, rHi int) {
+		for i := rLo * cols; i < rHi*cols; i++ {
+			warpOne(i)
+		}
+	})
 	return nil
 }
 
@@ -96,12 +119,14 @@ func AddResidual(dst, residual *Frame) error {
 }
 
 func addResidualPlane(dst, res *Plane) {
-	for y := 0; y < dst.H; y++ {
-		dr, rr := dst.Row(y), res.Row(y)
-		for x := range dr {
-			dr[x] = clampByte(int(dr[x]) + int(rr[x]) - 128)
+	par.For(dst.H, par.RowGrain(dst.W), func(yLo, yHi int) {
+		for y := yLo; y < yHi; y++ {
+			dr, rr := dst.Row(y), res.Row(y)
+			for x := range dr {
+				dr[x] = clampByte(int(dr[x]) + int(rr[x]) - 128)
+			}
 		}
-	}
+	})
 }
 
 // Diff writes (a - b + 128) clamped into a new frame, the biased-residual
@@ -116,12 +141,15 @@ func Diff(a, b *Frame) (*Frame, error) {
 	}
 	ap, bp, op := a.Planes(), b.Planes(), out.Planes()
 	for i := 0; i < 3; i++ {
-		for y := 0; y < ap[i].H; y++ {
-			ra, rb, ro := ap[i].Row(y), bp[i].Row(y), op[i].Row(y)
-			for x := range ra {
-				ro[x] = clampByte(int(ra[x]) - int(rb[x]) + 128)
+		pa, pb, po := ap[i], bp[i], op[i]
+		par.For(pa.H, par.RowGrain(pa.W), func(yLo, yHi int) {
+			for y := yLo; y < yHi; y++ {
+				ra, rb, ro := pa.Row(y), pb.Row(y), po.Row(y)
+				for x := range ra {
+					ro[x] = clampByte(int(ra[x]) - int(rb[x]) + 128)
+				}
 			}
-		}
+		})
 	}
 	return out, nil
 }
@@ -140,12 +168,15 @@ func Blend(dst, src *Frame, alpha float64) error {
 	a := int(alpha*256 + 0.5)
 	dp, sp := dst.Planes(), src.Planes()
 	for i := 0; i < 3; i++ {
-		for y := 0; y < dp[i].H; y++ {
-			dr, sr := dp[i].Row(y), sp[i].Row(y)
-			for x := range dr {
-				dr[x] = byte((int(sr[x])*a + int(dr[x])*(256-a) + 128) >> 8)
+		pd, ps := dp[i], sp[i]
+		par.For(pd.H, par.RowGrain(pd.W), func(yLo, yHi int) {
+			for y := yLo; y < yHi; y++ {
+				dr, sr := pd.Row(y), ps.Row(y)
+				for x := range dr {
+					dr[x] = byte((int(sr[x])*a + int(dr[x])*(256-a) + 128) >> 8)
+				}
 			}
-		}
+		})
 	}
 	return nil
 }

@@ -10,8 +10,16 @@ import (
 
 	"github.com/neuroscaler/neuroscaler/internal/bitstream"
 	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 	"github.com/neuroscaler/neuroscaler/internal/transform"
 )
+
+// coeffPool recycles the per-plane coefficient staging buffers of the
+// two-phase (parallel transform, serial entropy) coding loops below.
+var coeffPool par.SlabPool[int32]
+
+// blockGrain is how many 8×8 blocks one worker claims at a time.
+const blockGrain = 16
 
 const (
 	magic   = 0x4E53_4952 // "NSIR"
@@ -53,30 +61,58 @@ func Encode(f *frame.Frame, opts Options) ([]byte, Stats, error) {
 	return buf, st, nil
 }
 
+// encodePlane codes one plane in two phases: every block's forward
+// transform and quantization runs concurrently into a staging buffer
+// (blocks are independent until DC prediction), then a serial raster-order
+// pass applies DC prediction and writes the bitstream, keeping the output
+// bit-identical for any worker count.
 func encodePlane(w *bitstream.Writer, p *frame.Plane, table *[64]int32, st *Stats) {
 	bs := transform.BlockSize
-	prevDC := int32(0)
+	nbx := (p.W + bs - 1) / bs
+	nby := (p.H + bs - 1) / bs
+	n := nbx * nby
 	scan := make([]int32, 64)
-	for by := 0; by < p.H; by += bs {
-		for bx := 0; bx < p.W; bx += bs {
-			var b transform.Block
-			loadBlock(&b, p, bx, by)
-			transform.FDCT(&b, &b)
-			transform.Quantize(&b, table)
-			// DC prediction: code the delta from the previous block's DC.
-			dc := b[0]
-			b[0] -= prevDC
-			prevDC = dc
-			transform.Zigzag(scan, &b)
-			bitstream.WriteCoeffs(w, scan)
-			st.BlocksCoded++
-			for _, c := range scan {
-				if c != 0 {
-					st.NonZeroCoefs++
-				}
+	writeBlock := func(b *transform.Block, prevDC int32) int32 {
+		// DC prediction: code the delta from the previous block's DC.
+		dc := b[0]
+		b[0] -= prevDC
+		transform.Zigzag(scan, b)
+		bitstream.WriteCoeffs(w, scan)
+		st.BlocksCoded++
+		for _, c := range scan {
+			if c != 0 {
+				st.NonZeroCoefs++
 			}
 		}
+		return dc
 	}
+	if par.Workers() == 1 {
+		// Single worker: fuse the phases and skip the staging buffer.
+		prevDC := int32(0)
+		var b transform.Block
+		for i := 0; i < n; i++ {
+			loadBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
+			transform.FDCT(&b, &b)
+			transform.Quantize(&b, table)
+			prevDC = writeBlock(&b, prevDC)
+		}
+		return
+	}
+	coeffs := coeffPool.Get(n * 64)
+	par.For(n, blockGrain, func(lo, hi int) {
+		var b transform.Block
+		for i := lo; i < hi; i++ {
+			loadBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
+			transform.FDCT(&b, &b)
+			transform.Quantize(&b, table)
+			copy(coeffs[i*64:(i+1)*64], b[:])
+		}
+	})
+	prevDC := int32(0)
+	for i := 0; i < n; i++ {
+		prevDC = writeBlock((*transform.Block)(coeffs[i*64:(i+1)*64]), prevDC)
+	}
+	coeffPool.Put(coeffs)
 }
 
 func loadBlock(b *transform.Block, p *frame.Plane, bx, by int) {
@@ -128,24 +164,53 @@ func Decode(data []byte) (*frame.Frame, error) {
 	return f, nil
 }
 
+// decodePlane mirrors encodePlane: serial variable-length parsing into a
+// staging buffer (resolving DC prediction at scan position 0), then a
+// parallel dequantize/IDCT/store pass over disjoint blocks.
 func decodePlane(r *bitstream.Reader, p *frame.Plane, table *[64]int32) error {
 	bs := transform.BlockSize
-	prevDC := int32(0)
-	scan := make([]int32, 64)
-	for by := 0; by < p.H; by += bs {
-		for bx := 0; bx < p.W; bx += bs {
+	nbx := (p.W + bs - 1) / bs
+	nby := (p.H + bs - 1) / bs
+	n := nbx * nby
+	if par.Workers() == 1 {
+		// Single worker: fuse parsing and reconstruction per block.
+		scan := make([]int32, 64)
+		prevDC := int32(0)
+		var b transform.Block
+		for i := 0; i < n; i++ {
 			if err := bitstream.ReadCoeffs(r, scan); err != nil {
-				return fmt.Errorf("icodec: block (%d,%d): %w", bx, by, err)
+				return fmt.Errorf("icodec: block (%d,%d): %w", (i%nbx)*bs, (i/nbx)*bs, err)
 			}
-			var b transform.Block
+			scan[0] += prevDC
+			prevDC = scan[0]
 			transform.Unzigzag(&b, scan)
-			b[0] += prevDC
-			prevDC = b[0]
 			transform.Dequantize(&b, table)
 			transform.IDCT(&b, &b)
-			storeBlock(&b, p, bx, by)
+			storeBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
 		}
+		return nil
 	}
+	coeffs := coeffPool.Get(n * 64)
+	prevDC := int32(0)
+	for i := 0; i < n; i++ {
+		scan := coeffs[i*64 : (i+1)*64]
+		if err := bitstream.ReadCoeffs(r, scan); err != nil {
+			coeffPool.Put(coeffs)
+			return fmt.Errorf("icodec: block (%d,%d): %w", (i%nbx)*bs, (i/nbx)*bs, err)
+		}
+		scan[0] += prevDC
+		prevDC = scan[0]
+	}
+	par.For(n, blockGrain, func(lo, hi int) {
+		var b transform.Block
+		for i := lo; i < hi; i++ {
+			transform.Unzigzag(&b, coeffs[i*64:(i+1)*64])
+			transform.Dequantize(&b, table)
+			transform.IDCT(&b, &b)
+			storeBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
+		}
+	})
+	coeffPool.Put(coeffs)
 	return nil
 }
 

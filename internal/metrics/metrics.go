@@ -10,22 +10,36 @@ import (
 	"sort"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 )
 
 // MSE returns the luma mean squared error between two equally sized frames.
+// Row bands are summed concurrently; the per-sample terms are integers
+// (at most 255² per sample) whose running sums stay far below 2^53, so
+// the float64 accumulation is exact and the result is bit-identical to a
+// serial sum for any worker count.
 func MSE(a, b *frame.Frame) (float64, error) {
 	if a.W != b.W || a.H != b.H {
 		return 0, fmt.Errorf("metrics: size mismatch %dx%d != %dx%d", a.W, a.H, b.W, b.H)
 	}
-	var sum float64
-	for y := 0; y < a.H; y++ {
-		ra, rb := a.Y.Row(y), b.Y.Row(y)
-		for x := range ra {
-			d := float64(int(ra[x]) - int(rb[x]))
-			sum += d * d
+	grain := par.RowGrain(a.W)
+	partials := make([]int64, par.Chunks(a.H, grain))
+	par.ForChunks(a.H, grain, func(chunk, yLo, yHi int) {
+		var s int64
+		for y := yLo; y < yHi; y++ {
+			ra, rb := a.Y.Row(y), b.Y.Row(y)
+			for x := range ra {
+				d := int64(int(ra[x]) - int(rb[x]))
+				s += d * d
+			}
 		}
+		partials[chunk] = s
+	})
+	var sum int64
+	for _, s := range partials {
+		sum += s
 	}
-	return sum / float64(a.W*a.H), nil
+	return float64(sum) / float64(a.W*a.H), nil
 }
 
 // PSNR returns the luma peak signal-to-noise ratio in dB. Identical
@@ -58,11 +72,20 @@ func MeanPSNR(ref, got []*frame.Frame) (float64, error) {
 	if len(ref) == 0 {
 		return 0, errors.New("metrics: empty sequence")
 	}
+	// Per-frame scores land in indexed slots and are folded serially in
+	// frame order, so the floating-point sum matches the serial loop
+	// exactly for any worker count.
+	vals := make([]float64, len(ref))
+	errs := make([]error, len(ref))
+	par.For(len(ref), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i], errs[i] = PSNR(ref[i], got[i])
+		}
+	})
 	var sum float64
-	for i := range ref {
-		p, err := PSNR(ref[i], got[i])
-		if err != nil {
-			return 0, err
+	for i, p := range vals {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
 		sum += p
 	}

@@ -1,0 +1,35 @@
+package par
+
+import "sync"
+
+// SlabPool recycles []T scratch buffers across hot-path calls, removing
+// per-frame allocations from kernels that need transient coefficient or
+// accumulator storage. The zero value is ready to use.
+//
+// Buffers come back with arbitrary contents; callers must fully overwrite
+// the range they use (the determinism contract forbids reading stale
+// data).
+type SlabPool[T any] struct {
+	p sync.Pool
+}
+
+// Get returns a length-n slice, reusing a pooled buffer when one with
+// sufficient capacity is available.
+func (s *SlabPool[T]) Get(n int) []T {
+	if v := s.p.Get(); v != nil {
+		b := v.([]T)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+// Put returns a buffer obtained from Get to the pool. The caller must not
+// use b afterwards.
+func (s *SlabPool[T]) Put(b []T) {
+	if cap(b) == 0 {
+		return
+	}
+	s.p.Put(b[:cap(b)]) //nolint:staticcheck // slice headers are small
+}

@@ -1,0 +1,189 @@
+// Package par is the shared data-parallel execution layer for the pixel
+// pipeline. It provides a persistent worker pool sized from
+// runtime.GOMAXPROCS (overridable via the NEUROSCALER_WORKERS environment
+// variable or SetWorkers), a ParallelFor over index ranges, and ordered
+// chunk decomposition for deterministic reductions.
+//
+// Determinism contract: every kernel built on this package must produce
+// bit-identical output for any worker count. Two rules make that hold:
+//
+//  1. Workers only write disjoint index ranges (ParallelFor hands each
+//     invocation a half-open [lo, hi) slice of the index space).
+//  2. Reductions never fold partial results in completion order. Either
+//     the partials are exact (integer sums carried in int64/float64 below
+//     2^53, where addition is associative), or the caller stores leaf
+//     values into an indexed slice and folds them serially in index order
+//     (see metrics.SSIM).
+//
+// Chunk boundaries depend only on (n, grain), never on the worker count,
+// so even chunk-indexed partials are stable across machines.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu      sync.Mutex
+	nworker int
+	pool    chan func()
+)
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("NEUROSCALER_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			n = v
+		}
+	}
+	setWorkers(n)
+}
+
+// Workers returns the current worker-pool size.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return nworker
+}
+
+// SetWorkers resizes the pool to n workers (minimum 1). A size of 1 makes
+// every ParallelFor run serially on the calling goroutine. Output is
+// identical for any n; only wall-clock changes.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	setWorkers(n)
+}
+
+// setWorkers must be called with mu held.
+func setWorkers(n int) {
+	if pool != nil {
+		close(pool) // retire the old pool's goroutines
+	}
+	nworker = n
+	pool = nil
+	if n > 1 {
+		// The submitting goroutine always participates, so n-1 resident
+		// workers give n-way parallelism.
+		pool = make(chan func())
+		for i := 0; i < n-1; i++ {
+			go worker(pool)
+		}
+	}
+}
+
+func worker(tasks <-chan func()) {
+	for f := range tasks {
+		f()
+	}
+}
+
+// Chunks returns the number of grain-sized chunks covering n indices.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For runs fn over the index range [0, n) split into grain-sized chunks,
+// calling fn(lo, hi) for each chunk. Chunks execute concurrently on the
+// worker pool; the calling goroutine participates, so nested For calls
+// cannot deadlock even when every resident worker is busy. fn invocations
+// must only write state owned by their own index range.
+func For(n, grain int, fn func(lo, hi int)) {
+	ForChunks(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForChunks is For with the chunk index exposed, for deterministic
+// reductions: store each chunk's partial at partials[chunk] and fold the
+// slice serially afterwards. Chunk c always covers
+// [c*grain, min((c+1)*grain, n)), independent of the worker count.
+func ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+
+	mu.Lock()
+	w := nworker
+	tasks := pool
+	mu.Unlock()
+
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 || tasks == nil {
+		for c := 0; c < chunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(c, lo, hi)
+		}
+		return
+	}
+
+	var next int64
+	runner := func() {
+		for {
+			c := int(atomic.AddInt64(&next, 1) - 1)
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(c, lo, hi)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < w-1; i++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			runner()
+		}
+		// Non-blocking submit: if every resident worker is occupied (for
+		// example by a nested For), the caller simply runs more chunks
+		// itself instead of queueing.
+		select {
+		case tasks <- task:
+		default:
+			wg.Done()
+		}
+	}
+	runner()
+	wg.Wait()
+}
+
+// RowGrain returns a chunk size (in rows) targeting roughly 32K samples
+// of work per chunk for rows of the given width, so short rows batch up
+// and scheduling overhead stays small relative to pixel work.
+func RowGrain(width int) int {
+	if width < 1 {
+		width = 1
+	}
+	g := (32 << 10) / width
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

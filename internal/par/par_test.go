@@ -1,0 +1,143 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn under a temporary pool size, restoring the previous
+// size afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := Workers()
+	SetWorkers(n)
+	defer SetWorkers(old)
+	fn()
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, grain := range []int{1, 3, 7, 100} {
+			withWorkers(t, workers, func() {
+				const n = 257
+				var hits [n]int32
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad range [%d, %d)", lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d grain=%d: index %d visited %d times", workers, grain, i, h)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForChunksLayoutIndependentOfWorkers(t *testing.T) {
+	const n, grain = 103, 10
+	want := Chunks(n, grain)
+	for _, workers := range []int{1, 3, 8} {
+		withWorkers(t, workers, func() {
+			bounds := make([][2]int, want)
+			var seen int32
+			ForChunks(n, grain, func(chunk, lo, hi int) {
+				bounds[chunk] = [2]int{lo, hi}
+				atomic.AddInt32(&seen, 1)
+			})
+			if int(seen) != want {
+				t.Fatalf("workers=%d: %d chunks, want %d", workers, seen, want)
+			}
+			for c, b := range bounds {
+				wantLo := c * grain
+				wantHi := wantLo + grain
+				if wantHi > n {
+					wantHi = n
+				}
+				if b[0] != wantLo || b[1] != wantHi {
+					t.Fatalf("workers=%d chunk %d: [%d, %d), want [%d, %d)",
+						workers, c, b[0], b[1], wantLo, wantHi)
+				}
+			}
+		})
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	calls := 0
+	For(0, 1, func(lo, hi int) { calls++ })
+	For(-5, 1, func(lo, hi int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("For on empty range invoked fn %d times", calls)
+	}
+}
+
+// TestNestedForCompletes exercises For called from inside For, the shape
+// the pipeline produces when e.g. a parallel per-frame metric calls a
+// parallel per-row kernel. The caller-participates design must not
+// deadlock even when every resident worker is busy.
+func TestNestedForCompletes(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var total int64
+		For(8, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				For(16, 2, func(ilo, ihi int) {
+					atomic.AddInt64(&total, int64(ihi-ilo))
+				})
+			}
+		})
+		if total != 8*16 {
+			t.Fatalf("nested For covered %d inner indices, want %d", total, 8*16)
+		}
+	})
+}
+
+func TestSetWorkersClampsToOne(t *testing.T) {
+	withWorkers(t, 3, func() {
+		SetWorkers(0)
+		if Workers() != 1 {
+			t.Fatalf("Workers() = %d after SetWorkers(0), want 1", Workers())
+		}
+		// Serial mode must still run everything.
+		sum := 0
+		For(10, 4, func(lo, hi int) { sum += hi - lo })
+		if sum != 10 {
+			t.Fatalf("serial For covered %d indices, want 10", sum)
+		}
+	})
+}
+
+func TestRowGrain(t *testing.T) {
+	if g := RowGrain(1 << 20); g != 1 {
+		t.Fatalf("RowGrain(wide) = %d, want 1", g)
+	}
+	if g := RowGrain(0); g < 1 {
+		t.Fatalf("RowGrain(0) = %d, want >= 1", g)
+	}
+	if g := RowGrain(32); g*32 < 16<<10 {
+		t.Fatalf("RowGrain(32) = %d, too small to amortize scheduling", g)
+	}
+}
+
+func TestSlabPoolReuse(t *testing.T) {
+	var p SlabPool[int32]
+	b := p.Get(64)
+	if len(b) != 64 {
+		t.Fatalf("Get(64) returned len %d", len(b))
+	}
+	b[0] = 42
+	p.Put(b)
+	c := p.Get(32)
+	if len(c) != 32 {
+		t.Fatalf("Get(32) returned len %d", len(c))
+	}
+	p.Put(c)
+	if d := p.Get(128); len(d) != 128 {
+		t.Fatalf("Get(128) returned len %d", len(d))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 	"github.com/neuroscaler/neuroscaler/internal/vcodec"
 )
 
@@ -238,6 +239,12 @@ type Reconstructor struct {
 
 	srLast   *frame.Frame
 	srAltref *frame.Frame
+	// ownLast/ownAltref record whether the matching reference frame was
+	// allocated by this reconstructor (as opposed to provided by the
+	// caller via ProcessProvided); only owned frames may be recycled into
+	// the frame arena when superseded.
+	ownLast   bool
+	ownAltref bool
 
 	anchors int
 	frames  int
@@ -299,15 +306,33 @@ func (r *Reconstructor) ProcessProvided(d *vcodec.Decoded, hr *frame.Frame) (*fr
 	r.anchors++
 	switch d.Info.Type {
 	case vcodec.Key:
-		r.srLast = hr
-		r.srAltref = hr.Clone()
+		r.setLast(hr, false) // caller-provided: never recycled
+		r.setAltref(hr.Clone(), true)
 	case vcodec.AltRef:
-		r.srAltref = hr
+		r.setAltref(hr, false)
 		return nil, nil
 	default:
-		r.srLast = hr
+		r.setLast(hr, false)
 	}
 	return hr.Clone(), nil
+}
+
+// setLast replaces the LAST reference slot, recycling the superseded
+// frame into the arena when this reconstructor owns it. own records
+// whether the new frame may be recycled in turn.
+func (r *Reconstructor) setLast(f *frame.Frame, own bool) {
+	if r.ownLast {
+		frame.Release(r.srLast)
+	}
+	r.srLast, r.ownLast = f, own
+}
+
+// setAltref is setLast for the ALTREF slot.
+func (r *Reconstructor) setAltref(f *frame.Frame, own bool) {
+	if r.ownAltref {
+		frame.Release(r.srAltref)
+	}
+	r.srAltref, r.ownAltref = f, own
 }
 
 // AnchorCount returns how many anchor frames have been enhanced.
@@ -354,13 +379,13 @@ func (r *Reconstructor) Process(d *vcodec.Decoded, anchor bool) (*frame.Frame, e
 
 	switch d.Info.Type {
 	case vcodec.Key:
-		r.srLast = hr
-		r.srAltref = hr.Clone()
+		r.setLast(hr, true)
+		r.setAltref(hr.Clone(), true)
 	case vcodec.AltRef:
-		r.srAltref = hr
+		r.setAltref(hr, true)
 		return nil, nil // invisible: reference update only
 	default:
-		r.srLast = hr
+		r.setLast(hr, true)
 	}
 	return hr.Clone(), nil
 }
@@ -378,21 +403,28 @@ func (r *Reconstructor) reuse(d *vcodec.Decoded) (*frame.Frame, error) {
 		return nil, fmt.Errorf("sr: %d motion vectors for %d blocks", len(d.Info.MVs), r.grid.NumBlocks())
 	}
 	hrW, hrH := r.lrW*r.scale, r.lrH*r.scale
-	out := frame.MustNew(hrW, hrH)
+	// The warp writes every sample (the grid tiles the frame and the
+	// block edge is even, so chroma rectangles are disjoint and complete),
+	// making a dirty arena frame safe; blocks warp concurrently banded by
+	// whole block rows.
+	out := frame.Borrow(hrW, hrH)
 	hrGrid := frame.BlockGrid{FrameW: hrW, FrameH: hrH, Block: vcodec.MEBlock * r.scale}
-	for i, mv := range d.Info.MVs {
-		ref := r.srLast
-		if d.Info.Refs[i] == vcodec.RefAltRef && r.srAltref != nil {
-			ref = r.srAltref
+	cols := hrGrid.Cols()
+	par.For(hrGrid.Rows(), 1, func(rLo, rHi int) {
+		for i := rLo * cols; i < rHi*cols; i++ {
+			ref := r.srLast
+			if d.Info.Refs[i] == vcodec.RefAltRef && r.srAltref != nil {
+				ref = r.srAltref
+			}
+			x0, y0, w, h := hrGrid.BlockRect(i)
+			warpBlockPlanes(out, ref, x0, y0, w, h, d.Info.MVs[i].Scaled(r.scale))
 		}
-		x0, y0, w, h := hrGrid.BlockRect(i)
-		warpBlockPlanes(out, ref, x0, y0, w, h, mv.Scaled(r.scale))
-	}
-	resHR, err := frame.ScaleBilinear(d.Residual, hrW, hrH)
+	})
+	resHR := frame.Borrow(hrW, hrH)
+	frame.ScaleBilinearInto(resHR, d.Residual)
+	err := frame.AddResidual(out, resHR)
+	frame.Release(resHR)
 	if err != nil {
-		return nil, err
-	}
-	if err := frame.AddResidual(out, resHR); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,44 @@
+package transform
+
+import "testing"
+
+func benchBlock() Block {
+	var b Block
+	for i := range b {
+		b[i] = int32(i%251) - 125
+	}
+	return b
+}
+
+func BenchmarkFDCT(b *testing.B) {
+	blk := benchBlock()
+	var out Block
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FDCT(&out, &blk)
+	}
+}
+
+func BenchmarkIDCT(b *testing.B) {
+	blk := benchBlock()
+	var out Block
+	FDCT(&out, &blk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IDCT(&blk, &out)
+	}
+}
+
+func BenchmarkQuantizeDequantize(b *testing.B) {
+	blk := benchBlock()
+	table := QuantTable(80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := blk
+		Quantize(&c, &table)
+		Dequantize(&c, &table)
+	}
+}

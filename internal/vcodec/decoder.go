@@ -6,6 +6,7 @@ import (
 
 	"github.com/neuroscaler/neuroscaler/internal/bitstream"
 	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 	"github.com/neuroscaler/neuroscaler/internal/transform"
 )
 
@@ -89,6 +90,10 @@ func (d *Decoder) Decode(data []byte) (*Decoded, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Reference slots are decoder-internal (callers only ever see
+		// clones), so superseded ones go back to the frame arena.
+		frame.Release(d.last)
+		frame.Release(d.altref)
 		d.last = f
 		d.altref = f.Clone()
 		return &Decoded{Frame: f.Clone(), Info: info}, nil
@@ -120,7 +125,7 @@ func (d *Decoder) Decode(data []byte) (*Decoded, error) {
 	pred := predictFrame(d.last, d.altref, d.grid, mvs, refs)
 	var capture *frame.Frame
 	if d.CaptureResidual {
-		capture = frame.MustNew(d.w, d.h)
+		capture = frame.Borrow(d.w, d.h)
 		capture.Y.Fill(128)
 		capture.U.Fill(128)
 		capture.V.Fill(128)
@@ -134,8 +139,10 @@ func (d *Decoder) Decode(data []byte) (*Decoded, error) {
 
 	switch typ {
 	case AltRef:
+		frame.Release(d.altref)
 		d.altref = pred
 	default:
+		frame.Release(d.last)
 		d.last = pred
 	}
 	return &Decoded{Frame: pred.Clone(), Info: info, Residual: capture}, nil
@@ -169,35 +176,62 @@ func VisibleFrames(decoded []*Decoded) []*frame.Frame {
 	return out
 }
 
+// decodeIntraPlanes reconstructs a key frame. Entropy decoding is
+// inherently serial (coefficient codes are variable length), so the
+// serial phase parses every block's coefficients into a staging buffer —
+// resolving DC prediction as it goes, since the DC sits at scan position
+// 0 — and the parallel phase runs dequantization, the inverse transform,
+// and the pixel store for disjoint block ranges.
 func decodeIntraPlanes(r *bitstream.Reader, w, h, quality int) (*frame.Frame, error) {
 	f, err := frame.New(w, h)
 	if err != nil {
 		return nil, err
 	}
 	table := transform.QuantTable(quality)
-	scan := make([]int32, 64)
 	for _, p := range f.Planes() {
-		prevDC := int32(0)
-		var derr error
-		forEachBlock(p, func(bx, by int) {
-			if derr != nil {
-				return
-			}
-			if err := bitstream.ReadCoeffs(r, scan); err != nil {
-				derr = fmt.Errorf("vcodec: intra block (%d,%d): %w", bx, by, err)
-				return
-			}
+		nbx, _, n := planeBlocks(p)
+		if par.Workers() == 1 {
+			// Single worker: fuse parsing and reconstruction per block.
+			scan := make([]int32, 64)
+			prevDC := int32(0)
 			var b transform.Block
-			transform.Unzigzag(&b, scan)
-			b[0] += prevDC
-			prevDC = b[0]
-			transform.Dequantize(&b, &table)
-			transform.IDCT(&b, &b)
-			storeShifted(&b, p, bx, by)
-		})
-		if derr != nil {
-			return nil, derr
+			for i := 0; i < n; i++ {
+				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
+				if err := bitstream.ReadCoeffs(r, scan); err != nil {
+					return nil, fmt.Errorf("vcodec: intra block (%d,%d): %w", bx, by, err)
+				}
+				scan[0] += prevDC
+				prevDC = scan[0]
+				transform.Unzigzag(&b, scan)
+				transform.Dequantize(&b, &table)
+				transform.IDCT(&b, &b)
+				storeShifted(&b, p, bx, by)
+			}
+			continue
 		}
+		coeffs := coeffPool.Get(n * 64)
+		prevDC := int32(0)
+		for i := 0; i < n; i++ {
+			scan := coeffs[i*64 : (i+1)*64]
+			if err := bitstream.ReadCoeffs(r, scan); err != nil {
+				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
+				coeffPool.Put(coeffs)
+				return nil, fmt.Errorf("vcodec: intra block (%d,%d): %w", bx, by, err)
+			}
+			scan[0] += prevDC
+			prevDC = scan[0]
+		}
+		par.For(n, blockGrain, func(lo, hi int) {
+			var b transform.Block
+			for i := lo; i < hi; i++ {
+				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
+				transform.Unzigzag(&b, coeffs[i*64:(i+1)*64])
+				transform.Dequantize(&b, &table)
+				transform.IDCT(&b, &b)
+				storeShifted(&b, p, bx, by)
+			}
+		})
+		coeffPool.Put(coeffs)
 	}
 	return f, nil
 }
@@ -212,34 +246,56 @@ func decodeResidualInto(r *bitstream.Reader, pred *frame.Frame, quality int) err
 // biased (+128) form into capture.
 func decodeResidualWithCapture(r *bitstream.Reader, pred *frame.Frame, quality int, capture *frame.Frame) error {
 	table := transform.QuantTable(quality)
-	scan := make([]int32, 64)
 	pp := pred.Planes()
 	var cp [3]*frame.Plane
 	if capture != nil {
 		cp = capture.Planes()
 	}
 	for pi, p := range pp {
-		var derr error
-		forEachBlock(p, func(bx, by int) {
-			if derr != nil {
-				return
-			}
-			if err := bitstream.ReadCoeffs(r, scan); err != nil {
-				derr = fmt.Errorf("vcodec: residual block (%d,%d): %w", bx, by, err)
-				return
-			}
+		nbx, _, n := planeBlocks(p)
+		if par.Workers() == 1 {
+			// Single worker: fuse parsing and reconstruction per block.
+			scan := make([]int32, 64)
+			cplane := cp[pi]
 			var b transform.Block
-			transform.Unzigzag(&b, scan)
-			transform.Dequantize(&b, &table)
-			transform.IDCT(&b, &b)
-			addBlock(&b, p, bx, by)
-			if capture != nil {
-				storeShifted(&b, cp[pi], bx, by)
+			for i := 0; i < n; i++ {
+				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
+				if err := bitstream.ReadCoeffs(r, scan); err != nil {
+					return fmt.Errorf("vcodec: residual block (%d,%d): %w", bx, by, err)
+				}
+				transform.Unzigzag(&b, scan)
+				transform.Dequantize(&b, &table)
+				transform.IDCT(&b, &b)
+				addBlock(&b, p, bx, by)
+				if capture != nil {
+					storeShifted(&b, cplane, bx, by)
+				}
+			}
+			continue
+		}
+		coeffs := coeffPool.Get(n * 64)
+		for i := 0; i < n; i++ {
+			if err := bitstream.ReadCoeffs(r, coeffs[i*64:(i+1)*64]); err != nil {
+				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
+				coeffPool.Put(coeffs)
+				return fmt.Errorf("vcodec: residual block (%d,%d): %w", bx, by, err)
+			}
+		}
+		cplane := cp[pi]
+		par.For(n, blockGrain, func(lo, hi int) {
+			var b transform.Block
+			for i := lo; i < hi; i++ {
+				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
+				transform.Unzigzag(&b, coeffs[i*64:(i+1)*64])
+				transform.Dequantize(&b, &table)
+				transform.IDCT(&b, &b)
+				addBlock(&b, p, bx, by)
+				if capture != nil {
+					storeShifted(&b, cplane, bx, by)
+				}
 			}
 		})
-		if derr != nil {
-			return derr
-		}
+		coeffPool.Put(coeffs)
 	}
 	return nil
 }

@@ -1,0 +1,112 @@
+package vcodec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/metrics"
+	"github.com/neuroscaler/neuroscaler/internal/par"
+)
+
+// TestWorkerCountDeterminism is the contract of internal/par: the entire
+// codec path must produce byte-identical bitstreams and bit-identical
+// reconstructions no matter how many workers execute the kernels.
+func TestWorkerCountDeterminism(t *testing.T) {
+	frames := testFrames(t, "lol", 25)
+	cfg := testConfig()
+
+	type result struct {
+		packets [][]byte
+		psnr    float64
+	}
+	oldWorkers := par.Workers()
+	defer par.SetWorkers(oldWorkers)
+
+	run := func(workers int) result {
+		par.SetWorkers(workers)
+		enc, err := NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := enc.EncodeAll(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeStream(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visible := VisibleFrames(decoded)
+		psnr, err := metrics.MeanPSNR(frames, visible)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := make([][]byte, len(stream.Packets))
+		for i, p := range stream.Packets {
+			pkts[i] = p.Data
+		}
+		return result{packets: pkts, psnr: psnr}
+	}
+
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got.packets) != len(base.packets) {
+			t.Fatalf("workers=%d: %d packets, want %d", workers, len(got.packets), len(base.packets))
+		}
+		for i := range base.packets {
+			if !bytes.Equal(got.packets[i], base.packets[i]) {
+				t.Fatalf("workers=%d: packet %d bitstream differs from serial encode", workers, i)
+			}
+		}
+		if got.psnr != base.psnr {
+			t.Fatalf("workers=%d: PSNR %.9f differs from serial %.9f", workers, got.psnr, base.psnr)
+		}
+	}
+}
+
+// TestDecodeMatchesAcrossWorkerCounts decodes one serial-encoded stream
+// under several worker counts and requires identical pixels, covering the
+// decoder's parallel inverse-transform and prediction paths in isolation.
+func TestDecodeMatchesAcrossWorkerCounts(t *testing.T) {
+	frames := testFrames(t, "gta", 20)
+	oldWorkers := par.Workers()
+	defer par.SetWorkers(oldWorkers)
+
+	par.SetWorkers(1)
+	enc, err := NewEncoder(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := enc.EncodeAll(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func() [][]byte {
+		decoded, err := DecodeStream(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lumas [][]byte
+		for _, d := range decoded {
+			lumas = append(lumas, append([]byte(nil), d.Frame.Y.Pix...))
+			if d.Residual != nil {
+				lumas = append(lumas, append([]byte(nil), d.Residual.Y.Pix...))
+			}
+		}
+		return lumas
+	}
+	base := decode()
+	for _, workers := range []int{2, 8} {
+		par.SetWorkers(workers)
+		got := decode()
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d planes, want %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if !bytes.Equal(got[i], base[i]) {
+				t.Fatalf("workers=%d: decoded plane %d differs from serial decode", workers, i)
+			}
+		}
+	}
+}

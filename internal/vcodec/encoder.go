@@ -5,8 +5,17 @@ import (
 
 	"github.com/neuroscaler/neuroscaler/internal/bitstream"
 	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 	"github.com/neuroscaler/neuroscaler/internal/transform"
 )
+
+// coeffPool recycles the per-plane coefficient staging buffers used by the
+// two-phase (parallel transform, serial entropy write) block coding loops.
+var coeffPool par.SlabPool[int32]
+
+// blockGrain is how many 8×8 transform blocks one worker claims at a
+// time; large enough to amortize scheduling, small enough to load-balance.
+const blockGrain = 16
 
 // Encoder carries coding state across chunks: the two reference slots
 // (decoded, i.e. closed-loop), the display-frame counter, and the rate
@@ -64,11 +73,13 @@ func (e *Encoder) EncodeChunk(frames []*frame.Frame) ([]Packet, error) {
 				}
 				if target > i {
 					pkt := e.encodeInter(frames[target], e.frameIdx+(target-i), AltRef)
+					frame.Release(e.altref)
 					e.altref = pkt.recon
 					out = append(out, pkt.Packet)
 				}
 			}
 			pkt := e.encodeInter(f, gi, Inter)
+			frame.Release(e.last)
 			e.last = pkt.recon
 			out = append(out, pkt.Packet)
 		}
@@ -93,6 +104,8 @@ func (e *Encoder) encodeKey(f *frame.Frame, displayIdx int) Packet {
 	encodeIntraPlanes(&w, f, quality)
 	data := w.Bytes()
 	recon := decodeIntraFromPacket(data, e.cfg.Width, e.cfg.Height)
+	frame.Release(e.last) // the superseded references are encoder-owned
+	frame.Release(e.altref)
 	e.last = recon
 	e.altref = recon.Clone() // a key frame resets both reference slots
 	e.rc.observe(len(data)*8, true)
@@ -122,6 +135,7 @@ func (e *Encoder) encodeInter(f *frame.Frame, displayIdx int, typ FrameType) int
 		// Constrain per-frame overshoot by retrying once at a coarser
 		// quantizer, mimicking a real encoder's recode pass.
 		if e.rc.overshoots(len(res.Data)*8) && quality > e.rc.minQuality()+10 {
+			frame.Release(res.recon) // discarded attempt
 			quality -= 10
 			continue
 		}
@@ -132,11 +146,15 @@ func (e *Encoder) encodeInter(f *frame.Frame, displayIdx int, typ FrameType) int
 
 func (e *Encoder) encodeInterAt(f *frame.Frame, displayIdx int, typ FrameType, quality int) interResult {
 	last := e.last
-	if last == nil {
-		last = frame.MustNew(e.cfg.Width, e.cfg.Height)
+	scratchLast := last == nil
+	if scratchLast {
+		last = frame.BorrowZero(e.cfg.Width, e.cfg.Height)
 	}
 	mvs, refs, _ := estimateMotion(f, last, e.altref, e.grid, e.cfg.SearchRange)
 	pred := predictFrame(last, e.altref, e.grid, mvs, refs)
+	if scratchLast {
+		frame.Release(last)
+	}
 
 	var w bitstream.Writer
 	writeHeader(&w, typ, quality, displayIdx)
@@ -180,59 +198,111 @@ func writeHeader(w *bitstream.Writer, typ FrameType, quality, displayIdx int) {
 	w.WriteUE(uint64(displayIdx))
 }
 
+// planeBlocks returns the 8×8 block-grid shape of a plane: columns, rows,
+// and total block count, in the raster order forEachBlock visits.
+func planeBlocks(p *frame.Plane) (nbx, nby, n int) {
+	bs := transform.BlockSize
+	nbx = (p.W + bs - 1) / bs
+	nby = (p.H + bs - 1) / bs
+	return nbx, nby, nbx * nby
+}
+
 // encodeIntraPlanes codes all three planes as level-shifted DCT blocks
 // with DC prediction, as in the image codec.
+//
+// Coding runs in two phases so the serial bitstream stays bit-identical
+// while the expensive work parallelizes: every block's forward transform
+// and quantization lands in a staging buffer concurrently, then a serial
+// pass applies DC prediction and entropy-codes the blocks in raster
+// order.
 func encodeIntraPlanes(w *bitstream.Writer, f *frame.Frame, quality int) {
 	table := transform.QuantTable(quality)
 	scan := make([]int32, 64)
 	for _, p := range f.Planes() {
-		prevDC := int32(0)
-		forEachBlock(p, func(bx, by int) {
-			var b transform.Block
+		nbx, _, n := planeBlocks(p)
+		transformBlock := func(i int, b *transform.Block) {
+			bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
 			for y := 0; y < transform.BlockSize; y++ {
 				for x := 0; x < transform.BlockSize; x++ {
 					b[y*transform.BlockSize+x] = int32(p.At(bx+x, by+y)) - 128
 				}
 			}
-			transform.FDCT(&b, &b)
-			transform.Quantize(&b, &table)
+			transform.FDCT(b, b)
+			transform.Quantize(b, &table)
+		}
+		writeBlock := func(b *transform.Block, prevDC int32) int32 {
 			dc := b[0]
 			b[0] -= prevDC
-			prevDC = dc
-			transform.Zigzag(scan, &b)
+			transform.Zigzag(scan, b)
 			bitstream.WriteCoeffs(w, scan)
+			return dc
+		}
+		if par.Workers() == 1 {
+			// Single worker: fuse the phases and skip the staging buffer.
+			prevDC := int32(0)
+			var b transform.Block
+			for i := 0; i < n; i++ {
+				transformBlock(i, &b)
+				prevDC = writeBlock(&b, prevDC)
+			}
+			continue
+		}
+		coeffs := coeffPool.Get(n * 64)
+		par.For(n, blockGrain, func(lo, hi int) {
+			var b transform.Block
+			for i := lo; i < hi; i++ {
+				transformBlock(i, &b)
+				copy(coeffs[i*64:(i+1)*64], b[:])
+			}
 		})
+		prevDC := int32(0)
+		for i := 0; i < n; i++ {
+			prevDC = writeBlock((*transform.Block)(coeffs[i*64:(i+1)*64]), prevDC)
+		}
+		coeffPool.Put(coeffs)
 	}
 }
 
 // encodeResidualPlanes codes (src - pred) for all planes as DCT blocks
 // without level shift or DC prediction (residuals are already zero-mean).
+// Residual blocks have no cross-block state, so the parallel phase stages
+// them directly in zigzag order and the serial phase only writes bits.
 func encodeResidualPlanes(w *bitstream.Writer, src, pred *frame.Frame, quality int) {
 	table := transform.QuantTable(quality)
-	scan := make([]int32, 64)
 	sp, pp := src.Planes(), pred.Planes()
 	for pi := 0; pi < 3; pi++ {
 		s, p := sp[pi], pp[pi]
-		forEachBlock(s, func(bx, by int) {
-			var b transform.Block
+		nbx, _, n := planeBlocks(s)
+		transformBlock := func(i int, b *transform.Block, scan []int32) {
+			bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
 			for y := 0; y < transform.BlockSize; y++ {
 				for x := 0; x < transform.BlockSize; x++ {
 					b[y*transform.BlockSize+x] = int32(s.At(bx+x, by+y)) - int32(p.At(bx+x, by+y))
 				}
 			}
-			transform.FDCT(&b, &b)
-			transform.Quantize(&b, &table)
-			transform.Zigzag(scan, &b)
-			bitstream.WriteCoeffs(w, scan)
-		})
-	}
-}
-
-// forEachBlock visits the top-left corner of every 8×8 block covering p.
-func forEachBlock(p *frame.Plane, fn func(bx, by int)) {
-	for by := 0; by < p.H; by += transform.BlockSize {
-		for bx := 0; bx < p.W; bx += transform.BlockSize {
-			fn(bx, by)
+			transform.FDCT(b, b)
+			transform.Quantize(b, &table)
+			transform.Zigzag(scan, b)
 		}
+		if par.Workers() == 1 {
+			scan := make([]int32, 64)
+			var b transform.Block
+			for i := 0; i < n; i++ {
+				transformBlock(i, &b, scan)
+				bitstream.WriteCoeffs(w, scan)
+			}
+			continue
+		}
+		coeffs := coeffPool.Get(n * 64)
+		par.For(n, blockGrain, func(lo, hi int) {
+			var b transform.Block
+			for i := lo; i < hi; i++ {
+				transformBlock(i, &b, coeffs[i*64:(i+1)*64])
+			}
+		})
+		for i := 0; i < n; i++ {
+			bitstream.WriteCoeffs(w, coeffs[i*64:(i+1)*64])
+		}
+		coeffPool.Put(coeffs)
 	}
 }

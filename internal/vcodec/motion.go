@@ -1,17 +1,50 @@
 package vcodec
 
-import "github.com/neuroscaler/neuroscaler/internal/frame"
+import (
+	"math"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
+)
 
 // Motion estimation: a three-step logarithmic search per block against
 // both reference slots, picking the (reference, vector) pair with the
 // lowest SAD. The zero vector is always evaluated so static content costs
 // nothing to represent.
+//
+// Blocks are searched concurrently on the worker pool — each block's
+// result lands in its own slot of the output slices — and candidate SADs
+// terminate early once they exceed the block's current best. Both
+// optimizations are exact: a terminated candidate reports a value at
+// least as large as the running best, so it loses the strict comparison
+// exactly as its full sum would, and winners are always fully summed.
 
 // blockSAD returns the sum of absolute luma differences between the block
 // at (x0, y0) in src and the block displaced by (dx, dy) in ref, with
-// clamped (border-extended) reference access.
-func blockSAD(src, ref *frame.Plane, x0, y0, w, h, dx, dy int) int {
+// clamped (border-extended) reference access. Accumulation stops at the
+// end of any row where the partial sum has already reached limit; the
+// returned value is then >= limit but otherwise unspecified.
+func blockSAD(src, ref *frame.Plane, x0, y0, w, h, dx, dy, limit int) int {
 	sad := 0
+	if x0+dx >= 0 && y0+dy >= 0 && x0+w+dx <= ref.W && y0+h+dy <= ref.H {
+		// Fully in-bounds displacement: row slices avoid the per-sample
+		// clamping of Plane.At.
+		for y := 0; y < h; y++ {
+			srow := src.Row(y0 + y)[x0 : x0+w]
+			rrow := ref.Row(y0 + y + dy)[x0+dx : x0+dx+w]
+			for x, s := range srow {
+				d := int(s) - int(rrow[x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+			if sad >= limit {
+				return sad
+			}
+		}
+		return sad
+	}
 	for y := 0; y < h; y++ {
 		srow := src.Row(y0 + y)
 		for x := 0; x < w; x++ {
@@ -21,15 +54,18 @@ func blockSAD(src, ref *frame.Plane, x0, y0, w, h, dx, dy int) int {
 			}
 			sad += d
 		}
+		if sad >= limit {
+			return sad
+		}
 	}
 	return sad
 }
 
 // searchBlock runs a three-step search around the zero vector and returns
-// the best vector and its SAD.
+// the best vector and its (exact) SAD.
 func searchBlock(src, ref *frame.Plane, x0, y0, w, h, searchRange int) (frame.MotionVector, int) {
 	bestDX, bestDY := 0, 0
-	bestSAD := blockSAD(src, ref, x0, y0, w, h, 0, 0)
+	bestSAD := blockSAD(src, ref, x0, y0, w, h, 0, 0, math.MaxInt)
 	step := searchRange
 	for step >= 1 {
 		improved := true
@@ -43,7 +79,7 @@ func searchBlock(src, ref *frame.Plane, x0, y0, w, h, searchRange int) (frame.Mo
 				if dx < -searchRange || dx > searchRange || dy < -searchRange || dy > searchRange {
 					continue
 				}
-				sad := blockSAD(src, ref, x0, y0, w, h, dx, dy)
+				sad := blockSAD(src, ref, x0, y0, w, h, dx, dy, bestSAD)
 				if sad < bestSAD {
 					bestSAD, bestDX, bestDY = sad, dx, dy
 					improved = true
@@ -61,39 +97,51 @@ func estimateMotion(src *frame.Frame, last, altref *frame.Frame, grid frame.Bloc
 	n := grid.NumBlocks()
 	mvs = make([]frame.MotionVector, n)
 	refs = make([]uint8, n)
-	for i := 0; i < n; i++ {
-		x0, y0, w, h := grid.BlockRect(i)
-		mvL, sadL := searchBlock(&src.Y, &last.Y, x0, y0, w, h, searchRange)
-		mv, sad, ref := mvL, sadL, RefLast
-		if altref != nil {
-			mvA, sadA := searchBlock(&src.Y, &altref.Y, x0, y0, w, h, searchRange)
-			// Prefer the altref on ties and near-ties: it is coded at a
-			// finer quantizer, so equal-SAD prediction from it carries
-			// less accumulated quantization noise (this is why VP9's
-			// altref earns its high reference counts).
-			margin := (w * h) / 64 // ~4 luma levels per 16x16 block
-			if sadA <= sad+margin {
-				mv, sad, ref = mvA, sadA, RefAltRef
+	sads := make([]int64, n)
+	par.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x0, y0, w, h := grid.BlockRect(i)
+			mvL, sadL := searchBlock(&src.Y, &last.Y, x0, y0, w, h, searchRange)
+			mv, sad, ref := mvL, sadL, RefLast
+			if altref != nil {
+				mvA, sadA := searchBlock(&src.Y, &altref.Y, x0, y0, w, h, searchRange)
+				// Prefer the altref on ties and near-ties: it is coded at a
+				// finer quantizer, so equal-SAD prediction from it carries
+				// less accumulated quantization noise (this is why VP9's
+				// altref earns its high reference counts).
+				margin := (w * h) / 64 // ~4 luma levels per 16x16 block
+				if sadA <= sad+margin {
+					mv, sad, ref = mvA, sadA, RefAltRef
+				}
 			}
+			mvs[i], refs[i] = mv, ref
+			sads[i] = int64(sad)
 		}
-		mvs[i], refs[i] = mv, ref
-		totalSAD += int64(sad)
+	})
+	for _, s := range sads {
+		totalSAD += s
 	}
 	return mvs, refs, totalSAD
 }
 
 // predictFrame builds the motion-compensated prediction for a frame from
-// the two reference slots using per-block reference choices.
+// the two reference slots using per-block reference choices. The result
+// comes from the frame arena; ownership passes to the caller, and every
+// sample is written (the block grid tiles the frame in luma and chroma —
+// MEBlock is even, so chroma rectangles are disjoint and complete).
 func predictFrame(last, altref *frame.Frame, grid frame.BlockGrid, mvs []frame.MotionVector, refs []uint8) *frame.Frame {
-	pred := frame.MustNew(grid.FrameW, grid.FrameH)
-	for i := range mvs {
-		ref := last
-		if refs[i] == RefAltRef && altref != nil {
-			ref = altref
+	pred := frame.Borrow(grid.FrameW, grid.FrameH)
+	cols := grid.Cols()
+	par.For(grid.Rows(), 1, func(rLo, rHi int) {
+		for i := rLo * cols; i < rHi*cols; i++ {
+			ref := last
+			if refs[i] == RefAltRef && altref != nil {
+				ref = altref
+			}
+			x0, y0, w, h := grid.BlockRect(i)
+			warpRectPlanes(pred, ref, x0, y0, w, h, mvs[i])
 		}
-		x0, y0, w, h := grid.BlockRect(i)
-		warpRectPlanes(pred, ref, x0, y0, w, h, mvs[i])
-	}
+	})
 	return pred
 }
 

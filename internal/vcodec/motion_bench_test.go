@@ -1,0 +1,65 @@
+package vcodec
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+)
+
+// benchPlanePair builds two w×h luma planes with correlated content and a
+// small displacement, the shape motion search actually sees.
+func benchPlanePair(w, h int) (src, ref *frame.Frame) {
+	src = frame.MustNew(w, h)
+	ref = frame.MustNew(w, h)
+	for y := 0; y < h; y++ {
+		sr, rr := src.Y.Row(y), ref.Y.Row(y)
+		for x := 0; x < w; x++ {
+			v := byte((x*5 + y*3) % 255)
+			sr[x] = v
+			rr[x] = byte((int(v) + (x+y)%7) % 255)
+		}
+	}
+	return src, ref
+}
+
+func BenchmarkBlockSAD(b *testing.B) {
+	src, ref := benchPlanePair(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blockSAD(&src.Y, &ref.Y, 112, 112, MEBlock, MEBlock, 3, -2, 1<<30)
+	}
+}
+
+// BenchmarkBlockSADEarlyOut measures the early-termination path: a tight
+// limit lets the first row's partial sum end the scan.
+func BenchmarkBlockSADEarlyOut(b *testing.B) {
+	src, ref := benchPlanePair(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blockSAD(&src.Y, &ref.Y, 112, 112, MEBlock, MEBlock, 3, -2, 1)
+	}
+}
+
+func BenchmarkEstimateMotion720p(b *testing.B) {
+	src, ref := benchPlanePair(1280, 720)
+	grid := frame.BlockGrid{FrameW: 1280, FrameH: 720, Block: MEBlock}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		estimateMotion(src, ref, nil, grid, 8)
+	}
+}
+
+func BenchmarkPredictFrame720p(b *testing.B) {
+	src, ref := benchPlanePair(1280, 720)
+	grid := frame.BlockGrid{FrameW: 1280, FrameH: 720, Block: MEBlock}
+	mvs, refs, _ := estimateMotion(src, ref, nil, grid, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred := predictFrame(ref, nil, grid, mvs, refs)
+		frame.Release(pred)
+	}
+}
