@@ -1,0 +1,73 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn wraps a net.Conn with fault injection on every Read and Write.
+// Drop closes the underlying connection (subsequent calls fail exactly
+// as a real peer death would); Corrupt flips one byte so the wire
+// package's CRC check rejects the frame; Stall sleeps before the
+// operation, which read/write deadlines turn into timeouts.
+type Conn struct {
+	net.Conn
+	inj  *Injector
+	gate *Gate
+}
+
+// WrapConn layers injection (and an optional gate; nil is allowed) over
+// an open connection.
+func WrapConn(c net.Conn, inj *Injector, gate *Gate) *Conn {
+	return &Conn{Conn: c, inj: inj, gate: gate}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.gate != nil && c.gate.Dead() {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: conn read: %w", ErrKilled)
+	}
+	switch c.inj.Next() {
+	case Error:
+		return 0, fmt.Errorf("faults: conn read: %w", ErrInjected)
+	case Drop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: conn dropped: %w", ErrInjected)
+	case Stall:
+		time.Sleep(c.inj.StallFor())
+	case Corrupt:
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			p[c.inj.intn(n)] ^= 0xFF
+		}
+		return n, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn. Corrupted writes damage a copy, never the
+// caller's buffer.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.gate != nil && c.gate.Dead() {
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: conn write: %w", ErrKilled)
+	}
+	switch c.inj.Next() {
+	case Error:
+		return 0, fmt.Errorf("faults: conn write: %w", ErrInjected)
+	case Drop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("faults: conn dropped: %w", ErrInjected)
+	case Stall:
+		time.Sleep(c.inj.StallFor())
+	case Corrupt:
+		if len(p) > 0 {
+			dup := append([]byte(nil), p...)
+			dup[c.inj.intn(len(dup))] ^= 0xFF
+			return c.Conn.Write(dup)
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
 	"github.com/neuroscaler/neuroscaler/internal/hybrid"
@@ -20,6 +21,11 @@ type Streamer struct {
 	streamID uint32
 	encoder  *vcodec.Encoder
 	seq      uint32
+
+	// Timeout, when positive, bounds each chunk upload round trip
+	// (write + ack read) so a stalled server cannot wedge the
+	// broadcaster. Zero keeps the historical unbounded behaviour.
+	Timeout time.Duration
 }
 
 // NewStreamer connects to the media server, announces the stream, and
@@ -73,6 +79,10 @@ func (s *Streamer) SendChunk(frames []*frame.Frame) (int, error) {
 		StreamID: s.streamID,
 		Seq:      s.seq,
 		Payload:  wire.EncodeChunk(raw),
+	}
+	if s.Timeout > 0 {
+		_ = s.conn.SetDeadline(time.Now().Add(s.Timeout))
+		defer s.conn.SetDeadline(time.Time{})
 	}
 	if err := wire.Write(s.conn, msg); err != nil {
 		return 0, err

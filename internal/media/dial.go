@@ -1,9 +1,18 @@
 package media
 
-import "net"
+import (
+	"net"
+	"time"
+)
+
+// dialWire opens a TCP connection to a wire endpoint; a zero timeout
+// means no dial bound.
+func dialWire(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
 
 // dialRaw opens a bare TCP connection to a wire endpoint; used by tests
 // and tooling that need protocol-level control.
 func dialRaw(addr string) (net.Conn, error) {
-	return net.Dial("tcp", addr)
+	return dialWire(addr, 0)
 }

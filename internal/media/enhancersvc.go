@@ -7,16 +7,53 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/icodec"
 	"github.com/neuroscaler/neuroscaler/internal/sr"
 	"github.com/neuroscaler/neuroscaler/internal/wire"
 )
 
+// ErrEnhancerUnavailable reports a transport-level enhancer failure:
+// the replica is unreachable, timed out, or dropped the connection. The
+// server treats it (like any enhancement error) as an anchor drop and
+// degrades the chunk instead of failing it.
+var ErrEnhancerUnavailable = errors.New("media: enhancer unavailable")
+
+const (
+	// DefaultIdleTimeout bounds the wait for the next request frame on
+	// ingest and enhancer connections (slowloris guard).
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds each reply write.
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// pickTimeout resolves a configured timeout: zero selects the default,
+// negative disables the bound.
+func pickTimeout(configured, def time.Duration) time.Duration {
+	if configured == 0 {
+		return def
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
+}
+
 // AnchorEnhancer super-resolves and image-encodes one anchor frame. The
-// media server is configured with one (local or remote).
+// media server is configured with one (local, remote, or a pool).
 type AnchorEnhancer interface {
 	Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error)
+}
+
+// registrar is implemented by enhancers needing per-stream registration.
+type registrar interface {
+	Register(uint32, wire.Hello) error
+}
+
+// pinger is implemented by enhancers that support liveness probes.
+type pinger interface {
+	Ping() error
 }
 
 // ModelProvider resolves the content-aware model for a stream. In the
@@ -72,31 +109,51 @@ func (e *LocalEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.Ancho
 	return wire.AnchorResult{Packet: job.Packet, Encoded: data}, nil
 }
 
+// EnhancerServerConfig tunes an enhancer service endpoint.
+type EnhancerServerConfig struct {
+	// IdleTimeout bounds the wait for the next request on a connection;
+	// zero uses DefaultIdleTimeout, negative disables the bound.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write; zero uses
+	// DefaultWriteTimeout, negative disables the bound.
+	WriteTimeout time.Duration
+	// Logf receives diagnostics; nil uses the standard logger.
+	Logf func(string, ...any)
+}
+
 // EnhancerServer exposes a LocalEnhancer over TCP using the wire
 // protocol: Hello registers the stream, AnchorJob frames are answered
-// with AnchorResult frames.
+// with AnchorResult frames, Ping frames with Pong (heartbeats).
 type EnhancerServer struct {
 	enhancer *LocalEnhancer
 	ln       net.Listener
-	logf     func(string, ...any)
+	cfg      EnhancerServerConfig
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// NewEnhancerServer starts serving on addr (use "127.0.0.1:0" for tests).
+// NewEnhancerServer starts serving on addr (use "127.0.0.1:0" for tests)
+// with default timeouts.
 func NewEnhancerServer(addr string, enhancer *LocalEnhancer, logf func(string, ...any)) (*EnhancerServer, error) {
+	return NewEnhancerServerWith(addr, enhancer, EnhancerServerConfig{Logf: logf})
+}
+
+// NewEnhancerServerWith starts serving on addr with explicit timeouts.
+func NewEnhancerServerWith(addr string, enhancer *LocalEnhancer, cfg EnhancerServerConfig) (*EnhancerServer, error) {
 	if enhancer == nil {
 		return nil, errors.New("media: nil enhancer")
 	}
-	if logf == nil {
-		logf = log.Printf
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
 	}
+	cfg.IdleTimeout = pickTimeout(cfg.IdleTimeout, DefaultIdleTimeout)
+	cfg.WriteTimeout = pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("media: enhancer listen: %w", err)
 	}
-	s := &EnhancerServer{enhancer: enhancer, ln: ln, logf: logf, closed: make(chan struct{})}
+	s := &EnhancerServer{enhancer: enhancer, ln: ln, cfg: cfg, closed: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -122,7 +179,7 @@ func (s *EnhancerServer) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				s.logf("media: enhancer accept: %v", err)
+				s.cfg.Logf("media: enhancer accept: %v", err)
 				return
 			}
 		}
@@ -131,14 +188,29 @@ func (s *EnhancerServer) acceptLoop() {
 			defer s.wg.Done()
 			defer conn.Close()
 			if err := s.serveConn(conn); err != nil {
-				s.logf("media: enhancer conn %s: %v", conn.RemoteAddr(), err)
+				s.cfg.Logf("media: enhancer conn %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
 }
 
+// write sends one reply under the configured write deadline.
+func (s *EnhancerServer) write(conn net.Conn, msg wire.Message) error {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	err := wire.Write(conn, msg)
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
 func (s *EnhancerServer) serveConn(conn net.Conn) error {
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
@@ -155,7 +227,7 @@ func (s *EnhancerServer) serveConn(conn net.Conn) error {
 			if err := s.enhancer.Register(msg.StreamID, h); err != nil {
 				return s.replyError(conn, msg, err)
 			}
-			if err := wire.Write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+			if err := s.write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
 			}
 		case wire.TypeAnchorJob:
@@ -173,7 +245,11 @@ func (s *EnhancerServer) serveConn(conn net.Conn) error {
 				Seq:      msg.Seq,
 				Payload:  wire.EncodeAnchorResult(res),
 			}
-			if err := wire.Write(conn, reply); err != nil {
+			if err := s.write(conn, reply); err != nil {
+				return err
+			}
+		case wire.TypePing:
+			if err := s.write(conn, wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
 			}
 		case wire.TypeGoodbye:
@@ -191,44 +267,79 @@ func (s *EnhancerServer) replyError(conn net.Conn, msg wire.Message, cause error
 		Seq:      msg.Seq,
 		Payload:  []byte(cause.Error()),
 	}
-	if err := wire.Write(conn, reply); err != nil {
+	if err := s.write(conn, reply); err != nil {
 		return err
 	}
 	return cause
 }
 
 // RemoteEnhancer is an AnchorEnhancer backed by an EnhancerServer over
-// TCP. It is safe for sequential use per stream; the media server
-// serializes per-stream jobs.
+// TCP. It is safe for concurrent callers: one request/response exchange
+// runs on the wire at a time, each bounded by the call timeout. A failed
+// exchange marks the connection broken; the next call transparently
+// redials and re-registers every known stream.
 type RemoteEnhancer struct {
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint32
+	addr        string
+	callTimeout time.Duration
+	dial        func() (net.Conn, error)
+
+	mu     sync.Mutex
+	conn   net.Conn
+	seq    uint32
+	hellos map[uint32][]byte // encoded hello payloads for re-registration
+	closed bool
 }
 
-// DialEnhancer connects to an enhancer service.
+// DialEnhancer connects to an enhancer service with default timeouts.
 func DialEnhancer(addr string) (*RemoteEnhancer, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialEnhancerTimeout(addr, 0, 0)
+}
+
+// DialEnhancerTimeout connects with a dial timeout and arms every call
+// with a read/write deadline. Zero durations select the defaults
+// (DefaultWriteTimeout for dialing, DefaultIdleTimeout for calls);
+// negative durations disable the bound.
+func DialEnhancerTimeout(addr string, dialTimeout, callTimeout time.Duration) (*RemoteEnhancer, error) {
+	dialTimeout = pickTimeout(dialTimeout, DefaultWriteTimeout)
+	r := &RemoteEnhancer{
+		addr:        addr,
+		callTimeout: pickTimeout(callTimeout, DefaultIdleTimeout),
+		dial:        func() (net.Conn, error) { return dialWire(addr, dialTimeout) },
+		hellos:      make(map[uint32][]byte),
+	}
+	r.mu.Lock()
+	err := r.reconnectLocked()
+	r.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("media: dial enhancer: %w", err)
 	}
-	return &RemoteEnhancer{conn: conn}, nil
+	return r, nil
 }
 
 // Close tears down the connection.
 func (r *RemoteEnhancer) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closed = true
+	if r.conn == nil {
+		return nil
+	}
 	_ = wire.Write(r.conn, wire.Message{Type: wire.TypeGoodbye})
-	return r.conn.Close()
+	err := r.conn.Close()
+	r.conn = nil
+	return err
 }
 
-// Register announces a stream to the remote enhancer.
+// Register announces a stream to the remote enhancer. The hello is
+// retained so reconnects can re-register it.
 func (r *RemoteEnhancer) Register(streamID uint32, h wire.Hello) error {
 	payload, err := wire.EncodeHello(h)
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
+	r.hellos[streamID] = payload
+	r.mu.Unlock()
 	reply, err := r.call(wire.Message{Type: wire.TypeHello, StreamID: streamID, Payload: payload})
 	if err != nil {
 		return err
@@ -255,27 +366,103 @@ func (r *RemoteEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.Anch
 	return wire.DecodeAnchorResult(reply.Payload)
 }
 
-// call performs one synchronous request/response exchange.
+// Ping performs a liveness probe (heartbeat health checks).
+func (r *RemoteEnhancer) Ping() error {
+	reply, err := r.call(wire.Message{Type: wire.TypePing})
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypePong {
+		return fmt.Errorf("media: ping: unexpected reply %v", reply.Type)
+	}
+	return nil
+}
+
+// reconnectLocked dials the enhancer and re-registers every known
+// stream. Callers hold r.mu.
+func (r *RemoteEnhancer) reconnectLocked() error {
+	conn, err := r.dial()
+	if err != nil {
+		return err
+	}
+	for streamID, payload := range r.hellos {
+		r.seq++
+		msg := wire.Message{Type: wire.TypeHello, StreamID: streamID, Seq: r.seq, Payload: payload}
+		reply, err := r.exchange(conn, msg)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("re-register stream %d: %w", streamID, err)
+		}
+		// A protocol-level rejection (e.g. the replica cannot resolve the
+		// model) leaves the conn usable; the stream's own jobs will
+		// surface the failure.
+		_ = reply
+	}
+	r.conn = conn
+	return nil
+}
+
+// exchange performs one request/response on conn under the call
+// deadline. It returns transport errors; TypeError replies come back as
+// a message for the caller to interpret.
+func (r *RemoteEnhancer) exchange(conn net.Conn, msg wire.Message) (wire.Message, error) {
+	if r.callTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(r.callTimeout))
+	}
+	if err := wire.Write(conn, msg); err != nil {
+		return wire.Message{}, err
+	}
+	reply, err := wire.Read(conn, wire.DefaultMaxPayload)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if r.callTimeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
+	}
+	return reply, nil
+}
+
+// call performs one synchronous request/response, redialing first if the
+// previous exchange broke the connection.
 func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return wire.Message{}, fmt.Errorf("media: enhancer client closed: %w", ErrEnhancerUnavailable)
+	}
+	if r.conn == nil {
+		if err := r.reconnectLocked(); err != nil {
+			return wire.Message{}, fmt.Errorf("media: reconnect %s: %v: %w", r.addr, err, ErrEnhancerUnavailable)
+		}
+	}
 	r.seq++
 	msg.Seq = r.seq
-	if err := wire.Write(r.conn, msg); err != nil {
-		return wire.Message{}, err
-	}
-	reply, err := wire.Read(r.conn, wire.DefaultMaxPayload)
+	reply, err := r.exchange(r.conn, msg)
 	if err != nil {
-		return wire.Message{}, err
+		r.dropConnLocked()
+		return wire.Message{}, fmt.Errorf("media: enhancer call: %v: %w", err, ErrEnhancerUnavailable)
 	}
 	if reply.Type == wire.TypeError {
 		return wire.Message{}, fmt.Errorf("media: remote: %s", reply.Payload)
 	}
 	if reply.Seq != msg.Seq {
-		return wire.Message{}, fmt.Errorf("media: reply seq %d for request %d", reply.Seq, msg.Seq)
+		r.dropConnLocked()
+		return wire.Message{}, fmt.Errorf("media: reply seq %d for request %d: %w", reply.Seq, msg.Seq, ErrEnhancerUnavailable)
 	}
 	return reply, nil
 }
 
+// dropConnLocked closes and forgets a broken connection so the next call
+// redials. Callers hold r.mu.
+func (r *RemoteEnhancer) dropConnLocked() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}
+
 var _ AnchorEnhancer = (*LocalEnhancer)(nil)
 var _ AnchorEnhancer = (*RemoteEnhancer)(nil)
+var _ registrar = (*LocalEnhancer)(nil)
+var _ registrar = (*RemoteEnhancer)(nil)
+var _ pinger = (*RemoteEnhancer)(nil)

@@ -11,9 +11,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/anchor"
 	"github.com/neuroscaler/neuroscaler/internal/hybrid"
+	"github.com/neuroscaler/neuroscaler/internal/icodec"
 	"github.com/neuroscaler/neuroscaler/internal/vcodec"
 	"github.com/neuroscaler/neuroscaler/internal/wire"
 )
@@ -23,19 +26,54 @@ type ServerConfig struct {
 	// AnchorFraction is the fraction of frames to enhance per chunk
 	// (the cost-effective default is 0.075).
 	AnchorFraction float64
+	// ReadTimeout bounds the wait for the next ingest frame on a
+	// connection (slowloris guard); zero uses DefaultIdleTimeout,
+	// negative disables the bound.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply write; zero uses
+	// DefaultWriteTimeout, negative disables the bound.
+	WriteTimeout time.Duration
+	// DisableAnchorValidation skips the decode check on enhancer
+	// results. Validation rejects corrupt or mismatched anchor payloads
+	// (degrading the chunk) at the cost of one image decode per anchor.
+	DisableAnchorValidation bool
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...any)
+}
+
+// ServerCounters is a snapshot of the server's availability counters:
+// the degradation ladder's observable output.
+type ServerCounters struct {
+	ChunksProcessed uint64 `json:"chunks_processed"`
+	// ChunksDegraded counts chunks shipped with at least one selected
+	// anchor missing (the client falls back to codec-guided reuse).
+	ChunksDegraded  uint64 `json:"chunks_degraded"`
+	AnchorsEnhanced uint64 `json:"anchors_enhanced"`
+	// AnchorsDropped counts anchors whose enhancement failed after the
+	// enhancer's own retry budget was exhausted.
+	AnchorsDropped uint64 `json:"anchors_dropped"`
+	// AnchorsRejected counts enhancer results that failed validation
+	// (undecodable payload, wrong packet, wrong dimensions).
+	AnchorsRejected uint64 `json:"anchors_rejected"`
+}
+
+type serverCounters struct {
+	chunksProcessed, chunksDegraded atomic.Uint64
+	anchorsEnhanced, anchorsDropped atomic.Uint64
+	anchorsRejected                 atomic.Uint64
 }
 
 // Server is the NeuroScaler media server: it terminates ingest
 // connections, runs zero-inference anchor selection per chunk, enhances
 // anchors through an AnchorEnhancer, and stores hybrid containers for
-// HTTP distribution.
+// HTTP distribution. Enhancement failures degrade chunks (anchors are
+// dropped, the ingest stream still flows) instead of failing them.
 type Server struct {
 	cfg      ServerConfig
 	enhancer AnchorEnhancer
 	store    *ChunkStore
 	ln       net.Listener
+	counters serverCounters
 
 	mu      sync.Mutex
 	streams map[uint32]*serverStream
@@ -59,6 +97,8 @@ type StreamInfo struct {
 	FPS      int    `json:"fps"`
 	Content  string `json:"content"`
 	Chunks   int    `json:"chunks"`
+	// DegradedChunks counts stored chunks missing at least one anchor.
+	DegradedChunks int `json:"degraded_chunks"`
 }
 
 // NewServer starts the ingest listener on addr.
@@ -75,6 +115,8 @@ func NewServer(addr string, enhancer AnchorEnhancer, cfg ServerConfig) (*Server,
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	cfg.ReadTimeout = pickTimeout(cfg.ReadTimeout, DefaultIdleTimeout)
+	cfg.WriteTimeout = pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("media: ingest listen: %w", err)
@@ -97,6 +139,17 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Store exposes the chunk store (read-side).
 func (s *Server) Store() *ChunkStore { return s.store }
+
+// Counters returns a snapshot of the availability counters.
+func (s *Server) Counters() ServerCounters {
+	return ServerCounters{
+		ChunksProcessed: s.counters.chunksProcessed.Load(),
+		ChunksDegraded:  s.counters.chunksDegraded.Load(),
+		AnchorsEnhanced: s.counters.anchorsEnhanced.Load(),
+		AnchorsDropped:  s.counters.anchorsDropped.Load(),
+		AnchorsRejected: s.counters.anchorsRejected.Load(),
+	}
+}
 
 // Close stops the ingest listener and drains handlers.
 func (s *Server) Close() error {
@@ -130,8 +183,23 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// write sends one reply under the configured write deadline.
+func (s *Server) write(conn net.Conn, msg wire.Message) error {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	err := wire.Write(conn, msg)
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
 func (s *Server) serveIngest(conn net.Conn) error {
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
@@ -146,6 +214,10 @@ func (s *Server) serveIngest(conn net.Conn) error {
 			}
 		case wire.TypeChunk:
 			if err := s.handleChunk(conn, msg); err != nil {
+				return err
+			}
+		case wire.TypePing:
+			if err := s.write(conn, wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
 			}
 		case wire.TypeGoodbye:
@@ -170,11 +242,8 @@ func (s *Server) handleHello(conn net.Conn, msg wire.Message) error {
 	if err != nil {
 		return s.replyError(conn, msg, err)
 	}
-	// If the enhancer needs per-stream registration (local or remote),
-	// forward the hello.
-	type registrar interface {
-		Register(uint32, wire.Hello) error
-	}
+	// If the enhancer needs per-stream registration (local, remote, or a
+	// pool), forward the hello.
 	if r, ok := s.enhancer.(registrar); ok {
 		if err := r.Register(msg.StreamID, h); err != nil {
 			return s.replyError(conn, msg, err)
@@ -183,7 +252,7 @@ func (s *Server) handleHello(conn net.Conn, msg wire.Message) error {
 	s.mu.Lock()
 	s.streams[msg.StreamID] = &serverStream{hello: h, decoder: dec, qp: qp}
 	s.mu.Unlock()
-	return wire.Write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq})
+	return s.write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq})
 }
 
 func (s *Server) handleChunk(conn net.Conn, msg wire.Message) error {
@@ -197,7 +266,7 @@ func (s *Server) handleChunk(conn net.Conn, msg wire.Message) error {
 	if err != nil {
 		return s.replyError(conn, msg, err)
 	}
-	container, err := s.processChunk(msg.StreamID, st, packets)
+	container, degraded, err := s.processChunk(msg.StreamID, st, packets)
 	if err != nil {
 		return s.replyError(conn, msg, err)
 	}
@@ -205,20 +274,22 @@ func (s *Server) handleChunk(conn net.Conn, msg wire.Message) error {
 	if err != nil {
 		return s.replyError(conn, msg, err)
 	}
-	seq := s.store.Append(msg.StreamID, data)
-	return wire.Write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: uint32(seq)})
+	seq := s.store.AppendChunk(msg.StreamID, data, degraded)
+	return s.write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: uint32(seq)})
 }
 
 // processChunk is the per-chunk enhancement pipeline: decode, select
 // anchors with the zero-inference algorithm, enhance them, and package a
-// hybrid container.
-func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byte) (*hybrid.Container, error) {
+// hybrid container. Enhancement failures drop the affected anchor and
+// mark the chunk degraded — the hybrid container stays valid with any
+// anchor subset, so availability is never traded for quality.
+func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byte) (*hybrid.Container, bool, error) {
 	decoded := make([]*vcodec.Decoded, len(packets))
 	infos := make([]vcodec.Info, len(packets))
 	for i, pkt := range packets {
 		d, err := st.decoder.Decode(pkt)
 		if err != nil {
-			return nil, fmt.Errorf("media: stream %d packet %d: %w", streamID, i, err)
+			return nil, false, fmt.Errorf("media: stream %d packet %d: %w", streamID, i, err)
 		}
 		decoded[i] = d
 		infos[i] = d.Info
@@ -226,7 +297,7 @@ func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byt
 	// Each container must be independently decodable by viewers joining
 	// mid-stream, so distribution chunks are GOP-aligned (as in HLS/DASH).
 	if infos[0].Type != vcodec.Key {
-		return nil, fmt.Errorf("media: stream %d chunk does not start with a key frame; send GOP-aligned chunks", streamID)
+		return nil, false, fmt.Errorf("media: stream %d chunk does not start with a key frame; send GOP-aligned chunks", streamID)
 	}
 	metas := anchor.MetasFromInfos(infos)
 	cands := anchor.ZeroInferenceGains(metas)
@@ -244,6 +315,7 @@ func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byt
 	for i, pkt := range packets {
 		container.Frames[i] = hybrid.ContainerFrame{VideoPacket: pkt}
 	}
+	degraded := false
 	for _, c := range selected {
 		i := c.Meta.Packet
 		res, err := s.enhancer.Enhance(streamID, wire.AnchorJob{
@@ -253,11 +325,46 @@ func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byt
 			Frame:        decoded[i].Frame,
 		})
 		if err != nil {
-			return nil, err
+			s.counters.anchorsDropped.Add(1)
+			degraded = true
+			s.cfg.Logf("media: stream %d: anchor %d dropped, shipping degraded chunk: %v", streamID, i, err)
+			continue
 		}
+		if !s.cfg.DisableAnchorValidation {
+			if err := validateAnchor(res, i, st); err != nil {
+				s.counters.anchorsRejected.Add(1)
+				degraded = true
+				s.cfg.Logf("media: stream %d: anchor %d rejected: %v", streamID, i, err)
+				continue
+			}
+		}
+		s.counters.anchorsEnhanced.Add(1)
 		container.Frames[i].Anchor = res.Encoded
 	}
-	return container, nil
+	s.counters.chunksProcessed.Add(1)
+	if degraded {
+		s.counters.chunksDegraded.Add(1)
+	}
+	return container, degraded, nil
+}
+
+// validateAnchor rejects enhancer results that would poison the
+// container: wrong packet index, undecodable image payload, or wrong
+// output dimensions. A rejected anchor is dropped like a failed one.
+func validateAnchor(res wire.AnchorResult, packet int, st *serverStream) error {
+	if res.Packet != packet {
+		return fmt.Errorf("media: result for packet %d, want %d", res.Packet, packet)
+	}
+	f, err := icodec.Decode(res.Encoded)
+	if err != nil {
+		return fmt.Errorf("media: anchor payload undecodable: %w", err)
+	}
+	wantW := st.hello.Config.Width * st.hello.Scale
+	wantH := st.hello.Config.Height * st.hello.Scale
+	if f.W != wantW || f.H != wantH {
+		return fmt.Errorf("media: anchor is %dx%d, want %dx%d", f.W, f.H, wantW, wantH)
+	}
+	return nil
 }
 
 func (s *Server) replyError(conn net.Conn, msg wire.Message, cause error) error {
@@ -267,7 +374,7 @@ func (s *Server) replyError(conn net.Conn, msg wire.Message, cause error) error 
 		Seq:      msg.Seq,
 		Payload:  []byte(cause.Error()),
 	}
-	if err := wire.Write(conn, reply); err != nil {
+	if err := s.write(conn, reply); err != nil {
 		return err
 	}
 	return cause
@@ -277,6 +384,8 @@ func (s *Server) replyError(conn net.Conn, msg wire.Message, cause error) error 
 //
 //	GET /streams                     → JSON list of StreamInfo
 //	GET /streams/{id}/chunks/{seq}   → hybrid container bytes
+//	GET /stats                       → availability counters (server +
+//	                                   enhancer pool, when pooled)
 func (s *Server) DistributionHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
@@ -284,13 +393,14 @@ func (s *Server) DistributionHandler() http.Handler {
 		s.mu.Lock()
 		for id, st := range s.streams {
 			infos = append(infos, StreamInfo{
-				StreamID: id,
-				Width:    st.hello.Config.Width,
-				Height:   st.hello.Config.Height,
-				Scale:    st.hello.Scale,
-				FPS:      st.hello.Config.FPS,
-				Content:  st.hello.Content,
-				Chunks:   s.store.ChunkCount(id),
+				StreamID:       id,
+				Width:          st.hello.Config.Width,
+				Height:         st.hello.Config.Height,
+				Scale:          st.hello.Scale,
+				FPS:            st.hello.Config.FPS,
+				Content:        st.hello.Content,
+				Chunks:         s.store.ChunkCount(id),
+				DegradedChunks: s.store.DegradedCount(id),
 			})
 		}
 		s.mu.Unlock()
@@ -314,6 +424,25 @@ func (s *Server) DistributionHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if _, err := w.Write(data); err != nil {
 			s.cfg.Logf("media: write chunk: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		out := struct {
+			Server ServerCounters    `json:"server"`
+			Pool   *PoolCounters     `json:"pool,omitempty"`
+			States map[string]string `json:"replica_states,omitempty"`
+		}{Server: s.Counters()}
+		if p, ok := s.enhancer.(*EnhancerPool); ok {
+			c := p.Counters()
+			out.Pool = &c
+			out.States = make(map[string]string)
+			for id, st := range p.ReplicaStates() {
+				out.States[id] = st.String()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			s.cfg.Logf("media: encode stats: %v", err)
 		}
 	})
 	return mux

@@ -12,24 +12,37 @@ import (
 	"sync"
 )
 
+type storedChunk struct {
+	data []byte
+	// degraded marks a chunk shipped with at least one selected anchor
+	// missing (dropped after enhancement failed).
+	degraded bool
+}
+
 // ChunkStore holds hybrid-encoded chunks per stream for distribution.
 // It is safe for concurrent use.
 type ChunkStore struct {
 	mu      sync.RWMutex
-	streams map[uint32][][]byte
+	streams map[uint32][]storedChunk
 }
 
 // NewChunkStore returns an empty store.
 func NewChunkStore() *ChunkStore {
-	return &ChunkStore{streams: make(map[uint32][][]byte)}
+	return &ChunkStore{streams: make(map[uint32][]storedChunk)}
 }
 
 // Append stores the next chunk of a stream and returns its sequence
 // number.
 func (s *ChunkStore) Append(streamID uint32, chunk []byte) int {
+	return s.AppendChunk(streamID, chunk, false)
+}
+
+// AppendChunk stores the next chunk of a stream along with its
+// degradation flag and returns its sequence number.
+func (s *ChunkStore) AppendChunk(streamID uint32, chunk []byte, degraded bool) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.streams[streamID] = append(s.streams[streamID], chunk)
+	s.streams[streamID] = append(s.streams[streamID], storedChunk{data: chunk, degraded: degraded})
 	return len(s.streams[streamID]) - 1
 }
 
@@ -44,7 +57,22 @@ func (s *ChunkStore) Chunk(streamID uint32, seq int) ([]byte, error) {
 	if seq < 0 || seq >= len(chunks) {
 		return nil, fmt.Errorf("media: stream %d has no chunk %d (have %d)", streamID, seq, len(chunks))
 	}
-	return chunks[seq], nil
+	return chunks[seq].data, nil
+}
+
+// ChunkDegraded reports whether chunk seq of a stream was stored with
+// anchors missing.
+func (s *ChunkStore) ChunkDegraded(streamID uint32, seq int) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chunks, ok := s.streams[streamID]
+	if !ok {
+		return false, fmt.Errorf("media: unknown stream %d", streamID)
+	}
+	if seq < 0 || seq >= len(chunks) {
+		return false, fmt.Errorf("media: stream %d has no chunk %d (have %d)", streamID, seq, len(chunks))
+	}
+	return chunks[seq].degraded, nil
 }
 
 // ChunkCount returns the number of stored chunks for a stream.
@@ -52,6 +80,19 @@ func (s *ChunkStore) ChunkCount(streamID uint32) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.streams[streamID])
+}
+
+// DegradedCount returns how many stored chunks of a stream are degraded.
+func (s *ChunkStore) DegradedCount(streamID uint32) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, c := range s.streams[streamID] {
+		if c.degraded {
+			n++
+		}
+	}
+	return n
 }
 
 // StreamIDs lists all known streams in ascending order.

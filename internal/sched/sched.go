@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/anchor"
@@ -82,6 +83,9 @@ type Scheduler struct {
 	// fraction (§5.2): past it, extra anchors return marginal quality, so
 	// capacity beyond the knee is left for more streams instead.
 	MaxAnchorFraction float64
+
+	mu   sync.Mutex
+	down map[int]bool
 }
 
 // New returns a scheduler for a cluster of the given instance count.
@@ -98,6 +102,48 @@ func New(policy Policy, instances int) (*Scheduler, error) {
 // Policy returns the scheduler's policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
+// SetInstanceDown marks instance i lost (or recovered). Scheduling
+// rounds rebalance the anchor budget across surviving instances: the
+// cluster budget shrinks to T_intv × alive and no anchors are assigned
+// to a down instance. Safe for concurrent use with Schedule, so a
+// health checker can drive it. Returns an error for an unknown index.
+func (s *Scheduler) SetInstanceDown(i int, down bool) error {
+	if i < 0 || i >= s.instances {
+		return fmt.Errorf("sched: instance %d out of range [0,%d)", i, s.instances)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down == nil {
+		s.down = make(map[int]bool)
+	}
+	if down {
+		s.down[i] = true
+	} else {
+		delete(s.down, i)
+	}
+	return nil
+}
+
+// InstanceDown reports whether instance i is currently marked lost.
+func (s *Scheduler) InstanceDown(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down[i]
+}
+
+// Alive returns the indices of instances not marked down, in order.
+func (s *Scheduler) Alive() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	alive := make([]int, 0, s.instances)
+	for i := 0; i < s.instances; i++ {
+		if !s.down[i] {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
 // Schedule runs one round: global zero-inference gain estimation, global
 // selection under the cluster budget T_intv × M, and anchor-level load
 // balancing into per-instance groups each bounded by T_intv.
@@ -106,14 +152,17 @@ func (s *Scheduler) Schedule(streams []StreamInterval) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	budget := time.Duration(int64(s.policy.Interval) * int64(s.instances))
+	alive := s.Alive()
+	// Instance loss rebalances instead of failing: the budget shrinks to
+	// the surviving capacity and selection tightens accordingly.
+	budget := time.Duration(int64(s.policy.Interval) * int64(len(alive)))
 	selected := anchor.SelectWithinBudget(cands, latency, budget)
 	if s.MaxAnchorFraction > 0 {
 		if cap := int(s.MaxAnchorFraction*float64(len(cands)) + 0.5); len(selected) > cap {
 			selected = selected[:cap]
 		}
 	}
-	return s.balance(selected, latency)
+	return s.balance(selected, latency, alive)
 }
 
 // globalCandidates merges per-stream gain estimates into one global
@@ -141,8 +190,8 @@ func globalCandidates(streams []StreamInterval) ([]anchor.Candidate, func(anchor
 
 // balance partitions selected anchors into per-instance groups using
 // longest-processing-time-first bin packing, never exceeding T_intv per
-// instance (§5.2 ②).
-func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Candidate) time.Duration) (*Plan, error) {
+// instance and never touching a lost instance (§5.2 ②).
+func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Candidate) time.Duration, alive []int) (*Plan, error) {
 	// LPT: place expensive anchors first, each on the least-loaded
 	// instance that still has room.
 	order := make([]anchor.Candidate, len(selected))
@@ -160,7 +209,7 @@ func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Can
 		lat := latency(c)
 		total += lat
 		best := -1
-		for i := range load {
+		for _, i := range alive {
 			if load[i]+lat > s.policy.Interval {
 				continue
 			}
@@ -193,22 +242,28 @@ func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Can
 }
 
 // ScheduleAgnostic is the anchor-agnostic baseline (§3.2): streams are
-// assigned to instances round-robin in the order given, and each instance
-// runs a local selection over only its own streams with its own T_intv
-// budget. Quality suffers from per-stream anchor imbalance.
+// assigned to surviving instances round-robin in the order given, and
+// each instance runs a local selection over only its own streams with
+// its own T_intv budget. Quality suffers from per-stream anchor
+// imbalance.
 func (s *Scheduler) ScheduleAgnostic(streams []StreamInterval) (*Plan, error) {
 	load := make([]time.Duration, s.instances)
 	plan := &Plan{
 		LoadPerInstance:  load,
 		AnchorsPerStream: make(map[int]int),
 	}
-	perInstance := make([][]StreamInterval, s.instances)
+	alive := s.Alive()
+	if len(alive) == 0 {
+		return plan, nil
+	}
+	perInstance := make(map[int][]StreamInterval, len(alive))
 	for i, st := range streams {
-		inst := i % s.instances
+		inst := alive[i%len(alive)]
 		perInstance[inst] = append(perInstance[inst], st)
 	}
 	var total time.Duration
-	for inst, group := range perInstance {
+	for _, inst := range alive {
+		group := perInstance[inst]
 		cands, latency, err := globalCandidates(group)
 		if err != nil {
 			return nil, err

@@ -337,3 +337,142 @@ func TestMaxAnchorFractionCapsSelection(t *testing.T) {
 		t.Errorf("cap had no effect: %d vs %d", len(uncapped.Assignments), len(capped.Assignments))
 	}
 }
+
+func TestSetInstanceDownValidation(t *testing.T) {
+	s, err := New(CostEffective(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInstanceDown(-1, true); err == nil {
+		t.Error("negative instance accepted")
+	}
+	if err := s.SetInstanceDown(3, true); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+	if err := s.SetInstanceDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.InstanceDown(1) || s.InstanceDown(0) {
+		t.Error("down state not tracked")
+	}
+	if got := s.Alive(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Alive() = %v, want [0 2]", got)
+	}
+	if err := s.SetInstanceDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Alive(); len(got) != 3 {
+		t.Errorf("Alive() after recovery = %v, want all three", got)
+	}
+}
+
+func TestScheduleRebalancesAfterInstanceLoss(t *testing.T) {
+	_, intervals := mixedIntervals(t, 10, 0)
+	s, err := New(CostEffective(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Assignments) == 0 {
+		t.Fatal("empty plan before loss")
+	}
+	if err := s.SetInstanceDown(2, true); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lost instance receives nothing; survivors still respect T_intv.
+	for _, a := range degraded.Assignments {
+		if a.Instance == 2 {
+			t.Fatalf("anchor assigned to lost instance: %+v", a)
+		}
+	}
+	if degraded.LoadPerInstance[2] != 0 {
+		t.Errorf("lost instance has load %v", degraded.LoadPerInstance[2])
+	}
+	for i, load := range degraded.LoadPerInstance {
+		if load > s.Policy().Interval {
+			t.Errorf("instance %d load %v exceeds interval", i, load)
+		}
+	}
+	// Budget shrank: the degraded plan selects no more than the full one,
+	// and strictly fewer when the full plan saturated three instances.
+	if len(degraded.Assignments) > len(full.Assignments) {
+		t.Errorf("degraded plan selected more anchors (%d) than full plan (%d)",
+			len(degraded.Assignments), len(full.Assignments))
+	}
+	if len(degraded.Assignments) == 0 {
+		t.Error("survivors received no anchors")
+	}
+	// Recovery restores the original plan exactly (scheduling is
+	// deterministic).
+	if err := s.SetInstanceDown(2, false); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Assignments) != len(full.Assignments) {
+		t.Errorf("recovered plan has %d anchors, want %d", len(again.Assignments), len(full.Assignments))
+	}
+}
+
+func TestScheduleAllInstancesDown(t *testing.T) {
+	_, intervals := mixedIntervals(t, 4, 0)
+	s, err := New(CostEffective(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.SetInstanceDown(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Total loss degrades to pass-through (no anchors), not an error.
+	plan, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) != 0 {
+		t.Errorf("plan has %d assignments with zero alive instances", len(plan.Assignments))
+	}
+	agn, err := s.ScheduleAgnostic(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agn.Assignments) != 0 {
+		t.Errorf("agnostic plan has %d assignments with zero alive instances", len(agn.Assignments))
+	}
+}
+
+func TestScheduleAgnosticSkipsDownInstances(t *testing.T) {
+	_, intervals := mixedIntervals(t, 8, 0)
+	s, err := New(CostEffective(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInstanceDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInstanceDown(3, true); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.ScheduleAgnostic(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Assignments) == 0 {
+		t.Fatal("empty agnostic plan")
+	}
+	for _, a := range plan.Assignments {
+		if a.Instance == 1 || a.Instance == 3 {
+			t.Fatalf("anchor assigned to lost instance: %+v", a)
+		}
+	}
+}

@@ -31,6 +31,10 @@ const (
 	TypeError
 	// TypeGoodbye closes a session cleanly.
 	TypeGoodbye
+	// TypePing probes peer liveness (heartbeat health checks).
+	TypePing
+	// TypePong answers a ping.
+	TypePong
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +54,10 @@ func (t Type) String() string {
 		return "error"
 	case TypeGoodbye:
 		return "goodbye"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -113,7 +121,7 @@ func Read(r io.Reader, maxPayload int) (Message, error) {
 	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
 		return Message{}, ErrBadFrame
 	}
-	if hdr[2] == 0 || Type(hdr[2]) > TypeGoodbye {
+	if hdr[2] == 0 || Type(hdr[2]) > TypePong {
 		return Message{}, ErrBadFrame
 	}
 	m := Message{

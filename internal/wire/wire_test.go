@@ -249,3 +249,29 @@ func TestQuickMessageRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPingPongRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for _, typ := range []Type{TypePing, TypePong} {
+		if err := Write(&buf, Message{Type: typ, Seq: 11}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf, DefaultMaxPayload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != typ || got.Seq != 11 {
+			t.Errorf("round trip = %+v, want type %v", got, typ)
+		}
+	}
+	if TypePing.String() != "ping" || TypePong.String() != "pong" {
+		t.Errorf("stringer: %v %v", TypePing, TypePong)
+	}
+	// One past the last valid type is still a bad frame.
+	_ = Write(&buf, Message{Type: TypePong, Seq: 1})
+	data := buf.Bytes()
+	data[2] = byte(TypePong) + 1
+	if _, err := Read(bytes.NewReader(data), DefaultMaxPayload); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("out-of-range type err = %v, want ErrBadFrame", err)
+	}
+}
