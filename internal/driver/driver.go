@@ -137,8 +137,12 @@ func (d *Driver) RunInterval(ctx context.Context, inputs []IntervalInput) (*Inte
 		return nil, err
 	}
 
-	// Group assignments per instance and dispatch concurrently.
+	// Group assignments per instance and dispatch concurrently. The
+	// modeled batch latency is registered as in-flight with the scheduler
+	// for the duration of the dispatch, so a concurrent scheduling round
+	// (overlapped intervals) sees only each instance's residual budget.
 	jobsPerInstance := make([][]enhance.Job, len(d.enhancers))
+	dispatchLoad := make([]time.Duration, len(d.enhancers))
 	for _, a := range plan.Assignments {
 		ds := streams[a.StreamID]
 		jobsPerInstance[a.Instance] = append(jobsPerInstance[a.Instance], enhance.Job{
@@ -148,6 +152,7 @@ func (d *Driver) RunInterval(ctx context.Context, inputs []IntervalInput) (*Inte
 			Decoded:  ds.decoded[a.Packet],
 			QP:       ds.in.Stream.qp,
 		})
+		dispatchLoad[a.Instance] += a.Latency
 	}
 	type instanceResult struct {
 		results []enhance.Result
@@ -160,8 +165,10 @@ func (d *Driver) RunInterval(ctx context.Context, inputs []IntervalInput) (*Inte
 			continue
 		}
 		wg.Add(1)
+		_ = d.scheduler.NoteDispatch(i, dispatchLoad[i])
 		go func(i int, jobs []enhance.Job) {
 			defer wg.Done()
+			defer d.scheduler.NoteComplete(i, dispatchLoad[i])
 			results, err := d.enhancers[i].EnhanceBatch(ctx, jobs)
 			resCh[i] = instanceResult{results: results, err: err}
 		}(i, jobs)

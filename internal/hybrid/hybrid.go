@@ -175,7 +175,14 @@ const (
 
 // MarshalBinary serializes the container.
 func (c *Container) MarshalBinary() ([]byte, error) {
-	var buf []byte
+	return c.MarshalAppend(nil)
+}
+
+// MarshalAppend serializes the container into buf (which may be a
+// recycled scratch buffer) and returns the extended slice. Hot paths use
+// it with an arena buffer to avoid the append-growth allocations of a
+// fresh marshal per chunk.
+func (c *Container) MarshalAppend(buf []byte) ([]byte, error) {
 	var tmp [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
@@ -15,7 +16,11 @@ import (
 )
 
 // Streamer is the ingest-side client: it encodes raw frames and uploads
-// chunks to the media server, as a broadcaster's software would.
+// chunks to the media server, as a broadcaster's software would. Chunks
+// can be uploaded synchronously (SendChunk) or pipelined (SendChunkAsync
+// + Flush) so the next chunk encodes and uploads while the server is
+// still enhancing the previous one. A Streamer is not safe for
+// concurrent use; pipelining happens inside one caller's send order.
 type Streamer struct {
 	conn     net.Conn
 	streamID uint32
@@ -23,9 +28,27 @@ type Streamer struct {
 	seq      uint32
 
 	// Timeout, when positive, bounds each chunk upload round trip
-	// (write + ack read) so a stalled server cannot wedge the
+	// (write + ack wait) so a stalled server cannot wedge the
 	// broadcaster. Zero keeps the historical unbounded behaviour.
 	Timeout time.Duration
+
+	// Ack demultiplexing for pipelined sends: the server replies in
+	// arrival order, so outstanding sends form a FIFO queue that a
+	// single reader goroutine drains.
+	ackMu    sync.Mutex
+	pending  []pendingReply
+	readerOn bool
+	broken   error
+}
+
+type pendingReply struct {
+	ch   chan ackOutcome
+	want wire.Type
+}
+
+type ackOutcome struct {
+	seq int
+	err error
 }
 
 // NewStreamer connects to the media server, announces the stream, and
@@ -65,9 +88,51 @@ func NewStreamer(addr string, streamID uint32, hello wire.Hello) (*Streamer, err
 // SendChunk encodes and uploads one chunk of raw frames, returning the
 // chunk sequence number assigned by the server.
 func (s *Streamer) SendChunk(frames []*frame.Frame) (int, error) {
-	pkts, err := s.encoder.EncodeChunk(frames)
+	p, err := s.SendChunkAsync(frames)
 	if err != nil {
 		return 0, err
+	}
+	return p.Wait()
+}
+
+// PendingAck is the handle for one in-flight chunk upload.
+type PendingAck struct {
+	ch      chan ackOutcome
+	timeout time.Duration
+	done    bool
+	out     ackOutcome
+}
+
+// Wait blocks until the server acknowledges the chunk and returns its
+// assigned sequence number. The streamer's Timeout (captured at send
+// time) bounds the wait. Wait is idempotent but not safe for concurrent
+// use.
+func (p *PendingAck) Wait() (int, error) {
+	if !p.done {
+		if p.timeout > 0 {
+			t := time.NewTimer(p.timeout)
+			defer t.Stop()
+			select {
+			case p.out = <-p.ch:
+			case <-t.C:
+				return 0, fmt.Errorf("media: chunk ack timed out after %v", p.timeout)
+			}
+		} else {
+			p.out = <-p.ch
+		}
+		p.done = true
+	}
+	return p.out.seq, p.out.err
+}
+
+// SendChunkAsync encodes and writes one chunk without waiting for the
+// server's acknowledgement, so the broadcaster pipelines uploads against
+// server-side enhancement. Acks arrive in send order; call Wait on the
+// returned handle (or Flush) to collect them.
+func (s *Streamer) SendChunkAsync(frames []*frame.Frame) (*PendingAck, error) {
+	pkts, err := s.encoder.EncodeChunk(frames)
+	if err != nil {
+		return nil, err
 	}
 	raw := make([][]byte, len(pkts))
 	for i, p := range pkts {
@@ -80,21 +145,106 @@ func (s *Streamer) SendChunk(frames []*frame.Frame) (int, error) {
 		Seq:      s.seq,
 		Payload:  wire.EncodeChunk(raw),
 	}
+	ch, err := s.enqueueReply(wire.TypeAck)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeMsg(msg); err != nil {
+		return nil, err
+	}
+	return &PendingAck{ch: ch, timeout: s.Timeout}, nil
+}
+
+// Flush waits until every outstanding chunk has been acknowledged. It
+// rides the reply ordering: a ping is queued behind the in-flight chunks
+// and the server answers strictly in arrival order, so its pong implies
+// all earlier acks have been delivered.
+func (s *Streamer) Flush() error {
+	s.ackMu.Lock()
+	outstanding := len(s.pending)
+	s.ackMu.Unlock()
+	if outstanding == 0 {
+		return nil
+	}
+	ch, err := s.enqueueReply(wire.TypePong)
+	if err != nil {
+		return err
+	}
+	if err := s.writeMsg(wire.Message{Type: wire.TypePing, StreamID: s.streamID}); err != nil {
+		return err
+	}
+	p := &PendingAck{ch: ch, timeout: s.Timeout}
+	_, err = p.Wait()
+	return err
+}
+
+// enqueueReply registers the next expected reply and starts the ack
+// reader if needed.
+func (s *Streamer) enqueueReply(want wire.Type) (chan ackOutcome, error) {
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	if s.broken != nil {
+		return nil, s.broken
+	}
+	if !s.readerOn {
+		s.readerOn = true
+		go s.readReplies()
+	}
+	ch := make(chan ackOutcome, 1)
+	s.pending = append(s.pending, pendingReply{ch: ch, want: want})
+	return ch, nil
+}
+
+func (s *Streamer) writeMsg(msg wire.Message) error {
 	if s.Timeout > 0 {
-		_ = s.conn.SetDeadline(time.Now().Add(s.Timeout))
-		defer s.conn.SetDeadline(time.Time{})
+		_ = s.conn.SetWriteDeadline(time.Now().Add(s.Timeout))
+		defer s.conn.SetWriteDeadline(time.Time{})
 	}
 	if err := wire.Write(s.conn, msg); err != nil {
-		return 0, err
+		s.failPending(err)
+		return err
 	}
-	reply, err := wire.Read(s.conn, wire.DefaultMaxPayload)
-	if err != nil {
-		return 0, err
+	return nil
+}
+
+// readReplies drains server replies, matching them FIFO against the
+// pending queue (the server replies strictly in arrival order).
+func (s *Streamer) readReplies() {
+	for {
+		reply, err := wire.Read(s.conn, wire.DefaultMaxPayload)
+		if err != nil {
+			s.failPending(err)
+			return
+		}
+		s.ackMu.Lock()
+		if len(s.pending) == 0 {
+			s.ackMu.Unlock()
+			continue // unsolicited reply; ignore
+		}
+		pr := s.pending[0]
+		s.pending = s.pending[1:]
+		s.ackMu.Unlock()
+		switch reply.Type {
+		case pr.want:
+			pr.ch <- ackOutcome{seq: int(reply.Seq)}
+		case wire.TypeError:
+			pr.ch <- ackOutcome{err: fmt.Errorf("media: chunk rejected: %s", reply.Payload)}
+		default:
+			pr.ch <- ackOutcome{err: fmt.Errorf("media: unexpected reply %v (want %v)", reply.Type, pr.want)}
+		}
 	}
-	if reply.Type != wire.TypeAck {
-		return 0, fmt.Errorf("media: chunk rejected: %s", reply.Payload)
+}
+
+func (s *Streamer) failPending(err error) {
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	if s.broken == nil {
+		s.broken = err
 	}
-	return int(reply.Seq), nil
+	for _, pr := range s.pending {
+		pr.ch <- ackOutcome{err: err}
+	}
+	s.pending = nil
 }
 
 // Close ends the session.

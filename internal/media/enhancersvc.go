@@ -26,6 +26,10 @@ const (
 	DefaultIdleTimeout = 2 * time.Minute
 	// DefaultWriteTimeout bounds each reply write.
 	DefaultWriteTimeout = 30 * time.Second
+	// DefaultEnhancerJobConcurrency is the per-connection bound on anchor
+	// jobs an EnhancerServer processes concurrently: the per-replica
+	// concurrency a multiplexing client can extract from one replica.
+	DefaultEnhancerJobConcurrency = 4
 )
 
 // pickTimeout resolves a configured timeout: zero selects the default,
@@ -117,13 +121,21 @@ type EnhancerServerConfig struct {
 	// WriteTimeout bounds each reply write; zero uses
 	// DefaultWriteTimeout, negative disables the bound.
 	WriteTimeout time.Duration
+	// MaxConcurrentJobs bounds how many anchor jobs one connection may
+	// have in flight at once (a multiplexing client pipelines up to this
+	// many RPCs through one replica). Zero uses
+	// DefaultEnhancerJobConcurrency; 1 or negative serializes jobs.
+	MaxConcurrentJobs int
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...any)
 }
 
 // EnhancerServer exposes a LocalEnhancer over TCP using the wire
 // protocol: Hello registers the stream, AnchorJob frames are answered
-// with AnchorResult frames, Ping frames with Pong (heartbeats).
+// with AnchorResult frames, Ping frames with Pong (heartbeats). Anchor
+// jobs on one connection are served concurrently (bounded by
+// MaxConcurrentJobs) and replies carry the request's Seq, so clients
+// must demultiplex by Seq rather than assuming FIFO replies.
 type EnhancerServer struct {
 	enhancer *LocalEnhancer
 	ln       net.Listener
@@ -149,6 +161,12 @@ func NewEnhancerServerWith(addr string, enhancer *LocalEnhancer, cfg EnhancerSer
 	}
 	cfg.IdleTimeout = pickTimeout(cfg.IdleTimeout, DefaultIdleTimeout)
 	cfg.WriteTimeout = pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout)
+	if cfg.MaxConcurrentJobs == 0 {
+		cfg.MaxConcurrentJobs = DefaultEnhancerJobConcurrency
+	}
+	if cfg.MaxConcurrentJobs < 1 {
+		cfg.MaxConcurrentJobs = 1
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("media: enhancer listen: %w", err)
@@ -194,19 +212,49 @@ func (s *EnhancerServer) acceptLoop() {
 	}
 }
 
-// write sends one reply under the configured write deadline.
-func (s *EnhancerServer) write(conn net.Conn, msg wire.Message) error {
-	if s.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+// connWriter serializes frame writes on one connection, each under the
+// configured write deadline, so concurrent reply producers (job
+// goroutines, the read loop) never interleave frame bytes.
+type connWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w *connWriter) write(msg wire.Message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 	}
-	err := wire.Write(conn, msg)
-	if s.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Time{})
+	err := wire.Write(w.conn, msg)
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Time{})
 	}
 	return err
 }
 
+func (w *connWriter) writeError(msg wire.Message, cause error) error {
+	return w.write(wire.Message{
+		Type:     wire.TypeError,
+		StreamID: msg.StreamID,
+		Seq:      msg.Seq,
+		Payload:  []byte(cause.Error()),
+	})
+}
+
+// serveConn demultiplexes one client connection: hellos and pings are
+// answered inline (a hello must land before the jobs that rely on it),
+// anchor jobs fan out to bounded concurrent workers that reply with the
+// job's Seq on completion. Job-level failures (unregistered stream,
+// model error) answer TypeError and keep the connection alive so other
+// in-flight jobs are unaffected; protocol-level failures (undecodable
+// payloads, unexpected types) drop the connection.
 func (s *EnhancerServer) serveConn(conn net.Conn) error {
+	w := &connWriter{conn: conn, timeout: s.cfg.WriteTimeout}
+	slots := make(chan struct{}, s.cfg.MaxConcurrentJobs)
+	var jobs sync.WaitGroup
+	defer jobs.Wait()
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
@@ -222,72 +270,93 @@ func (s *EnhancerServer) serveConn(conn net.Conn) error {
 		case wire.TypeHello:
 			h, err := wire.DecodeHello(msg.Payload)
 			if err != nil {
-				return s.replyError(conn, msg, err)
+				_ = w.writeError(msg, err)
+				return err
 			}
 			if err := s.enhancer.Register(msg.StreamID, h); err != nil {
-				return s.replyError(conn, msg, err)
+				if werr := w.writeError(msg, err); werr != nil {
+					return werr
+				}
+				continue
 			}
-			if err := s.write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+			if err := w.write(wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
 			}
 		case wire.TypeAnchorJob:
 			job, err := wire.DecodeAnchorJob(msg.Payload)
 			if err != nil {
-				return s.replyError(conn, msg, err)
-			}
-			res, err := s.enhancer.Enhance(msg.StreamID, job)
-			if err != nil {
-				return s.replyError(conn, msg, err)
-			}
-			reply := wire.Message{
-				Type:     wire.TypeAnchorResult,
-				StreamID: msg.StreamID,
-				Seq:      msg.Seq,
-				Payload:  wire.EncodeAnchorResult(res),
-			}
-			if err := s.write(conn, reply); err != nil {
+				_ = w.writeError(msg, err)
 				return err
 			}
+			slots <- struct{}{}
+			jobs.Add(1)
+			go func(msg wire.Message, job wire.AnchorJob) {
+				defer jobs.Done()
+				defer func() { <-slots }()
+				res, err := s.enhancer.Enhance(msg.StreamID, job)
+				if err != nil {
+					if werr := w.writeError(msg, err); werr != nil {
+						s.cfg.Logf("media: enhancer reply: %v", werr)
+					}
+					return
+				}
+				reply := wire.Message{
+					Type:     wire.TypeAnchorResult,
+					StreamID: msg.StreamID,
+					Seq:      msg.Seq,
+					Payload:  wire.EncodeAnchorResult(res),
+				}
+				if err := w.write(reply); err != nil {
+					s.cfg.Logf("media: enhancer reply: %v", err)
+				}
+			}(msg, job)
 		case wire.TypePing:
-			if err := s.write(conn, wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+			if err := w.write(wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
 			}
 		case wire.TypeGoodbye:
 			return nil
 		default:
-			return s.replyError(conn, msg, fmt.Errorf("unexpected message %v", msg.Type))
+			err := fmt.Errorf("unexpected message %v", msg.Type)
+			_ = w.writeError(msg, err)
+			return err
 		}
 	}
 }
 
-func (s *EnhancerServer) replyError(conn net.Conn, msg wire.Message, cause error) error {
-	reply := wire.Message{
-		Type:     wire.TypeError,
-		StreamID: msg.StreamID,
-		Seq:      msg.Seq,
-		Payload:  []byte(cause.Error()),
-	}
-	if err := s.write(conn, reply); err != nil {
-		return err
-	}
-	return cause
-}
-
 // RemoteEnhancer is an AnchorEnhancer backed by an EnhancerServer over
-// TCP. It is safe for concurrent callers: one request/response exchange
-// runs on the wire at a time, each bounded by the call timeout. A failed
-// exchange marks the connection broken; the next call transparently
-// redials and re-registers every known stream.
+// TCP. It is safe for concurrent callers and multiplexes them: every
+// outstanding request is tagged with a unique Seq, writes are serialized
+// by a writer lock, and a reader goroutine demultiplexes replies to the
+// pending call keyed on that Seq — so many anchor RPCs share one
+// connection concurrently, each bounded by the call timeout. A transport
+// failure fails every pending call with ErrEnhancerUnavailable and marks
+// the connection broken; the next call transparently redials and
+// re-registers every known stream before new traffic flows.
 type RemoteEnhancer struct {
 	addr        string
 	callTimeout time.Duration
 	dial        func() (net.Conn, error)
 
-	mu     sync.Mutex
-	conn   net.Conn
-	seq    uint32
-	hellos map[uint32][]byte // encoded hello payloads for re-registration
-	closed bool
+	seqs wire.SeqSource
+
+	// writeMu serializes frame writes so concurrent calls never
+	// interleave bytes on the wire.
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	conn    net.Conn
+	connGen uint64 // bumps on every (re)connect so stale failures are ignored
+	pending map[uint32]chan callReply
+	hellos  map[uint32][]byte // encoded hello payloads for re-registration
+	closed  bool
+}
+
+// callReply is one demultiplexed outcome: the matched reply frame or the
+// transport error that killed the connection while the call was pending.
+type callReply struct {
+	msg wire.Message
+	err error
 }
 
 // DialEnhancer connects to an enhancer service with default timeouts.
@@ -305,6 +374,7 @@ func DialEnhancerTimeout(addr string, dialTimeout, callTimeout time.Duration) (*
 		addr:        addr,
 		callTimeout: pickTimeout(callTimeout, DefaultIdleTimeout),
 		dial:        func() (net.Conn, error) { return dialWire(addr, dialTimeout) },
+		pending:     make(map[uint32]chan callReply),
 		hellos:      make(map[uint32][]byte),
 	}
 	r.mu.Lock()
@@ -316,7 +386,7 @@ func DialEnhancerTimeout(addr string, dialTimeout, callTimeout time.Duration) (*
 	return r, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection; pending calls fail.
 func (r *RemoteEnhancer) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -327,6 +397,7 @@ func (r *RemoteEnhancer) Close() error {
 	_ = wire.Write(r.conn, wire.Message{Type: wire.TypeGoodbye})
 	err := r.conn.Close()
 	r.conn = nil
+	r.failPendingLocked(errors.New("client closed"))
 	return err
 }
 
@@ -378,17 +449,28 @@ func (r *RemoteEnhancer) Ping() error {
 	return nil
 }
 
-// reconnectLocked dials the enhancer and re-registers every known
-// stream. Callers hold r.mu.
+// reconnectLocked dials the enhancer, re-registers every known stream
+// synchronously on the fresh connection (the reader is not running yet,
+// so replies are read inline in order), and only then installs the
+// connection and starts its reader goroutine. Callers hold r.mu.
 func (r *RemoteEnhancer) reconnectLocked() error {
 	conn, err := r.dial()
 	if err != nil {
 		return err
 	}
 	for streamID, payload := range r.hellos {
-		r.seq++
-		msg := wire.Message{Type: wire.TypeHello, StreamID: streamID, Seq: r.seq, Payload: payload}
-		reply, err := r.exchange(conn, msg)
+		msg := wire.Message{Type: wire.TypeHello, StreamID: streamID, Seq: r.seqs.Next(), Payload: payload}
+		if r.callTimeout > 0 {
+			_ = conn.SetDeadline(time.Now().Add(r.callTimeout))
+		}
+		err := wire.Write(conn, msg)
+		var reply wire.Message
+		if err == nil {
+			reply, err = wire.Read(conn, wire.DefaultMaxPayload)
+		}
+		if r.callTimeout > 0 {
+			_ = conn.SetDeadline(time.Time{})
+		}
 		if err != nil {
 			conn.Close()
 			return fmt.Errorf("re-register stream %d: %w", streamID, err)
@@ -399,65 +481,128 @@ func (r *RemoteEnhancer) reconnectLocked() error {
 		_ = reply
 	}
 	r.conn = conn
+	r.connGen++
+	go r.readLoop(conn, r.connGen)
 	return nil
 }
 
-// exchange performs one request/response on conn under the call
-// deadline. It returns transport errors; TypeError replies come back as
-// a message for the caller to interpret.
-func (r *RemoteEnhancer) exchange(conn net.Conn, msg wire.Message) (wire.Message, error) {
-	if r.callTimeout > 0 {
-		_ = conn.SetDeadline(time.Now().Add(r.callTimeout))
+// readLoop is the demultiplexer for one connection generation: it
+// matches each reply to the pending call registered under its Seq. Any
+// transport error — or a reply no call is waiting for — tears the
+// connection down and fails every pending call.
+func (r *RemoteEnhancer) readLoop(conn net.Conn, gen uint64) {
+	for {
+		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
+		if err != nil {
+			r.failConn(gen, err)
+			return
+		}
+		r.mu.Lock()
+		ch, ok := r.pending[msg.Seq]
+		if ok {
+			delete(r.pending, msg.Seq)
+		}
+		r.mu.Unlock()
+		if !ok {
+			// Seqs are unique for the client's lifetime, so an unmatched
+			// reply means the peer broke the correlation discipline (or the
+			// call already failed); resynchronize by reconnecting.
+			r.failConn(gen, fmt.Errorf("unmatched reply seq %d", msg.Seq))
+			return
+		}
+		ch <- callReply{msg: msg}
 	}
-	if err := wire.Write(conn, msg); err != nil {
-		return wire.Message{}, err
-	}
-	reply, err := wire.Read(conn, wire.DefaultMaxPayload)
-	if err != nil {
-		return wire.Message{}, err
-	}
-	if r.callTimeout > 0 {
-		_ = conn.SetDeadline(time.Time{})
-	}
-	return reply, nil
 }
 
-// call performs one synchronous request/response, redialing first if the
-// previous exchange broke the connection.
-func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
+// failConn tears down connection generation gen (if still current) and
+// fails every pending call with cause.
+func (r *RemoteEnhancer) failConn(gen uint64, cause error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.connGen != gen || r.conn == nil {
+		return
+	}
+	r.conn.Close()
+	r.conn = nil
+	r.failPendingLocked(cause)
+}
+
+// failPendingLocked delivers cause to every pending call. Callers hold
+// r.mu.
+func (r *RemoteEnhancer) failPendingLocked(cause error) {
+	for seq, ch := range r.pending {
+		delete(r.pending, seq)
+		ch <- callReply{err: cause}
+	}
+}
+
+// call performs one request/response over the multiplexed connection:
+// register a pending slot under a fresh Seq, write the frame, and wait
+// for the demultiplexer to deliver the matching reply (or the transport
+// failure that voided it), bounded by the call timeout.
+func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
+	r.mu.Lock()
 	if r.closed {
+		r.mu.Unlock()
 		return wire.Message{}, fmt.Errorf("media: enhancer client closed: %w", ErrEnhancerUnavailable)
 	}
 	if r.conn == nil {
 		if err := r.reconnectLocked(); err != nil {
+			r.mu.Unlock()
 			return wire.Message{}, fmt.Errorf("media: reconnect %s: %v: %w", r.addr, err, ErrEnhancerUnavailable)
 		}
 	}
-	r.seq++
-	msg.Seq = r.seq
-	reply, err := r.exchange(r.conn, msg)
+	conn, gen := r.conn, r.connGen
+	msg.Seq = r.seqs.Next()
+	ch := make(chan callReply, 1)
+	r.pending[msg.Seq] = ch
+	r.mu.Unlock()
+
+	r.writeMu.Lock()
+	if r.callTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(r.callTimeout))
+	}
+	err := wire.Write(conn, msg)
+	if r.callTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+	r.writeMu.Unlock()
 	if err != nil {
-		r.dropConnLocked()
-		return wire.Message{}, fmt.Errorf("media: enhancer call: %v: %w", err, ErrEnhancerUnavailable)
+		// The write failure also surfaces in the reader; whichever tears
+		// the conn down first delivers to every pending slot, ours
+		// included.
+		r.failConn(gen, err)
 	}
-	if reply.Type == wire.TypeError {
-		return wire.Message{}, fmt.Errorf("media: remote: %s", reply.Payload)
+
+	var reply callReply
+	if r.callTimeout > 0 {
+		timer := time.NewTimer(r.callTimeout)
+		select {
+		case reply = <-ch:
+			timer.Stop()
+		case <-timer.C:
+			r.failConn(gen, fmt.Errorf("call timed out after %v", r.callTimeout))
+			reply = <-ch // failConn delivered; or the reply raced in first
+		}
+	} else {
+		reply = <-ch
 	}
-	if reply.Seq != msg.Seq {
-		r.dropConnLocked()
-		return wire.Message{}, fmt.Errorf("media: reply seq %d for request %d: %w", reply.Seq, msg.Seq, ErrEnhancerUnavailable)
+	if reply.err != nil {
+		return wire.Message{}, fmt.Errorf("media: enhancer call: %v: %w", reply.err, ErrEnhancerUnavailable)
 	}
-	return reply, nil
+	if reply.msg.Type == wire.TypeError {
+		return wire.Message{}, fmt.Errorf("media: remote: %s", reply.msg.Payload)
+	}
+	return reply.msg, nil
 }
 
 // dropConnLocked closes and forgets a broken connection so the next call
-// redials. Callers hold r.mu.
+// redials; pending calls fail. Callers hold r.mu.
 func (r *RemoteEnhancer) dropConnLocked() {
 	if r.conn != nil {
 		r.conn.Close()
 		r.conn = nil
+		r.failPendingLocked(errors.New("connection dropped"))
 	}
 }
 

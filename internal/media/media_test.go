@@ -37,7 +37,7 @@ func (s *oracleStore) get(id uint32) []*frame.Frame {
 	return s.m[id]
 }
 
-func contentOracle(t *testing.T, frames int) (ModelProvider, *oracleStore) {
+func contentOracle(t testing.TB, frames int) (ModelProvider, *oracleStore) {
 	t.Helper()
 	store := &oracleStore{m: make(map[uint32][]*frame.Frame)}
 	provider := func(streamID uint32, h wire.Hello) (sr.Model, error) {
@@ -74,7 +74,7 @@ func testHello() wire.Hello {
 }
 
 // lrFromHR downsamples the oracle's HR frames to the ingest resolution.
-func lrFromHR(t *testing.T, hr []*frame.Frame) []*frame.Frame {
+func lrFromHR(t testing.TB, hr []*frame.Frame) []*frame.Frame {
 	t.Helper()
 	lr := make([]*frame.Frame, len(hr))
 	for i, f := range hr {

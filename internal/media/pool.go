@@ -197,6 +197,9 @@ func (p *EnhancerPool) Close() error {
 	return nil
 }
 
+// Size returns the number of replicas in the pool (healthy or not).
+func (p *EnhancerPool) Size() int { return len(p.replicas) }
+
 // Counters returns a snapshot of the pool's activity.
 func (p *EnhancerPool) Counters() PoolCounters {
 	return PoolCounters{

@@ -17,8 +17,21 @@ import (
 	"github.com/neuroscaler/neuroscaler/internal/anchor"
 	"github.com/neuroscaler/neuroscaler/internal/hybrid"
 	"github.com/neuroscaler/neuroscaler/internal/icodec"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 	"github.com/neuroscaler/neuroscaler/internal/vcodec"
 	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+const (
+	// DefaultPipelineDepth is the per-connection bound on chunks admitted
+	// into the ingest pipeline beyond the one being packaged, so chunk
+	// k+1 decodes while chunk k's anchors are in flight.
+	DefaultPipelineDepth = 2
+	// DefaultChunkRetention is the per-stream stored-chunk cap: generous
+	// enough that a viewer a few minutes behind still finds its chunks,
+	// bounded enough that a long-lived stream cannot grow the store
+	// without limit.
+	DefaultChunkRetention = 1024
 )
 
 // ServerConfig tunes the media server.
@@ -26,6 +39,24 @@ type ServerConfig struct {
 	// AnchorFraction is the fraction of frames to enhance per chunk
 	// (the cost-effective default is 0.075).
 	AnchorFraction float64
+	// MaxInFlightAnchors bounds how many anchor enhancement RPCs the
+	// server keeps outstanding at once, across all streams. Completion
+	// order never affects output bytes (results are collected by packet
+	// index), so this knob trades only memory and enhancer load for
+	// throughput. Zero picks DefaultEnhancerJobConcurrency per replica
+	// when the enhancer is an EnhancerPool (or a single replica's worth
+	// otherwise); 1 or negative serializes enhancement like the
+	// historical serial path.
+	MaxInFlightAnchors int
+	// PipelineDepth bounds how many chunks per connection may occupy the
+	// ingest pipeline stages (decode+select → enhance → package+store)
+	// at once. Zero uses DefaultPipelineDepth; 1 or negative disables
+	// stage overlap.
+	PipelineDepth int
+	// ChunkRetention caps stored chunks per stream; the oldest chunk is
+	// evicted when a stream exceeds it. Zero uses DefaultChunkRetention,
+	// negative keeps every chunk.
+	ChunkRetention int
 	// ReadTimeout bounds the wait for the next ingest frame on a
 	// connection (slowloris guard); zero uses DefaultIdleTimeout,
 	// negative disables the bound.
@@ -63,17 +94,57 @@ type serverCounters struct {
 	anchorsRejected                 atomic.Uint64
 }
 
+// StageStats snapshots the pipeline's per-stage latency accounting (total
+// time spent in each stage across all chunks) and the current anchor
+// in-flight gauge. enhance_wait is the time the package stage stalled on
+// outstanding enhancements — the overlap target: it shrinks as decode of
+// later chunks hides behind it.
+type StageStats struct {
+	Chunks             uint64  `json:"chunks"`
+	DecodeMsTotal      float64 `json:"decode_ms_total"`
+	SelectMsTotal      float64 `json:"select_ms_total"`
+	EnhanceWaitMsTotal float64 `json:"enhance_wait_ms_total"`
+	PackageMsTotal     float64 `json:"package_ms_total"`
+	AnchorsInFlight    int64   `json:"anchors_in_flight"`
+}
+
+type stageTimers struct {
+	decodeNanos, selectNanos       atomic.Int64
+	enhanceWaitNanos, packageNanos atomic.Int64
+	anchorsInFlight                atomic.Int64
+}
+
+// StoreStats reports the chunk store's retention activity.
+type StoreStats struct {
+	Retention     int    `json:"retention"`
+	ChunksEvicted uint64 `json:"chunks_evicted"`
+}
+
 // Server is the NeuroScaler media server: it terminates ingest
 // connections, runs zero-inference anchor selection per chunk, enhances
 // anchors through an AnchorEnhancer, and stores hybrid containers for
 // HTTP distribution. Enhancement failures degrade chunks (anchors are
 // dropped, the ingest stream still flows) instead of failing them.
+//
+// The serving path is pipelined (see DESIGN.md "Concurrency model"):
+// each connection runs bounded decode+select → enhance → package+store
+// stages so successive chunks overlap, and each chunk's selected anchors
+// fan out concurrently across the enhancer under MaxInFlightAnchors.
+// Output is byte-identical to the serial path for any knob setting:
+// results are keyed by packet index and assembled in selection order.
 type Server struct {
 	cfg      ServerConfig
 	enhancer AnchorEnhancer
 	store    *ChunkStore
 	ln       net.Listener
 	counters serverCounters
+	stages   stageTimers
+
+	// anchorSlots is the server-wide in-flight bound on anchor RPCs.
+	anchorSlots chan struct{}
+	// marshalArena recycles the container-marshal scratch buffer across
+	// chunks (the stored copy is exact-size; the arena absorbs growth).
+	marshalArena par.SlabPool[byte]
 
 	mu      sync.Mutex
 	streams map[uint32]*serverStream
@@ -86,6 +157,10 @@ type serverStream struct {
 	hello   wire.Hello
 	decoder *vcodec.Decoder
 	qp      int
+	// decodeMu pins decoder use to one stage at a time: the decoder is
+	// stateful (reference frames), so packets of a stream must decode
+	// sequentially even if a stream ever spans connections.
+	decodeMu sync.Mutex
 }
 
 // StreamInfo is the distribution-side metadata for one stream.
@@ -99,6 +174,8 @@ type StreamInfo struct {
 	Chunks   int    `json:"chunks"`
 	// DegradedChunks counts stored chunks missing at least one anchor.
 	DegradedChunks int `json:"degraded_chunks"`
+	// EvictedChunks counts chunks dropped by the retention cap.
+	EvictedChunks uint64 `json:"evicted_chunks"`
 }
 
 // NewServer starts the ingest listener on addr.
@@ -117,17 +194,39 @@ func NewServer(addr string, enhancer AnchorEnhancer, cfg ServerConfig) (*Server,
 	}
 	cfg.ReadTimeout = pickTimeout(cfg.ReadTimeout, DefaultIdleTimeout)
 	cfg.WriteTimeout = pickTimeout(cfg.WriteTimeout, DefaultWriteTimeout)
+	if cfg.MaxInFlightAnchors == 0 {
+		cfg.MaxInFlightAnchors = DefaultEnhancerJobConcurrency
+		if p, ok := enhancer.(*EnhancerPool); ok {
+			cfg.MaxInFlightAnchors = DefaultEnhancerJobConcurrency * p.Size()
+		}
+	}
+	if cfg.MaxInFlightAnchors < 1 {
+		cfg.MaxInFlightAnchors = 1
+	}
+	if cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = DefaultPipelineDepth
+	}
+	if cfg.PipelineDepth < 1 {
+		cfg.PipelineDepth = 1
+	}
+	if cfg.ChunkRetention == 0 {
+		cfg.ChunkRetention = DefaultChunkRetention
+	}
+	if cfg.ChunkRetention < 0 {
+		cfg.ChunkRetention = 0 // unbounded
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("media: ingest listen: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		enhancer: enhancer,
-		store:    NewChunkStore(),
-		ln:       ln,
-		streams:  make(map[uint32]*serverStream),
-		closed:   make(chan struct{}),
+		cfg:         cfg,
+		enhancer:    enhancer,
+		store:       NewChunkStoreRetention(cfg.ChunkRetention),
+		ln:          ln,
+		anchorSlots: make(chan struct{}, cfg.MaxInFlightAnchors),
+		streams:     make(map[uint32]*serverStream),
+		closed:      make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -148,6 +247,19 @@ func (s *Server) Counters() ServerCounters {
 		AnchorsEnhanced: s.counters.anchorsEnhanced.Load(),
 		AnchorsDropped:  s.counters.anchorsDropped.Load(),
 		AnchorsRejected: s.counters.anchorsRejected.Load(),
+	}
+}
+
+// StageStats returns a snapshot of the pipeline stage accounting.
+func (s *Server) StageStats() StageStats {
+	const ms = float64(time.Millisecond)
+	return StageStats{
+		Chunks:             s.counters.chunksProcessed.Load(),
+		DecodeMsTotal:      float64(s.stages.decodeNanos.Load()) / ms,
+		SelectMsTotal:      float64(s.stages.selectNanos.Load()) / ms,
+		EnhanceWaitMsTotal: float64(s.stages.enhanceWaitNanos.Load()) / ms,
+		PackageMsTotal:     float64(s.stages.packageNanos.Load()) / ms,
+		AnchorsInFlight:    s.stages.anchorsInFlight.Load(),
 	}
 }
 
@@ -183,122 +295,151 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// write sends one reply under the configured write deadline.
-func (s *Server) write(conn net.Conn, msg wire.Message) error {
-	if s.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	}
-	err := wire.Write(conn, msg)
-	if s.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Time{})
-	}
-	return err
+// ingestJob is one message flowing through a connection's pipeline. All
+// replies — chunk acks, hello acks, pongs, and error reports — are
+// written by the package stage in arrival order, so the pipelined server
+// answers exactly like the serial one did.
+type ingestJob struct {
+	msg wire.Message
+	// pc carries a chunk's in-flight state from the decode stage to the
+	// package stage; nil for pass-through messages (hello, ping).
+	pc *pendingChunk
+	// err is a fatal stream error detected upstream: the package stage
+	// reports it to the client in order and then tears the connection
+	// down, matching the serial path's error handling.
+	err error
 }
 
+// ingestPipeline is the per-connection stage state.
+type ingestPipeline struct {
+	s *Server
+	w *connWriter
+
+	fatal atomic.Bool
+	errMu sync.Mutex
+	err   error
+}
+
+func (p *ingestPipeline) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.fatal.Store(true)
+	// Unblock the read loop; the accept loop closes the conn again
+	// harmlessly.
+	p.w.conn.Close()
+}
+
+func (p *ingestPipeline) firstErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// serveIngest runs one connection's bounded pipeline: the read loop
+// parses frames, the decode stage owns per-stream decoder state and
+// anchor selection (dispatching enhancements as it goes), and the
+// package stage assembles, stores, and acknowledges chunks in arrival
+// order. Stage queues hold at most PipelineDepth chunks, so a slow
+// enhancer exerts backpressure instead of buffering without bound.
 func (s *Server) serveIngest(conn net.Conn) error {
+	p := &ingestPipeline{s: s, w: &connWriter{conn: conn, timeout: s.cfg.WriteTimeout}}
+	decodeCh := make(chan *ingestJob, s.cfg.PipelineDepth)
+	packageCh := make(chan *ingestJob, s.cfg.PipelineDepth)
+	var stages sync.WaitGroup
+	stages.Add(2)
+	go func() {
+		defer stages.Done()
+		defer close(packageCh)
+		for job := range decodeCh {
+			if job.err == nil && job.pc == nil && job.msg.Type == wire.TypeChunk && !p.fatal.Load() {
+				s.decodeStage(job)
+			}
+			packageCh <- job
+		}
+	}()
+	go func() {
+		defer stages.Done()
+		for job := range packageCh {
+			s.packageStage(p, job)
+		}
+	}()
+
+	var readErr error
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
 		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !p.fatal.Load() {
+				readErr = err
 			}
-			return err
+			break
 		}
-		switch msg.Type {
-		case wire.TypeHello:
-			if err := s.handleHello(conn, msg); err != nil {
-				return err
-			}
-		case wire.TypeChunk:
-			if err := s.handleChunk(conn, msg); err != nil {
-				return err
-			}
-		case wire.TypePing:
-			if err := s.write(conn, wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
-				return err
-			}
-		case wire.TypeGoodbye:
-			return nil
-		default:
-			return s.replyError(conn, msg, fmt.Errorf("unexpected message %v", msg.Type))
+		if msg.Type == wire.TypeGoodbye {
+			break
+		}
+		decodeCh <- &ingestJob{msg: msg}
+		if p.fatal.Load() {
+			break
 		}
 	}
+	close(decodeCh)
+	stages.Wait()
+	if err := p.firstErr(); err != nil {
+		return err
+	}
+	return readErr
 }
 
-func (s *Server) handleHello(conn net.Conn, msg wire.Message) error {
-	h, err := wire.DecodeHello(msg.Payload)
-	if err != nil {
-		return s.replyError(conn, msg, err)
-	}
-	dec, err := vcodec.NewDecoder(h.Config.Width, h.Config.Height)
-	if err != nil {
-		return s.replyError(conn, msg, err)
-	}
-	dec.CaptureResidual = false // the server only needs codec info + frames
-	qp, err := hybrid.QPForFraction(s.cfg.AnchorFraction)
-	if err != nil {
-		return s.replyError(conn, msg, err)
-	}
-	// If the enhancer needs per-stream registration (local, remote, or a
-	// pool), forward the hello.
-	if r, ok := s.enhancer.(registrar); ok {
-		if err := r.Register(msg.StreamID, h); err != nil {
-			return s.replyError(conn, msg, err)
-		}
-	}
-	s.mu.Lock()
-	s.streams[msg.StreamID] = &serverStream{hello: h, decoder: dec, qp: qp}
-	s.mu.Unlock()
-	return s.write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq})
-}
-
-func (s *Server) handleChunk(conn net.Conn, msg wire.Message) error {
+// decodeStage is stage one for a chunk: look up the stream, decode its
+// packets on the stream's pinned decoder, run zero-inference anchor
+// selection, and dispatch the selected anchors into the concurrent
+// fan-out. Failures annotate the job; the package stage reports them in
+// order.
+func (s *Server) decodeStage(job *ingestJob) {
+	msg := job.msg
 	s.mu.Lock()
 	st := s.streams[msg.StreamID]
 	s.mu.Unlock()
 	if st == nil {
-		return s.replyError(conn, msg, fmt.Errorf("chunk before hello on stream %d", msg.StreamID))
+		job.err = fmt.Errorf("chunk before hello on stream %d", msg.StreamID)
+		return
 	}
 	packets, err := wire.DecodeChunk(msg.Payload)
 	if err != nil {
-		return s.replyError(conn, msg, err)
+		job.err = err
+		return
 	}
-	container, degraded, err := s.processChunk(msg.StreamID, st, packets)
-	if err != nil {
-		return s.replyError(conn, msg, err)
-	}
-	data, err := container.MarshalBinary()
-	if err != nil {
-		return s.replyError(conn, msg, err)
-	}
-	seq := s.store.AppendChunk(msg.StreamID, data, degraded)
-	return s.write(conn, wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: uint32(seq)})
-}
 
-// processChunk is the per-chunk enhancement pipeline: decode, select
-// anchors with the zero-inference algorithm, enhance them, and package a
-// hybrid container. Enhancement failures drop the affected anchor and
-// mark the chunk degraded — the hybrid container stays valid with any
-// anchor subset, so availability is never traded for quality.
-func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byte) (*hybrid.Container, bool, error) {
+	start := time.Now()
 	decoded := make([]*vcodec.Decoded, len(packets))
 	infos := make([]vcodec.Info, len(packets))
+	st.decodeMu.Lock()
 	for i, pkt := range packets {
 		d, err := st.decoder.Decode(pkt)
 		if err != nil {
-			return nil, false, fmt.Errorf("media: stream %d packet %d: %w", streamID, i, err)
+			st.decodeMu.Unlock()
+			job.err = fmt.Errorf("media: stream %d packet %d: %w", msg.StreamID, i, err)
+			return
 		}
 		decoded[i] = d
 		infos[i] = d.Info
 	}
+	st.decodeMu.Unlock()
+	s.stages.decodeNanos.Add(int64(time.Since(start)))
+
 	// Each container must be independently decodable by viewers joining
 	// mid-stream, so distribution chunks are GOP-aligned (as in HLS/DASH).
 	if infos[0].Type != vcodec.Key {
-		return nil, false, fmt.Errorf("media: stream %d chunk does not start with a key frame; send GOP-aligned chunks", streamID)
+		job.err = fmt.Errorf("media: stream %d chunk does not start with a key frame; send GOP-aligned chunks", msg.StreamID)
+		return
 	}
+
+	start = time.Now()
 	metas := anchor.MetasFromInfos(infos)
 	cands := anchor.ZeroInferenceGains(metas)
 	n := int(s.cfg.AnchorFraction*float64(len(packets)) + 0.5)
@@ -306,6 +447,7 @@ func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byt
 		n = 1
 	}
 	selected := anchor.SelectTopN(cands, n)
+	s.stages.selectNanos.Add(int64(time.Since(start)))
 
 	container := &hybrid.Container{
 		Config: st.hello.Config,
@@ -315,37 +457,203 @@ func (s *Server) processChunk(streamID uint32, st *serverStream, packets [][]byt
 	for i, pkt := range packets {
 		container.Frames[i] = hybrid.ContainerFrame{VideoPacket: pkt}
 	}
-	degraded := false
-	for _, c := range selected {
+
+	pc := &pendingChunk{
+		streamID:  msg.StreamID,
+		st:        st,
+		container: container,
+		selected:  selected,
+		jobs:      make([]wire.AnchorJob, len(selected)),
+		outcomes:  make([]anchorOutcome, len(selected)),
+	}
+	for si, c := range selected {
 		i := c.Meta.Packet
-		res, err := s.enhancer.Enhance(streamID, wire.AnchorJob{
+		pc.jobs[si] = wire.AnchorJob{
 			Packet:       i,
 			DisplayIndex: decoded[i].Info.DisplayIndex,
 			QP:           st.qp,
 			Frame:        decoded[i].Frame,
-		})
-		if err != nil {
+		}
+	}
+	pc.wg.Add(len(selected))
+	for si := range pc.jobs {
+		go s.enhanceAnchor(pc, si)
+	}
+	job.pc = pc
+}
+
+// pendingChunk is one chunk's enhancement fan-out: outcomes land in a
+// slice indexed by selection order, so assembly is deterministic no
+// matter which replica finishes first.
+type pendingChunk struct {
+	streamID  uint32
+	st        *serverStream
+	container *hybrid.Container
+	selected  []anchor.Candidate
+	jobs      []wire.AnchorJob
+	outcomes  []anchorOutcome
+	wg        sync.WaitGroup
+}
+
+type anchorOutcome struct {
+	res wire.AnchorResult
+	err error
+}
+
+// enhanceAnchor runs one anchor RPC under the server-wide in-flight
+// bound.
+func (s *Server) enhanceAnchor(pc *pendingChunk, si int) {
+	defer pc.wg.Done()
+	s.anchorSlots <- struct{}{}
+	defer func() { <-s.anchorSlots }()
+	s.stages.anchorsInFlight.Add(1)
+	defer s.stages.anchorsInFlight.Add(-1)
+	res, err := s.enhancer.Enhance(pc.streamID, pc.jobs[si])
+	pc.outcomes[si] = anchorOutcome{res: res, err: err}
+}
+
+// packageStage is the final stage: wait for the chunk's fan-out, rescue
+// stragglers, assemble and validate in deterministic order, marshal into
+// the arena scratch, store, and acknowledge. It also answers the
+// pass-through messages (hello, ping) so every reply leaves in arrival
+// order.
+func (s *Server) packageStage(p *ingestPipeline, job *ingestJob) {
+	if p.fatal.Load() {
+		// A prior job already reported a fatal error; drain outstanding
+		// enhancements so nothing leaks, and stay silent like the serial
+		// server after close.
+		if job.pc != nil {
+			job.pc.wg.Wait()
+		}
+		return
+	}
+	msg := job.msg
+	if job.err != nil {
+		_ = p.w.writeError(msg, job.err)
+		p.fail(job.err)
+		return
+	}
+	switch {
+	case msg.Type == wire.TypeHello:
+		if err := s.registerStream(msg); err != nil {
+			_ = p.w.writeError(msg, err)
+			p.fail(err)
+			return
+		}
+		if err := p.w.write(wire.Message{Type: wire.TypeAck, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+			p.fail(err)
+		}
+	case msg.Type == wire.TypePing:
+		if err := p.w.write(wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+			p.fail(err)
+		}
+	case job.pc != nil:
+		s.packageChunk(p, job)
+	default:
+		err := fmt.Errorf("unexpected message %v", msg.Type)
+		_ = p.w.writeError(msg, err)
+		p.fail(err)
+	}
+}
+
+// registerStream handles a hello: build the stream's decoder, resolve
+// the anchor QP, and announce the stream to the enhancer.
+func (s *Server) registerStream(msg wire.Message) error {
+	h, err := wire.DecodeHello(msg.Payload)
+	if err != nil {
+		return err
+	}
+	dec, err := vcodec.NewDecoder(h.Config.Width, h.Config.Height)
+	if err != nil {
+		return err
+	}
+	dec.CaptureResidual = false // the server only needs codec info + frames
+	qp, err := hybrid.QPForFraction(s.cfg.AnchorFraction)
+	if err != nil {
+		return err
+	}
+	// If the enhancer needs per-stream registration (local, remote, or a
+	// pool), forward the hello.
+	if r, ok := s.enhancer.(registrar); ok {
+		if err := r.Register(msg.StreamID, h); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.streams[msg.StreamID] = &serverStream{hello: h, decoder: dec, qp: qp}
+	s.mu.Unlock()
+	return nil
+}
+
+// packageChunk finishes one chunk: collect the fan-out, retry
+// stragglers, assemble, marshal, store, ack.
+func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
+	pc := job.pc
+	start := time.Now()
+	pc.wg.Wait()
+	s.stages.enhanceWaitNanos.Add(int64(time.Since(start)))
+
+	// Rescue pass: with concurrent fan-out, anchors racing a half-open
+	// breaker's probe can exhaust their retries while the probe is still
+	// in flight — a failure mode the serial path never had. One in-order
+	// retry of transport-failed anchors after the wave settles restores
+	// the serial path's availability (and stays deterministic: a dead
+	// enhancer fails both passes, a recovered one succeeds).
+	for si := range pc.outcomes {
+		out := &pc.outcomes[si]
+		if out.err == nil || !errors.Is(out.err, ErrEnhancerUnavailable) {
+			continue
+		}
+		res, err := s.enhancer.Enhance(pc.streamID, pc.jobs[si])
+		if err == nil {
+			*out = anchorOutcome{res: res}
+		}
+	}
+
+	degraded := false
+	for si, c := range pc.selected {
+		i := c.Meta.Packet
+		out := pc.outcomes[si]
+		if out.err != nil {
 			s.counters.anchorsDropped.Add(1)
 			degraded = true
-			s.cfg.Logf("media: stream %d: anchor %d dropped, shipping degraded chunk: %v", streamID, i, err)
+			s.cfg.Logf("media: stream %d: anchor %d dropped, shipping degraded chunk: %v", pc.streamID, i, out.err)
 			continue
 		}
 		if !s.cfg.DisableAnchorValidation {
-			if err := validateAnchor(res, i, st); err != nil {
+			if err := validateAnchor(out.res, i, pc.st); err != nil {
 				s.counters.anchorsRejected.Add(1)
 				degraded = true
-				s.cfg.Logf("media: stream %d: anchor %d rejected: %v", streamID, i, err)
+				s.cfg.Logf("media: stream %d: anchor %d rejected: %v", pc.streamID, i, err)
 				continue
 			}
 		}
 		s.counters.anchorsEnhanced.Add(1)
-		container.Frames[i].Anchor = res.Encoded
+		pc.container.Frames[i].Anchor = out.res.Encoded
 	}
 	s.counters.chunksProcessed.Add(1)
 	if degraded {
 		s.counters.chunksDegraded.Add(1)
 	}
-	return container, degraded, nil
+
+	start = time.Now()
+	scratch := s.marshalArena.Get(0)[:0]
+	buf, err := pc.container.MarshalAppend(scratch)
+	if err != nil {
+		s.marshalArena.Put(buf)
+		_ = p.w.writeError(job.msg, err)
+		p.fail(err)
+		return
+	}
+	data := make([]byte, len(buf))
+	copy(data, buf)
+	s.marshalArena.Put(buf)
+	seq := s.store.AppendChunk(pc.streamID, data, degraded)
+	s.stages.packageNanos.Add(int64(time.Since(start)))
+
+	if err := p.w.write(wire.Message{Type: wire.TypeAck, StreamID: pc.streamID, Seq: uint32(seq)}); err != nil {
+		p.fail(err)
+	}
 }
 
 // validateAnchor rejects enhancer results that would poison the
@@ -367,25 +675,14 @@ func validateAnchor(res wire.AnchorResult, packet int, st *serverStream) error {
 	return nil
 }
 
-func (s *Server) replyError(conn net.Conn, msg wire.Message, cause error) error {
-	reply := wire.Message{
-		Type:     wire.TypeError,
-		StreamID: msg.StreamID,
-		Seq:      msg.Seq,
-		Payload:  []byte(cause.Error()),
-	}
-	if err := s.write(conn, reply); err != nil {
-		return err
-	}
-	return cause
-}
-
 // DistributionHandler returns the HTTP handler for the viewer side:
 //
 //	GET /streams                     → JSON list of StreamInfo
 //	GET /streams/{id}/chunks/{seq}   → hybrid container bytes
-//	GET /stats                       → availability counters (server +
-//	                                   enhancer pool, when pooled)
+//	GET /stats                       → availability counters, pipeline
+//	                                   stage latencies, store retention
+//	                                   (and enhancer pool state, when
+//	                                   pooled)
 func (s *Server) DistributionHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +698,7 @@ func (s *Server) DistributionHandler() http.Handler {
 				Content:        st.hello.Content,
 				Chunks:         s.store.ChunkCount(id),
 				DegradedChunks: s.store.DegradedCount(id),
+				EvictedChunks:  s.store.EvictedCount(id),
 			})
 		}
 		s.mu.Unlock()
@@ -429,9 +727,15 @@ func (s *Server) DistributionHandler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		out := struct {
 			Server ServerCounters    `json:"server"`
+			Stages StageStats        `json:"stages"`
+			Store  StoreStats        `json:"store"`
 			Pool   *PoolCounters     `json:"pool,omitempty"`
 			States map[string]string `json:"replica_states,omitempty"`
-		}{Server: s.Counters()}
+		}{
+			Server: s.Counters(),
+			Stages: s.StageStats(),
+			Store:  StoreStats{Retention: s.store.Retention(), ChunksEvicted: s.store.TotalEvicted()},
+		}
 		if p, ok := s.enhancer.(*EnhancerPool); ok {
 			c := p.Counters()
 			out.Pool = &c

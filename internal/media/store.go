@@ -19,17 +19,40 @@ type storedChunk struct {
 	degraded bool
 }
 
-// ChunkStore holds hybrid-encoded chunks per stream for distribution.
-// It is safe for concurrent use.
-type ChunkStore struct {
-	mu      sync.RWMutex
-	streams map[uint32][]storedChunk
+// streamChunks is one stream's retained window of chunks. Sequence
+// numbers are append positions and never shift: chunks[i] holds sequence
+// base+i, and eviction advances base.
+type streamChunks struct {
+	base     int
+	chunks   []storedChunk
+	degraded int // degraded chunks ever appended (survives eviction)
+	evicted  uint64
 }
 
-// NewChunkStore returns an empty store.
-func NewChunkStore() *ChunkStore {
-	return &ChunkStore{streams: make(map[uint32][]storedChunk)}
+// ChunkStore holds hybrid-encoded chunks per stream for distribution.
+// It is safe for concurrent use. A positive retention caps how many
+// chunks each stream keeps: appending past the cap evicts the oldest
+// chunk (its sequence number becomes a "gone" error, like a live
+// playlist sliding forward).
+type ChunkStore struct {
+	mu        sync.RWMutex
+	streams   map[uint32]*streamChunks
+	retention int
 }
+
+// NewChunkStore returns an empty store with unbounded retention.
+func NewChunkStore() *ChunkStore {
+	return NewChunkStoreRetention(0)
+}
+
+// NewChunkStoreRetention returns an empty store keeping at most the last
+// `retention` chunks per stream; zero or negative means unbounded.
+func NewChunkStoreRetention(retention int) *ChunkStore {
+	return &ChunkStore{streams: make(map[uint32]*streamChunks), retention: retention}
+}
+
+// Retention reports the per-stream chunk cap (0 = unbounded).
+func (s *ChunkStore) Retention() int { return s.retention }
 
 // Append stores the next chunk of a stream and returns its sequence
 // number.
@@ -38,26 +61,56 @@ func (s *ChunkStore) Append(streamID uint32, chunk []byte) int {
 }
 
 // AppendChunk stores the next chunk of a stream along with its
-// degradation flag and returns its sequence number.
+// degradation flag and returns its sequence number. When the stream is
+// at its retention cap the oldest chunk is evicted.
 func (s *ChunkStore) AppendChunk(streamID uint32, chunk []byte, degraded bool) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.streams[streamID] = append(s.streams[streamID], storedChunk{data: chunk, degraded: degraded})
-	return len(s.streams[streamID]) - 1
+	st := s.streams[streamID]
+	if st == nil {
+		st = &streamChunks{}
+		s.streams[streamID] = st
+	}
+	st.chunks = append(st.chunks, storedChunk{data: chunk, degraded: degraded})
+	if degraded {
+		st.degraded++
+	}
+	if s.retention > 0 && len(st.chunks) > s.retention {
+		n := len(st.chunks) - s.retention
+		// Release the evicted chunk bytes; copy down so the backing array
+		// doesn't pin them.
+		st.chunks = append(st.chunks[:0], st.chunks[n:]...)
+		st.base += n
+		st.evicted += uint64(n)
+	}
+	return st.base + len(st.chunks) - 1
+}
+
+func (s *ChunkStore) lookup(streamID uint32, seq int) (storedChunk, error) {
+	chunks, ok := s.streams[streamID]
+	if !ok {
+		return storedChunk{}, fmt.Errorf("media: unknown stream %d", streamID)
+	}
+	if seq < 0 || seq >= chunks.base+len(chunks.chunks) {
+		return storedChunk{}, fmt.Errorf("media: stream %d has no chunk %d (have %d)",
+			streamID, seq, chunks.base+len(chunks.chunks))
+	}
+	if seq < chunks.base {
+		return storedChunk{}, fmt.Errorf("media: stream %d chunk %d evicted (retained window starts at %d)",
+			streamID, seq, chunks.base)
+	}
+	return chunks.chunks[seq-chunks.base], nil
 }
 
 // Chunk returns chunk seq of a stream.
 func (s *ChunkStore) Chunk(streamID uint32, seq int) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	chunks, ok := s.streams[streamID]
-	if !ok {
-		return nil, fmt.Errorf("media: unknown stream %d", streamID)
+	c, err := s.lookup(streamID, seq)
+	if err != nil {
+		return nil, err
 	}
-	if seq < 0 || seq >= len(chunks) {
-		return nil, fmt.Errorf("media: stream %d has no chunk %d (have %d)", streamID, seq, len(chunks))
-	}
-	return chunks[seq].data, nil
+	return c.data, nil
 }
 
 // ChunkDegraded reports whether chunk seq of a stream was stored with
@@ -65,34 +118,71 @@ func (s *ChunkStore) Chunk(streamID uint32, seq int) ([]byte, error) {
 func (s *ChunkStore) ChunkDegraded(streamID uint32, seq int) (bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	chunks, ok := s.streams[streamID]
-	if !ok {
-		return false, fmt.Errorf("media: unknown stream %d", streamID)
+	c, err := s.lookup(streamID, seq)
+	if err != nil {
+		return false, err
 	}
-	if seq < 0 || seq >= len(chunks) {
-		return false, fmt.Errorf("media: stream %d has no chunk %d (have %d)", streamID, seq, len(chunks))
-	}
-	return chunks[seq].degraded, nil
+	return c.degraded, nil
 }
 
-// ChunkCount returns the number of stored chunks for a stream.
+// ChunkCount returns the number of chunks ever appended to a stream
+// (sequence numbers run [0, ChunkCount)); evicted chunks still count so
+// numbering never rewinds.
 func (s *ChunkStore) ChunkCount(streamID uint32) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.streams[streamID])
+	st, ok := s.streams[streamID]
+	if !ok {
+		return 0
+	}
+	return st.base + len(st.chunks)
 }
 
-// DegradedCount returns how many stored chunks of a stream are degraded.
+// DegradedCount returns how many chunks of a stream were ever stored
+// degraded (including since-evicted ones).
 func (s *ChunkStore) DegradedCount(streamID uint32) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n := 0
-	for _, c := range s.streams[streamID] {
-		if c.degraded {
-			n++
-		}
+	st, ok := s.streams[streamID]
+	if !ok {
+		return 0
+	}
+	return st.degraded
+}
+
+// EvictedCount returns how many chunks of a stream have been evicted by
+// the retention cap.
+func (s *ChunkStore) EvictedCount(streamID uint32) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.streams[streamID]
+	if !ok {
+		return 0
+	}
+	return st.evicted
+}
+
+// TotalEvicted returns the eviction count summed over all streams.
+func (s *ChunkStore) TotalEvicted() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n uint64
+	for _, st := range s.streams {
+		n += st.evicted
 	}
 	return n
+}
+
+// OldestRetained returns the first sequence number still retained for a
+// stream (0 when nothing has been evicted).
+func (s *ChunkStore) OldestRetained(streamID uint32) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.streams[streamID]
+	if !ok {
+		return 0
+	}
+	return st.base
 }
 
 // StreamIDs lists all known streams in ascending order.

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInFlightAccountingShrinksBudget verifies that work registered via
+// NoteDispatch is subtracted from the per-instance interval budget: a
+// saturated instance receives no assignments, and NoteComplete restores
+// its capacity.
+func TestInFlightAccountingShrinksBudget(t *testing.T) {
+	_, intervals := mixedIntervals(t, 10, 0)
+	s, err := New(CostEffective(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Assignments) == 0 {
+		t.Fatal("empty baseline plan")
+	}
+
+	// Saturate instance 0 with a full interval of in-flight work.
+	if err := s.NoteDispatch(0, s.Policy().Interval); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Instance == 0 {
+			t.Fatalf("anchor assigned to saturated instance: %+v", a)
+		}
+	}
+	if len(plan.Assignments) >= len(base.Assignments) {
+		t.Errorf("saturating half the cluster kept %d assignments (baseline %d)",
+			len(plan.Assignments), len(base.Assignments))
+	}
+	if got := s.InFlight()[0]; got != s.Policy().Interval {
+		t.Errorf("InFlight()[0] = %v", got)
+	}
+	if got := s.InFlightJobs()[0]; got != 1 {
+		t.Errorf("InFlightJobs()[0] = %d", got)
+	}
+
+	// Partial residual load: instance 0 may only be filled up to the
+	// remaining capacity.
+	if err := s.NoteComplete(0, s.Policy().Interval); err != nil {
+		t.Fatal(err)
+	}
+	residual := s.Policy().Interval / 2
+	if err := s.NoteDispatch(0, residual); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load := partial.LoadPerInstance[0]; load > s.Policy().Interval-residual {
+		t.Errorf("instance 0 load %v exceeds residual capacity %v", load, s.Policy().Interval-residual)
+	}
+
+	// Completion restores the full budget.
+	if err := s.NoteComplete(0, residual); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := s.Schedule(intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Assignments) != len(base.Assignments) {
+		t.Errorf("restored plan has %d assignments, baseline %d",
+			len(restored.Assignments), len(base.Assignments))
+	}
+	for i, d := range s.InFlight() {
+		if d != 0 {
+			t.Errorf("InFlight()[%d] = %v after completion", i, d)
+		}
+	}
+}
+
+// TestInFlightAccountingValidation covers bounds and clamping.
+func TestInFlightAccountingValidation(t *testing.T) {
+	s, err := New(CostEffective(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NoteDispatch(2, time.Millisecond); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+	if err := s.NoteDispatch(0, -time.Millisecond); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := s.NoteComplete(-1, time.Millisecond); err == nil {
+		t.Error("out-of-range instance accepted")
+	}
+	// Spurious completion clamps at zero instead of going negative.
+	if err := s.NoteComplete(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InFlight()[1]; got != 0 {
+		t.Errorf("InFlight()[1] = %v, want clamp at 0", got)
+	}
+	if got := s.InFlightJobs()[1]; got != 0 {
+		t.Errorf("InFlightJobs()[1] = %d, want clamp at 0", got)
+	}
+}

@@ -86,6 +86,11 @@ type Scheduler struct {
 
 	mu   sync.Mutex
 	down map[int]bool
+	// inflight tracks the modeled inference time dispatched to each
+	// instance and not yet reported complete, so overlapping rounds
+	// (pipelined dispatch) don't double-book capacity.
+	inflight     []time.Duration
+	inflightJobs []int
 }
 
 // New returns a scheduler for a cluster of the given instance count.
@@ -96,7 +101,12 @@ func New(policy Policy, instances int) (*Scheduler, error) {
 	if instances < 1 {
 		return nil, errors.New("sched: need at least one instance")
 	}
-	return &Scheduler{policy: policy, instances: instances}, nil
+	return &Scheduler{
+		policy:       policy,
+		instances:    instances,
+		inflight:     make([]time.Duration, instances),
+		inflightJobs: make([]int, instances),
+	}, nil
 }
 
 // Policy returns the scheduler's policy.
@@ -135,6 +145,10 @@ func (s *Scheduler) InstanceDown(i int) bool {
 func (s *Scheduler) Alive() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.aliveLocked()
+}
+
+func (s *Scheduler) aliveLocked() []int {
 	alive := make([]int, 0, s.instances)
 	for i := 0; i < s.instances; i++ {
 		if !s.down[i] {
@@ -142,6 +156,77 @@ func (s *Scheduler) Alive() []int {
 		}
 	}
 	return alive
+}
+
+// NoteDispatch records that work with modeled inference time d has been
+// dispatched to instance i and is now in flight. Until the matching
+// NoteComplete, subsequent scheduling rounds see instance i's interval
+// budget reduced by d, so a round that overlaps still-running work does
+// not double-book the instance.
+func (s *Scheduler) NoteDispatch(i int, d time.Duration) error {
+	if i < 0 || i >= s.instances {
+		return fmt.Errorf("sched: instance %d out of range [0,%d)", i, s.instances)
+	}
+	if d < 0 {
+		return fmt.Errorf("sched: negative in-flight duration %v", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight[i] += d
+	s.inflightJobs[i]++
+	return nil
+}
+
+// NoteComplete records that previously dispatched work of modeled
+// inference time d on instance i has finished, releasing its budget.
+func (s *Scheduler) NoteComplete(i int, d time.Duration) error {
+	if i < 0 || i >= s.instances {
+		return fmt.Errorf("sched: instance %d out of range [0,%d)", i, s.instances)
+	}
+	if d < 0 {
+		return fmt.Errorf("sched: negative in-flight duration %v", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight[i] -= d
+	if s.inflight[i] < 0 {
+		s.inflight[i] = 0
+	}
+	if s.inflightJobs[i]--; s.inflightJobs[i] < 0 {
+		s.inflightJobs[i] = 0
+	}
+	return nil
+}
+
+// InFlight returns a snapshot of the residual modeled load per instance.
+func (s *Scheduler) InFlight() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Duration, s.instances)
+	copy(out, s.inflight)
+	return out
+}
+
+// InFlightJobs returns a snapshot of outstanding job counts per instance.
+func (s *Scheduler) InFlightJobs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, s.instances)
+	copy(out, s.inflightJobs)
+	return out
+}
+
+// capacitiesLocked returns each instance's residual interval budget:
+// T_intv minus the in-flight load, floored at zero.
+func (s *Scheduler) capacitiesLocked() []time.Duration {
+	caps := make([]time.Duration, s.instances)
+	for i := range caps {
+		caps[i] = s.policy.Interval - s.inflight[i]
+		if caps[i] < 0 {
+			caps[i] = 0
+		}
+	}
+	return caps
 }
 
 // Schedule runs one round: global zero-inference gain estimation, global
@@ -152,17 +237,24 @@ func (s *Scheduler) Schedule(streams []StreamInterval) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	alive := s.Alive()
-	// Instance loss rebalances instead of failing: the budget shrinks to
-	// the surviving capacity and selection tightens accordingly.
-	budget := time.Duration(int64(s.policy.Interval) * int64(len(alive)))
+	s.mu.Lock()
+	alive := s.aliveLocked()
+	caps := s.capacitiesLocked()
+	s.mu.Unlock()
+	// Instance loss rebalances instead of failing, and in-flight work from
+	// overlapped rounds is subtracted first: the budget shrinks to the
+	// surviving residual capacity and selection tightens accordingly.
+	var budget time.Duration
+	for _, i := range alive {
+		budget += caps[i]
+	}
 	selected := anchor.SelectWithinBudget(cands, latency, budget)
 	if s.MaxAnchorFraction > 0 {
 		if cap := int(s.MaxAnchorFraction*float64(len(cands)) + 0.5); len(selected) > cap {
 			selected = selected[:cap]
 		}
 	}
-	return s.balance(selected, latency, alive)
+	return s.balance(selected, latency, alive, caps)
 }
 
 // globalCandidates merges per-stream gain estimates into one global
@@ -189,9 +281,10 @@ func globalCandidates(streams []StreamInterval) ([]anchor.Candidate, func(anchor
 }
 
 // balance partitions selected anchors into per-instance groups using
-// longest-processing-time-first bin packing, never exceeding T_intv per
-// instance and never touching a lost instance (§5.2 ②).
-func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Candidate) time.Duration, alive []int) (*Plan, error) {
+// longest-processing-time-first bin packing, never exceeding each
+// instance's residual budget (T_intv minus in-flight load) and never
+// touching a lost instance (§5.2 ②).
+func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Candidate) time.Duration, alive []int, caps []time.Duration) (*Plan, error) {
 	// LPT: place expensive anchors first, each on the least-loaded
 	// instance that still has room.
 	order := make([]anchor.Candidate, len(selected))
@@ -210,7 +303,7 @@ func (s *Scheduler) balance(selected []anchor.Candidate, latency func(anchor.Can
 		total += lat
 		best := -1
 		for _, i := range alive {
-			if load[i]+lat > s.policy.Interval {
+			if load[i]+lat > caps[i] {
 				continue
 			}
 			if best < 0 || load[i] < load[best] {

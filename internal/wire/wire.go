@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync/atomic"
 )
 
 // Type identifies a message kind.
@@ -64,11 +65,35 @@ func (t Type) String() string {
 }
 
 // Message is one protocol frame.
+//
+// Seq correlates a request with its reply: a responder echoes the
+// request's Seq verbatim. The protocol does not require replies to come
+// back in request order — a peer multiplexing many outstanding requests
+// on one connection must allocate distinct Seqs (see SeqSource) and
+// demultiplex replies by Seq rather than assuming FIFO delivery. Seq 0
+// is reserved for unsolicited messages that expect no correlation.
 type Message struct {
 	Type     Type
 	StreamID uint32
 	Seq      uint32
 	Payload  []byte
+}
+
+// SeqSource allocates request Seqs for one connection. It is safe for
+// concurrent use and never returns 0 (the unsolicited sentinel), so a
+// demultiplexer can key a pending-call map on the values directly. The
+// zero value is ready to use.
+type SeqSource struct {
+	n atomic.Uint32
+}
+
+// Next returns the next non-zero sequence number.
+func (s *SeqSource) Next() uint32 {
+	for {
+		if v := s.n.Add(1); v != 0 {
+			return v
+		}
+	}
 }
 
 const (
