@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GOBIN ?= $(shell go env GOPATH)/bin
+
+.PHONY: build test race lint nslint vet-nslint fuzz-smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/par ./internal/vcodec ./internal/sr ./internal/frame ./internal/icodec ./internal/metrics ./internal/media ./internal/sched
+
+# lint always runs nslint (self-contained, no downloads); staticcheck and
+# govulncheck run when installed. To install the pinned versions CI uses:
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1.1
+#   go install golang.org/x/vuln/cmd/govulncheck@v1.1.4
+lint: nslint
+	@if [ -x "$(GOBIN)/staticcheck" ]; then "$(GOBIN)/staticcheck" ./...; \
+	else echo "staticcheck not installed; skipping (see Makefile for the pinned install)"; fi
+	@if [ -x "$(GOBIN)/govulncheck" ]; then "$(GOBIN)/govulncheck" ./...; \
+	else echo "govulncheck not installed; skipping (see Makefile for the pinned install)"; fi
+
+nslint:
+	go run ./cmd/nslint ./...
+
+# The same suite through go vet's -vettool driver (exercises the
+# unit-checker protocol path).
+vet-nslint:
+	go build -o /tmp/nslint ./cmd/nslint
+	go vet -vettool=/tmp/nslint ./...
+
+fuzz-smoke:
+	go test -tags fuzz -run xxx -fuzz FuzzContainerRoundTrip -fuzztime 30s ./internal/hybrid
+	go test -tags fuzz -run xxx -fuzz FuzzWireFrame -fuzztime 30s ./internal/wire

@@ -1,0 +1,178 @@
+// Command nslint runs the repo's static-analysis suite (internal/lint):
+// determinism, arenapair, connio, lockhold, seqsafe, and errwrap.
+//
+// Standalone:
+//
+//	go run ./cmd/nslint ./...            # whole tree, all analyzers
+//	go run ./cmd/nslint -only connio ./internal/media
+//	go run ./cmd/nslint -list
+//
+// As a vet tool (unit-checker protocol, one package per invocation):
+//
+//	go build -o /tmp/nslint ./cmd/nslint
+//	go vet -vettool=/tmp/nslint ./...
+//
+// Exit status: 0 clean, 1 findings (standalone), 2 findings (vet mode,
+// matching go vet's convention), >0 on load errors.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/neuroscaler/neuroscaler/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet driver protocol: the go command probes the tool's identity
+	// and flags, then invokes it once per package with a .cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The go command content-addresses a vettool by this line: for a
+			// "devel" version the last field must be buildID=<id>, and the id
+			// should change whenever the tool does so vet results are not
+			// stale-cached. Hash the binary itself.
+			fmt.Printf("nslint version devel buildID=%s\n", selfBuildID())
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("nslint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nslint [-only a,b] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nslint:", err)
+		os.Exit(2)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nslint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selfBuildID derives a content ID for the running binary so the vet
+// driver's result cache invalidates when nslint is rebuilt.
+func selfBuildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// vetCfg is the unit-checker configuration the go command hands a
+// vettool: the package's files plus pre-resolved export data for every
+// dependency.
+type vetCfg struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nslint:", err)
+		return 1
+	}
+	var cfg vetCfg
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nslint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver expects a facts file regardless of findings; nslint has
+	// no cross-package facts, so an empty marker suffices.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("nslint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "nslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("nslint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(token.NewFileSet(), "gc", lookup)
+	pkg, err := lint.CheckFiles(cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "nslint:", err)
+		return 1
+	}
+	diags := lint.Run([]*lint.Package{pkg}, lint.All)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+//go:build fuzz
+
+package hybrid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// FuzzContainerRoundTrip drives the structured path end to end: fuzzed
+// frame content goes through the video encoder, hybrid packaging with an
+// image-coded anchor, and the container must survive
+// Marshal -> Unmarshal -> Marshal byte-identically. Guarded behind the
+// fuzz build tag so the heavyweight target only compiles for the fuzz
+// smoke job (`go test -tags fuzz -fuzz ...`).
+func FuzzContainerRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), uint8(40))
+	f.Add(int64(7), uint8(1), uint8(4), uint8(95))
+	f.Fuzz(func(t *testing.T, seed int64, nFrames, scale, quality uint8) {
+		n := int(nFrames)%6 + 1
+		sc := int(scale)%3 + 2    // [2, 4]
+		q := int(quality)%100 + 1 // [1, 100]
+		rng := rand.New(rand.NewSource(seed))
+
+		const w, h = 48, 32
+		lr := make([]*frame.Frame, n)
+		for i := range lr {
+			fr := frame.MustNew(w, h)
+			for _, p := range fr.Planes() {
+				rng.Read(p.Pix)
+			}
+			lr[i] = fr
+		}
+		enc, err := vcodec.NewEncoder(vcodec.Config{
+			Width: w, Height: h, FPS: 30, BitrateKbps: 600,
+			GOP: 8, Mode: vcodec.ModeConstrainedVBR,
+		})
+		if err != nil {
+			t.Fatalf("encoder: %v", err)
+		}
+		stream, err := enc.EncodeAll(lr)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+
+		anchor := frame.MustNew(w*sc, h*sc)
+		rng.Read(anchor.Y.Pix)
+		c, _, err := Encode(stream, map[int]*frame.Frame{0: anchor}, sc, q)
+		if err != nil {
+			t.Fatalf("hybrid encode: %v", err)
+		}
+
+		blob, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Container
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("unmarshal of own output: %v", err)
+		}
+		blob2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("container round trip not byte-stable: %d vs %d bytes", len(blob), len(blob2))
+		}
+	})
+}

@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaPair checks the slab/frame arena discipline:
+//
+//   - every par.SlabPool Get must be matched by a Put on the same pool
+//     along every path out of the function (a defer counts for all
+//     paths), and the pooled buffer must not escape through a return,
+//     channel send, or store into a field/global;
+//   - a frame.Borrow/BorrowZero result that stays function-local must be
+//     frame.Released on every path (an escaping frame transfers
+//     ownership and carries no obligation — the GC backstops it).
+//
+// The check is path-sensitive over the statement tree: branches are
+// explored independently, and obligations still open at a return or at
+// function end are reported.
+var ArenaPair = &Analyzer{
+	Name: "arenapair",
+	Doc:  "pair every arena Get/Borrow with a Put/Release on all paths and keep pooled buffers from escaping",
+	Run:  runArenaPair,
+}
+
+func runArenaPair(pass *Pass) {
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		checkArenaFunc(pass, fd.Body)
+		// Function literals own their control flow; check them separately
+		// and ignore them during the enclosing function's walk.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkArenaFunc(pass, lit.Body)
+			}
+			return true
+		})
+	})
+}
+
+// arenaState tracks open obligations along one path.
+type arenaState struct {
+	// slabs maps a pool expression (e.g. "s.marshalArena") to the number
+	// of outstanding Gets and the position of the most recent one.
+	slabs map[string][]token.Pos
+	// frames maps a local variable name to the Borrow position.
+	frames map[string]token.Pos
+	// deferred pools/frames discharged by defer statements (valid on
+	// every path).
+	deferredSlabs  map[string]bool
+	deferredFrames map[string]bool
+}
+
+func (st *arenaState) clone() *arenaState {
+	c := &arenaState{
+		slabs:          make(map[string][]token.Pos, len(st.slabs)),
+		frames:         make(map[string]token.Pos, len(st.frames)),
+		deferredSlabs:  st.deferredSlabs,
+		deferredFrames: st.deferredFrames,
+	}
+	for k, v := range st.slabs {
+		c.slabs[k] = append([]token.Pos(nil), v...)
+	}
+	for k, v := range st.frames {
+		c.frames[k] = v
+	}
+	return c
+}
+
+func checkArenaFunc(pass *Pass, body *ast.BlockStmt) {
+	escaped := escapedVars(pass, body)
+	st := &arenaState{
+		slabs:          make(map[string][]token.Pos),
+		frames:         make(map[string]token.Pos),
+		deferredSlabs:  make(map[string]bool),
+		deferredFrames: make(map[string]bool),
+	}
+	// Pre-scan defers anywhere in the body: a defer discharges on every
+	// path once executed, and the common pattern defers right after Get.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if pool, ok := slabPutPool(pass, d.Call); ok {
+			st.deferredSlabs[pool] = true
+		}
+		if v, ok := frameReleaseVar(pass, d.Call); ok {
+			st.deferredFrames[v] = true
+		}
+		return true
+	})
+	end := walkArena(pass, body.List, st, escaped)
+	reportOpen(pass, end, body.End())
+}
+
+// walkArena interprets a statement list, returning the state at
+// fall-through. Reports happen at returns and are the caller's job at
+// block end.
+func walkArena(pass *Pass, stmts []ast.Stmt, st *arenaState, escaped map[string]bool) *arenaState {
+	for _, s := range stmts {
+		st = walkArenaStmt(pass, s, st, escaped)
+	}
+	return st
+}
+
+func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bool) *arenaState {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		reportOpen(pass, st, s.Pos())
+		return st
+	case *ast.BlockStmt:
+		return walkArena(pass, s.List, st, escaped)
+	case *ast.IfStmt:
+		then := walkArena(pass, s.Body.List, st.clone(), escaped)
+		if s.Else != nil {
+			walkArenaStmt(pass, s.Else, st.clone(), escaped)
+		}
+		// Fall-through state: a branch that acquired or released changes
+		// the merged view; keep the conservative union of the incoming
+		// state and the then-branch (obligations discharged only on one
+		// side stay open, matching the leaking path).
+		if endsControl(s.Body) {
+			return st
+		}
+		return then
+	case *ast.ForStmt:
+		walkArena(pass, s.Body.List, st.clone(), escaped)
+		return st
+	case *ast.RangeStmt:
+		walkArena(pass, s.Body.List, st.clone(), escaped)
+		return st
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkArena(pass, cc.Body, st.clone(), escaped)
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkArena(pass, cc.Body, st.clone(), escaped)
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkArena(pass, cc.Body, st.clone(), escaped)
+			}
+		}
+		return st
+	case *ast.DeferStmt:
+		return st // handled in the pre-scan
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			applyArenaCall(pass, call, st, nil, escaped)
+		}
+		return st
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			rhs := ast.Unparen(rhs)
+			// Unwrap the re-slice in `buf := pool.Get(0)[:0]` — the
+			// obligation attaches to the Get underneath.
+			if se, ok := rhs.(*ast.SliceExpr); ok {
+				rhs = ast.Unparen(se.X)
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			var lhs ast.Expr
+			if len(s.Lhs) > i {
+				lhs = s.Lhs[i]
+			} else if len(s.Lhs) > 0 {
+				lhs = s.Lhs[0]
+			}
+			applyArenaCall(pass, call, st, lhs, escaped)
+		}
+		return st
+	case *ast.GoStmt:
+		return st
+	default:
+		return st
+	}
+}
+
+// applyArenaCall updates state for a Get/Put/Borrow/Release call. lhs is
+// the assignment target of the call's result, when any.
+func applyArenaCall(pass *Pass, call *ast.CallExpr, st *arenaState, lhs ast.Expr, escaped map[string]bool) {
+	if pool, ok := slabGetPool(pass, call); ok {
+		if !st.deferredSlabs[pool] {
+			st.slabs[pool] = append(st.slabs[pool], call.Pos())
+		}
+		return
+	}
+	if pool, ok := slabPutPool(pass, call); ok {
+		if n := len(st.slabs[pool]); n > 0 {
+			st.slabs[pool] = st.slabs[pool][:n-1]
+		}
+		return
+	}
+	if isFrameBorrow(pass, call) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if !escaped[id.Name] && !st.deferredFrames[id.Name] {
+				st.frames[id.Name] = call.Pos()
+			}
+		}
+		return
+	}
+	if v, ok := frameReleaseVar(pass, call); ok {
+		delete(st.frames, v)
+		return
+	}
+	// A call that receives a pooled-slab expression and returns it
+	// (append-style growth such as MarshalAppend) keeps the obligation on
+	// the same pool; nothing to update.
+}
+
+func reportOpen(pass *Pass, st *arenaState, at token.Pos) {
+	for pool, poss := range st.slabs {
+		for range poss {
+			pass.Reportf(poss[0], "%s.Get has no matching Put on this path (leaks the slab back to the GC and defeats the arena)", pool)
+			break
+		}
+	}
+	for v, pos := range st.frames {
+		pass.Reportf(pos, "frame borrowed into %q is neither released nor handed off on this path", v)
+	}
+	// Reset so outer blocks do not double-report the same acquisition.
+	st.slabs = make(map[string][]token.Pos)
+	st.frames = make(map[string]token.Pos)
+	_ = at
+}
+
+// endsControl reports whether a block always transfers control away
+// (return/panic as last statement).
+func endsControl(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// slabGetPool matches `<pool>.Get(...)` where pool is a par.SlabPool,
+// returning the pool expression rendered as a stable key.
+func slabGetPool(pass *Pass, call *ast.CallExpr) (string, bool) {
+	return slabPoolMethod(pass, call, "Get")
+}
+
+// slabPutPool matches `<pool>.Put(...)`.
+func slabPutPool(pass *Pass, call *ast.CallExpr) (string, bool) {
+	return slabPoolMethod(pass, call, "Put")
+}
+
+func slabPoolMethod(pass *Pass, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	n := namedOf(pass.exprType(sel.X))
+	if n == nil || n.Obj().Name() != "SlabPool" {
+		return "", false
+	}
+	if pkg := n.Obj().Pkg(); pkg == nil || pathBase(pkg.Path()) != "par" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// isFrameBorrow matches frame.Borrow / frame.BorrowZero.
+func isFrameBorrow(pass *Pass, call *ast.CallExpr) bool {
+	return pass.calleeIn(call, "frame", "Borrow") || pass.calleeIn(call, "frame", "BorrowZero")
+}
+
+// frameReleaseVar matches frame.Release(v) on a plain identifier.
+func frameReleaseVar(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if !pass.calleeIn(call, "frame", "Release") || len(call.Args) != 1 {
+		return "", false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// escapedVars finds local names whose value is handed off — returned,
+// sent on a channel, stored into a field, global, map/slice element, or
+// appended into a longer-lived slice. Arena obligations do not attach to
+// escaping frames (ownership transfers), but a pooled slab that escapes
+// is reported directly here since slabs must never outlive the function.
+func escapedVars(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	escaped := make(map[string]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			escaped[id.Name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r)
+			}
+		case *ast.SendStmt:
+			mark(n.Value)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if i < len(n.Rhs) {
+						mark(n.Rhs[i])
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					mark(kv.Value)
+				} else {
+					mark(el)
+				}
+			}
+		case *ast.CallExpr:
+			// append(container, v): v's lifetime leaves the call.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range n.Args[1:] {
+					mark(a)
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ioDir distinguishes read-side from write-side conn I/O so the right
+// deadline setter is demanded.
+type ioDir int
+
+const (
+	ioRead ioDir = iota
+	ioWrite
+)
+
+// connIOPkgs are the packages where every connection touch must be
+// deadline-armed: a stuck peer must cost bounded wall-clock, never a
+// wedged goroutine (the paper's serving path holds frame deadlines).
+var connIOPkgs = []string{"media", "wire", "faults"}
+
+// ConnIO requires every net.Conn read or write — direct method calls and
+// conn arguments handed to wire.Read/wire.Write/io helpers — to be
+// covered by a SetReadDeadline/SetWriteDeadline (or SetDeadline) either
+// in the enclosing function or in every in-package caller reaching it.
+// Thin forwarders (Read/Write methods on conn-like wrapper types, e.g.
+// faults.Conn) are exempt: the deadline obligation stays with the code
+// that owns the conn.
+var ConnIO = &Analyzer{
+	Name: "connio",
+	Doc: "require SetReadDeadline/SetWriteDeadline before conn reads and writes, " +
+		"in the enclosing function or all of its in-package callers",
+	Run: runConnIO,
+}
+
+func runConnIO(pass *Pass) {
+	if !pass.inPackages(connIOPkgs...) {
+		return
+	}
+
+	// First pass over the package: which functions arm which deadline
+	// direction, and who calls whom (intra-package).
+	arms := map[string]map[ioDir]bool{} // funcKey -> directions armed
+	callers := map[string][]string{}    // callee funcKey -> caller funcKeys
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		key := pass.funcKey(fd)
+		arms[key] = armedDirs(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ck := pass.callKey(call); ck != "" && ck != key {
+				callers[ck] = append(callers[ck], key)
+			}
+			return true
+		})
+	})
+
+	// covered reports whether every path into fn arms dir before reaching
+	// it: the function arms it itself, or all in-package callers are
+	// covered. Cycles and exported entry points with no callers resolve to
+	// uncovered.
+	memo := map[string]int{} // 0 unknown, 1 in-progress, 2 covered, 3 uncovered
+	var covered func(key string, dir ioDir) bool
+	covered = func(key string, dir ioDir) bool {
+		if arms[key][dir] {
+			return true
+		}
+		switch memo[key] {
+		case 1, 3:
+			return false
+		case 2:
+			return true
+		}
+		memo[key] = 1
+		cs := callers[key]
+		ok := len(cs) > 0
+		for _, c := range cs {
+			if !covered(c, dir) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			memo[key] = 2
+		} else {
+			memo[key] = 3
+		}
+		return ok
+	}
+
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		if isConnForwarder(pass, fd) {
+			return
+		}
+		key := pass.funcKey(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			dir, connExpr, isIO := connIOCall(pass, call)
+			if !isIO {
+				return true
+			}
+			// memo is per (key,dir) conceptually; directions share the memo
+			// map only within one query, so reset between queries.
+			clear(memo)
+			if covered(key, dir) {
+				return true
+			}
+			verb, setter := "read from", "SetReadDeadline"
+			if dir == ioWrite {
+				verb, setter = "write to", "SetWriteDeadline"
+			}
+			pass.Reportf(call.Pos(), "%s conn %q without a deadline: call %s here or in every caller (a stalled peer wedges this goroutine forever)", verb, connExpr, setter)
+			return true
+		})
+	})
+}
+
+// connIOCall classifies a call as conn I/O: a Read/Write method on a
+// conn-typed receiver, or a conn-typed value passed to a wire/io/bufio
+// reader or writer (the repo does its framing through wire.Read and
+// wire.Write, so the conn shows up as an argument, not a receiver).
+func connIOCall(pass *Pass, call *ast.CallExpr) (ioDir, string, bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isConnType(pass.exprType(sel.X)) {
+			switch sel.Sel.Name {
+			case "Read":
+				return ioRead, exprText(sel.X), true
+			case "Write":
+				return ioWrite, exprText(sel.X), true
+			}
+		}
+	}
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0, "", false
+	}
+	switch pathBase(fn.Pkg().Path()) {
+	case "wire", "io", "bufio", "binary", "gob", "json":
+	default:
+		return 0, "", false
+	}
+	var dir ioDir
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Decode"):
+		dir = ioRead
+	case strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Encode") || name == "Copy":
+		dir = ioWrite
+	default:
+		return 0, "", false
+	}
+	for _, arg := range call.Args {
+		if isConnType(pass.exprType(arg)) {
+			return dir, exprText(ast.Unparen(arg)), true
+		}
+	}
+	return 0, "", false
+}
+
+// armedDirs scans a function body for deadline setters on any conn-typed
+// receiver and reports the I/O directions they bound.
+func armedDirs(pass *Pass, fd *ast.FuncDecl) map[ioDir]bool {
+	dirs := make(map[ioDir]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isConnType(pass.exprType(sel.X)) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "SetDeadline":
+			dirs[ioRead] = true
+			dirs[ioWrite] = true
+		case "SetReadDeadline":
+			dirs[ioRead] = true
+		case "SetWriteDeadline":
+			dirs[ioWrite] = true
+		}
+		return true
+	})
+	return dirs
+}
+
+// isConnForwarder exempts Read/Write methods declared on conn-like
+// wrapper types: they relay to an inner conn whose deadlines the caller
+// manages (deadline calls are forwarded the same way).
+func isConnForwarder(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	switch fd.Name.Name {
+	case "Read", "Write", "Close", "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+	default:
+		return false
+	}
+	return isConnType(pass.exprType(fd.Recv.List[0].Type))
+}
+
+// exprText renders an expression for diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	default:
+		return "conn"
+	}
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose output must be byte-identical
+// run to run and for any worker count (the codec/selection path the
+// paper's schedulability and the repo's determinism tests rest on).
+// Matching is by import-path base so testdata fixtures participate.
+var deterministicPkgs = []string{
+	"vcodec", "icodec", "hybrid", "anchor", "sr", "transform", "bitstream", "frame",
+}
+
+// randConstructors are math/rand functions that build explicitly seeded
+// sources rather than drawing from the global one; they are the allowed
+// way to use randomness in deterministic packages.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism flags wall-clock and ambient-randomness leaks in the
+// deterministic packages: time.Now, draws from math/rand's global
+// source, and map iteration whose visit order can reach the output.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, global math/rand draws, and order-dependent map iteration " +
+		"in the byte-deterministic codec/selection packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.inPackages(deterministicPkgs...) {
+		return
+	}
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, fd, n)
+			}
+			return true
+		})
+	})
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now in deterministic package %s: thread a timestamp in from the caller", pathBase(pass.Pkg.Path))
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand.%s draws from the global source: use an explicitly seeded *rand.Rand", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map unless the loop is
+// provably order-independent: either every statement in the body is a
+// commutative accumulation (counters, map-index writes, deletes), or the
+// loop only collects elements into a slice that is subsequently sorted
+// in the same function.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.exprType(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	appendTargets := make(map[string]bool)
+	if orderIndependentBody(pass, rng.Body.List, appendTargets) {
+		return
+	}
+	// Collect-then-sort idiom: every append target is sorted after the
+	// loop (anchor.KeyUniformAnchors, store.StreamIDs).
+	if len(appendTargets) > 0 && allSortedAfter(pass, fd, rng, appendTargets) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order can reach the output: sort the keys first or accumulate commutatively")
+}
+
+// orderIndependentBody reports whether every statement commutes across
+// iterations. Slice appends are recorded in appendTargets for the
+// sorted-after check rather than accepted outright.
+func orderIndependentBody(pass *Pass, stmts []ast.Stmt, appendTargets map[string]bool) bool {
+	ok := true
+	for _, s := range stmts {
+		if !orderIndependentStmt(pass, s, appendTargets) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func orderIndependentStmt(pass *Pass, s ast.Stmt, appendTargets map[string]bool) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.DeclStmt:
+		return true
+	case *ast.BlockStmt:
+		return orderIndependentBody(pass, s.List, appendTargets)
+	case *ast.IfStmt:
+		okThen := orderIndependentBody(pass, s.Body.List, appendTargets)
+		okElse := true
+		if s.Else != nil {
+			okElse = orderIndependentStmt(pass, s.Else, appendTargets)
+		}
+		return okThen && okElse
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+			return true
+		}
+		return false
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+			token.XOR_ASSIGN, token.MUL_ASSIGN:
+			return true
+		case token.ASSIGN, token.DEFINE:
+			allOK := true
+			for i, lhs := range s.Lhs {
+				if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+					// m2[k] = v commutes: each key is written once per visit.
+					continue
+				}
+				// x = append(x, ...) is order-DEPENDENT on its own, but may
+				// be rescued by a later sort; record the target.
+				if i < len(s.Rhs) {
+					if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok {
+						if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+							if tgt, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+								appendTargets[tgt.Name] = true
+								allOK = false
+								continue
+							}
+						}
+					}
+				}
+				allOK = false
+			}
+			return allOK
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// allSortedAfter reports whether, after the range loop, every append
+// target is passed to a sort.* / slices.Sort* call within fd.
+func allSortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, targets map[string]bool) bool {
+	sorted := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := pass.calleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && targets[id.Name] {
+					sorted[id.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

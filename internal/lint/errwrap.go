@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// errWrapPkgs are the packages whose errors cross process and package
+// boundaries: the serving path classifies failures (timeout vs corrupt
+// vs gone) with errors.Is/As, which only works through %w chains.
+var errWrapPkgs = []string{"media", "sched", "wire"}
+
+// ErrWrap flags fmt.Errorf calls that interpolate an error value without
+// wrapping it: an error formatted with %v or %s flattens to a string and
+// breaks errors.Is/As for every caller upstream.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must wrap it with %w (or return a typed sentinel)",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	if !pass.inPackages(errWrapPkgs...) {
+		return
+	}
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !pass.calleeIn(call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if isErrorType(pass.exprType(arg)) {
+					pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w: callers lose errors.Is/As on the cause")
+					return true
+				}
+			}
+			return true
+		})
+	})
+}

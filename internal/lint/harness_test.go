@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors analysistest: fixture sources mark each
+// expected finding with a trailing comment of the form
+//
+//	expr // want `message substring` `another substring`
+//
+// and the test fails on any unmatched expectation or unexpected finding.
+// Substrings are backquoted because diagnostic messages themselves quote
+// expressions with double quotes.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+func loadFixture(t *testing.T, rel string) []*Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", rel)
+	pkgs, err := Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rel, err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s type error: %v", rel, e)
+		}
+	}
+	return pkgs
+}
+
+func runFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	pkgs := loadFixture(t, rel)
+	diags := Run(pkgs, []*Analyzer{a})
+	checkWants(t, filepath.Join("testdata", "src", rel), diags)
+}
+
+func checkWants(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path, err := filepath.Abs(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, tail, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(tail, -1)
+			if len(ms) == 0 {
+				t.Errorf("%s:%d: malformed want comment (need backquoted substrings)", path, i+1)
+			}
+			for _, m := range ms {
+				wants = append(wants, &expectation{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, Determinism, "determinism/vcodec") }
+
+// The identical code outside the deterministic package set must be clean.
+func TestDeterminismOutOfScope(t *testing.T) { runFixture(t, Determinism, "determinism/util") }
+
+func TestArenaPairFixture(t *testing.T) { runFixture(t, ArenaPair, "arenapair/media") }
+
+func TestConnIOFixture(t *testing.T) { runFixture(t, ConnIO, "connio/media") }
+
+func TestConnIOOutOfScope(t *testing.T) { runFixture(t, ConnIO, "connio/other") }
+
+func TestLockHoldFixture(t *testing.T) { runFixture(t, LockHold, "lockhold/sched") }
+
+func TestSeqSafeFixture(t *testing.T) { runFixture(t, SeqSafe, "seqsafe/media") }
+
+func TestErrWrapFixture(t *testing.T) { runFixture(t, ErrWrap, "errwrap/wire") }
+
+func TestErrWrapOutOfScope(t *testing.T) { runFixture(t, ErrWrap, "errwrap/other") }
+
+// TestSuppression pins the //nslint:disable contract: a justified
+// directive swallows its finding, an unjustified one is itself reported
+// and suppresses nothing.
+func TestSuppression(t *testing.T) {
+	pkgs := loadFixture(t, "suppress/vcodec")
+	diags := Run(pkgs, []*Analyzer{Determinism})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	var sawMissingReason, sawUnsuppressed bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "nslint":
+			if strings.Contains(d.Message, "suppression needs a justification") {
+				sawMissingReason = true
+			}
+		case "determinism":
+			if strings.Contains(d.Message, "time.Now") {
+				sawUnsuppressed = true
+			}
+		}
+	}
+	if !sawMissingReason {
+		t.Errorf("missing-reason directive not reported: %v", diags)
+	}
+	if !sawUnsuppressed {
+		t.Errorf("unjustified directive must not suppress the finding: %v", diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("connio, errwrap")
+	if err != nil || len(as) != 2 || as[0] != ConnIO || as[1] != ErrWrap {
+		t.Fatalf("ByName: %v, %v", as, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("ByName(\"\"): %v, %v", all, err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package lint implements nslint: a suite of repo-specific static
+// analyzers that mechanically enforce the invariants the NeuroScaler
+// serving path depends on — byte-determinism of codec output, paired
+// arena Get/Put, deadline-armed connection I/O, no blocking calls under
+// locks, mutex-guarded field discipline, and %w error wrapping across
+// package boundaries. See DESIGN.md "Invariants" for the rationale
+// behind each analyzer and how to suppress a finding.
+//
+// The framework mirrors golang.org/x/tools/go/analysis in shape but is
+// built on the standard library only: packages are resolved and
+// type-checked via `go list -export` (see load.go), each Analyzer gets a
+// Pass with the ASTs and type information, and diagnostics are filtered
+// through //nslint:disable suppressions before reporting.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one nslint check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// //nslint:disable comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's worth of inputs to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All is the full nslint suite in reporting order.
+var All = []*Analyzer{
+	Determinism,
+	ArenaPair,
+	ConnIO,
+	LockHold,
+	SeqSafe,
+	ErrWrap,
+}
+
+// ByName resolves a comma-separated analyzer list ("" selects All).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All, nil
+	}
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics, sorted by position. Suppressed findings are dropped;
+// malformed suppressions (no "-- reason") are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := collectSuppressions(pkg)
+		diags = append(diags, bad...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		for _, d := range raw {
+			if sup.covers(d) {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// suppressions indexes //nslint:disable comments: a finding on line L of
+// a file is suppressed when a disable comment for its analyzer sits on
+// line L or L-1.
+type suppressions struct {
+	// byFileLine maps filename -> line -> analyzer names disabled there
+	// ("*" disables every analyzer).
+	byFileLine map[string]map[int][]string
+}
+
+var suppressRe = regexp.MustCompile(`//\s*nslint:disable\s+([a-z*,\s]+?)\s*(?:--\s*(.*))?$`)
+
+// collectSuppressions scans a package's comments for nslint directives.
+// A directive without a non-empty "-- reason" clause is itself a
+// diagnostic: suppressions must be justified.
+func collectSuppressions(pkg *Package) (*suppressions, []Diagnostic) {
+	s := &suppressions{byFileLine: make(map[string]map[int][]string)}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppressRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "nslint",
+						Message:  `suppression needs a justification: //nslint:disable <name> -- reason`,
+					})
+					continue
+				}
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byFileLine[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name != "" {
+						lines[pos.Line] = append(lines[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return s, bad
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.byFileLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == d.Analyzer || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathBase returns the last segment of an import path: the package-level
+// scoping unit analyzers match against, so fixture packages under
+// testdata can stand in for the real tree.
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// inPackages reports whether the pass's package is one of names, matched
+// by import-path base.
+func (p *Pass) inPackages(names ...string) bool {
+	base := pathBase(p.Pkg.Path)
+	for _, n := range names {
+		if base == n {
+			return true
+		}
+	}
+	return false
+}
+
+// eachFunc walks every function declaration (methods included) in the
+// package, skipping test files.
+func (p *Pass) eachFunc(fn func(decl *ast.FuncDecl)) {
+	for _, f := range p.Pkg.Files {
+		name := p.Pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// eachFile visits every non-test file.
+func (p *Pass) eachFile(fn func(f *ast.File)) {
+	for _, f := range p.Pkg.Files {
+		name := p.Pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		fn(f)
+	}
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// seqSafePkgs mirrors the lockhold scope: the mutable serving-path state.
+var seqSafePkgs = []string{"media", "sched"}
+
+// guardedRe matches the annotation that binds a field to its mutex:
+//
+//	foo int // guarded by mu
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// SeqSafe enforces the "// guarded by <mu>" field annotations: every
+// access to an annotated field must sit in a function that locks that
+// mutex (Lock or RLock on a mutex of that name), is named *Locked (the
+// caller-holds-the-lock convention), or constructs the owner before it
+// is shared.
+var SeqSafe = &Analyzer{
+	Name: "seqsafe",
+	Doc: "fields annotated `// guarded by <mu>` may only be touched under that mutex " +
+		"(or in *Locked methods and constructors)",
+	Run: runSeqSafe,
+}
+
+type guardedField struct {
+	owner string // named struct type
+	field string
+	mutex string // mutex field name within the owner
+}
+
+func runSeqSafe(pass *Pass) {
+	if !pass.inPackages(seqSafePkgs...) {
+		return
+	}
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		lockedMus := lockedMutexNames(pass, fd)
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			lockedMus["mu"] = true
+		}
+		constructs := constructedTypes(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			owner := namedOf(pass.exprType(sel.X))
+			if owner == nil {
+				return true
+			}
+			gf, ok := guarded[owner.Obj().Name()+"."+sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			if lockedMus[gf.mutex] || constructs[gf.owner] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but no %s.Lock/RLock is visible in this function (rename it *Locked if the caller holds the lock)", gf.owner, gf.field, gf.mutex, gf.mutex)
+			return true
+		})
+	})
+}
+
+// collectGuarded scans struct declarations for guarded-by annotations,
+// keyed "Owner.field".
+func collectGuarded(pass *Pass) map[string]guardedField {
+	out := make(map[string]guardedField)
+	pass.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// An annotation names the mutex for the fields beneath it until
+			// the next annotated comment, unannotated doc comment, or mutex
+			// field — matching the repo's style of one comment covering a
+			// block of fields grouped under their mutex.
+			current := ""
+			for _, fld := range st.Fields.List {
+				text := ""
+				if fld.Doc != nil {
+					text = fld.Doc.Text()
+				}
+				if fld.Comment != nil {
+					text += " " + fld.Comment.Text()
+				}
+				m := guardedRe.FindStringSubmatch(text)
+				switch {
+				case isMutexType(pass.exprType(fld.Type)):
+					// A mutex starts a new group; its own doc may announce
+					// the group it guards (`state below is guarded by mu`).
+					current = ""
+					if m != nil {
+						current = m[1]
+					}
+					continue
+				case m != nil:
+					current = m[1]
+				case fld.Doc != nil && strings.TrimSpace(fld.Doc.Text()) != "":
+					// A fresh doc comment without the annotation ends the block.
+					current = ""
+				}
+				if current == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if name.Name == current {
+						continue // the mutex itself
+					}
+					out[ts.Name.Name+"."+name.Name] = guardedField{
+						owner: ts.Name.Name,
+						field: name.Name,
+						mutex: current,
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// lockedMutexNames collects the field names of mutexes this function
+// locks anywhere in its body (closures included — the check is coarse on
+// purpose: it catches fields touched with no locking in sight, not
+// mis-scoped critical sections, which lockhold handles).
+func lockedMutexNames(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if !isMutexType(pass.exprType(sel.X)) {
+			return true
+		}
+		switch m := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			out[m.Sel.Name] = true
+		case *ast.Ident:
+			out[m.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// constructedTypes reports the named types this function builds via
+// composite literal: initialization before the value is shared needs no
+// lock.
+func constructedTypes(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if named := namedOf(pass.exprType(cl)); named != nil {
+			out[named.Obj().Name()] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,62 @@
+// Package media is an arenapair fixture built on the real pool types:
+// par.SlabPool Get/Put pairing and frame.Borrow/Release ownership rules.
+package media
+
+import (
+	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
+)
+
+type codec struct {
+	pool par.SlabPool[byte]
+}
+
+func (c *codec) balanced(n int) int {
+	buf := c.pool.Get(n)
+	defer c.pool.Put(buf)
+	return len(buf)
+}
+
+func (c *codec) explicitPaths(n int) int {
+	buf := c.pool.Get(n)
+	if n > 16 {
+		c.pool.Put(buf)
+		return 0
+	}
+	m := len(buf)
+	c.pool.Put(buf)
+	return m
+}
+
+func (c *codec) leaky(n int) int {
+	buf := c.pool.Get(n) // want `has no matching Put on this path`
+	if n > 16 {
+		return 0
+	}
+	c.pool.Put(buf)
+	return len(buf)
+}
+
+func (c *codec) growAndReturnPooled(n int) int {
+	scratch := c.pool.Get(0)[:0]
+	scratch = append(scratch, make([]byte, n)...)
+	m := len(scratch)
+	c.pool.Put(scratch)
+	return m
+}
+
+func dimsLeaky(w, h int) int {
+	f := frame.Borrow(w, h) // want `neither released nor handed off`
+	return f.SizeBytes()
+}
+
+func dimsReleased(w, h int) int {
+	f := frame.Borrow(w, h)
+	defer frame.Release(f)
+	return f.SizeBytes()
+}
+
+func fresh(w, h int) *frame.Frame {
+	f := frame.BorrowZero(w, h)
+	return f // ownership transfers to the caller: no obligation here
+}

@@ -1,0 +1,63 @@
+// Package media is a connio fixture: conn reads/writes must be covered
+// by a deadline in the function itself or in every in-package caller,
+// with thin forwarders exempt.
+package media
+
+import (
+	"net"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+func handshake(conn net.Conn, buf []byte) error {
+	_, err := conn.Write(buf) // want `write to conn "conn" without a deadline`
+	return err
+}
+
+func handshakeArmed(conn net.Conn, buf []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+func hello(conn net.Conn) error {
+	return wire.Write(conn, wire.Message{}) // want `write to conn "conn" without a deadline`
+}
+
+func helloArmed(conn net.Conn) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	return wire.Write(conn, wire.Message{})
+}
+
+// readFrame carries no deadline itself, but its only caller arms one:
+// covered through the call graph.
+func readFrame(conn net.Conn, buf []byte) error {
+	_, err := conn.Read(buf)
+	return err
+}
+
+func pollOnce(conn net.Conn, buf []byte) error {
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	return readFrame(conn, buf)
+}
+
+// relay's caller never arms a deadline, so the write inside is exposed.
+func relay(conn net.Conn, buf []byte) error {
+	_, err := conn.Write(buf) // want `write to conn "conn" without a deadline`
+	return err
+}
+
+func spin(conn net.Conn, buf []byte) {
+	_ = relay(conn, buf)
+}
+
+// loggedConn forwards to the wrapped conn; the deadline obligation stays
+// with whoever owns it.
+type loggedConn struct{ net.Conn }
+
+func (c *loggedConn) Write(p []byte) (int, error) {
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,10 @@
+// Package other sits outside connio's scope (media, wire, faults):
+// identical undeadlined I/O must produce zero findings.
+package other
+
+import "net"
+
+func handshake(conn net.Conn, buf []byte) error {
+	_, err := conn.Write(buf)
+	return err
+}

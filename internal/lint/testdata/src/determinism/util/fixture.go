@@ -1,0 +1,24 @@
+// Package util is outside the deterministic set: identical code to the
+// vcodec fixture must produce zero findings here.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+func FirstOrder(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k*v)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Package vcodec is a determinism fixture: its import-path base matches
+// a deterministic package, so wall-clock and ambient-randomness leaks
+// must be flagged while the seeded/sorted idioms pass.
+package vcodec
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func Jitter() int {
+	return rand.Intn(8) // want `draws from the global source`
+}
+
+func SeededJitter(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8)
+}
+
+func Checksum(m map[int]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func Histogram(samples map[string]int) map[int]int {
+	out := make(map[int]int)
+	for _, v := range samples {
+		out[v]++
+	}
+	return out
+}
+
+func Keys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func FirstOrder(m map[int]int) []int {
+	var out []int
+	for k, v := range m { // want `map iteration order can reach the output`
+		out = append(out, k*v)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package other is outside errwrap's scope: the flattening idiom is
+// tolerated in leaf packages that never feed errors.Is chains.
+package other
+
+import "fmt"
+
+func Flattened(err error) error {
+	return fmt.Errorf("read frame: %v", err)
+}

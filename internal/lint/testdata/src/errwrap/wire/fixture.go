@@ -1,0 +1,26 @@
+// Package wire is an errwrap fixture: fmt.Errorf flattening an error
+// with %v/%s loses the errors.Is/As chain the serving path depends on.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errShort = errors.New("short frame")
+
+func Flattened(err error) error {
+	return fmt.Errorf("read frame: %v", err) // want `formats an error without %w`
+}
+
+func Wrapped(err error) error {
+	return fmt.Errorf("read frame: %w", err)
+}
+
+func Plain(n int) error {
+	return fmt.Errorf("bad length %d", n)
+}
+
+func Sentinel(n int) error {
+	return fmt.Errorf("frame %d: %w", n, errShort)
+}

@@ -1,0 +1,7 @@
+module github.com/neuroscaler/neuroscaler/internal/lint/testdata/src
+
+go 1.22
+
+require github.com/neuroscaler/neuroscaler v0.0.0
+
+replace github.com/neuroscaler/neuroscaler => ../../../..

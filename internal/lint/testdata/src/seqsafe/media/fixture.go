@@ -1,0 +1,37 @@
+// Package media is a seqsafe fixture: fields annotated `guarded by mu`
+// may only be touched under that mutex, in *Locked methods, or while the
+// owner is being constructed.
+package media
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	// guarded by mu
+	entries map[string]int
+	gen     int
+}
+
+func (r *registry) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[name] = r.gen
+}
+
+func (r *registry) sizeLocked() int {
+	return len(r.entries)
+}
+
+func (r *registry) Peek(name string) int {
+	return r.entries[name] // want `registry.entries is guarded by mu`
+}
+
+func (r *registry) Generation() int {
+	return r.gen // want `registry.gen is guarded by mu`
+}
+
+func newRegistry() *registry {
+	r := &registry{entries: make(map[string]int)}
+	r.gen = 1
+	return r
+}

@@ -1,0 +1,16 @@
+// Package vcodec exercises //nslint:disable handling: a justified
+// suppression swallows its finding; one without a reason is itself
+// reported and suppresses nothing.
+package vcodec
+
+import "time"
+
+func LogStamp() int64 {
+	//nslint:disable determinism -- wall clock feeds a human-facing log line only
+	return time.Now().UnixNano()
+}
+
+func BadStamp() int64 {
+	//nslint:disable determinism
+	return time.Now().UnixNano()
+}

@@ -34,7 +34,8 @@ type Streamer struct {
 
 	// Ack demultiplexing for pipelined sends: the server replies in
 	// arrival order, so outstanding sends form a FIFO queue that a
-	// single reader goroutine drains.
+	// single reader goroutine drains. The queue state below is
+	// guarded by ackMu.
 	ackMu    sync.Mutex
 	pending  []pendingReply
 	readerOn bool
@@ -69,6 +70,9 @@ func NewStreamer(addr string, streamID uint32, hello wire.Hello) (*Streamer, err
 		conn.Close()
 		return nil, err
 	}
+	// The handshake is one request/response on a fresh conn: bound it so
+	// an unresponsive server cannot wedge the caller.
+	_ = conn.SetDeadline(time.Now().Add(DefaultWriteTimeout))
 	if err := wire.Write(conn, wire.Message{Type: wire.TypeHello, StreamID: streamID, Payload: payload}); err != nil {
 		conn.Close()
 		return nil, err
@@ -82,6 +86,7 @@ func NewStreamer(addr string, streamID uint32, hello wire.Hello) (*Streamer, err
 		conn.Close()
 		return nil, fmt.Errorf("media: hello rejected: %s", reply.Payload)
 	}
+	_ = conn.SetDeadline(time.Time{})
 	return &Streamer{conn: conn, streamID: streamID, encoder: enc}, nil
 }
 
@@ -211,6 +216,7 @@ func (s *Streamer) writeMsg(msg wire.Message) error {
 // pending queue (the server replies strictly in arrival order).
 func (s *Streamer) readReplies() {
 	for {
+		//nslint:disable connio -- demux reader blocks for the stream's lifetime by design; each upload's ack wait is bounded by PendingAck.Wait, and Close unblocks the read
 		reply, err := wire.Read(s.conn, wire.DefaultMaxPayload)
 		if err != nil {
 			s.failPending(err)
@@ -247,8 +253,10 @@ func (s *Streamer) failPending(err error) {
 	s.pending = nil
 }
 
-// Close ends the session.
+// Close ends the session. The goodbye is best effort and must not hang
+// on a dead peer, so it rides a short write deadline.
 func (s *Streamer) Close() error {
+	_ = s.conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
 	_ = wire.Write(s.conn, wire.Message{Type: wire.TypeGoodbye, StreamID: s.streamID})
 	return s.conn.Close()
 }

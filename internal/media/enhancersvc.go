@@ -344,7 +344,8 @@ type RemoteEnhancer struct {
 	// interleave bytes on the wire.
 	writeMu sync.Mutex
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// Connection and call state, guarded by mu.
 	conn    net.Conn
 	connGen uint64 // bumps on every (re)connect so stale failures are ignored
 	pending map[uint32]chan callReply
@@ -386,19 +387,24 @@ func DialEnhancerTimeout(addr string, dialTimeout, callTimeout time.Duration) (*
 	return r, nil
 }
 
-// Close tears down the connection; pending calls fail.
+// Close tears down the connection; pending calls fail. The goodbye
+// write happens after the state is detached so a dead peer can only
+// cost the write deadline, never stall other callers on r.mu.
 func (r *RemoteEnhancer) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.closed = true
-	if r.conn == nil {
+	conn := r.conn
+	r.conn = nil
+	if conn != nil {
+		r.failPendingLocked(errors.New("client closed"))
+	}
+	r.mu.Unlock()
+	if conn == nil {
 		return nil
 	}
-	_ = wire.Write(r.conn, wire.Message{Type: wire.TypeGoodbye})
-	err := r.conn.Close()
-	r.conn = nil
-	r.failPendingLocked(errors.New("client closed"))
-	return err
+	_ = conn.SetWriteDeadline(time.Now().Add(pickTimeout(r.callTimeout, DefaultWriteTimeout)))
+	_ = wire.Write(conn, wire.Message{Type: wire.TypeGoodbye})
+	return conn.Close()
 }
 
 // Register announces a stream to the remote enhancer. The hello is

@@ -140,12 +140,15 @@ type EnhancerPool struct {
 	replicas []*poolReplica
 
 	jitterMu sync.Mutex
-	jitter   *rand.Rand
+	// jitter is guarded by jitterMu.
+	jitter *rand.Rand
 
-	helloMu    sync.Mutex
+	helloMu sync.Mutex
+	// hellos and helloEpoch are guarded by helloMu.
 	hellos     map[uint32]wire.Hello
 	helloEpoch uint64
 
+	// rr is the lock-free round-robin cursor.
 	rr       atomic.Uint64
 	counters poolCounters
 
@@ -354,7 +357,8 @@ type poolReplica struct {
 	dialFn func() (AnchorEnhancer, error)
 	pool   *EnhancerPool
 
-	mu         sync.Mutex
+	mu sync.Mutex
+	// Breaker and registration state, guarded by mu.
 	enh        AnchorEnhancer
 	state      BreakerState
 	fails      int

@@ -146,21 +146,24 @@ type Server struct {
 	// chunks (the stored copy is exact-size; the arena absorbs growth).
 	marshalArena par.SlabPool[byte]
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// streams is guarded by mu.
 	streams map[uint32]*serverStream
 
+	// wg tracks per-connection handlers for drain on Close.
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
 type serverStream struct {
-	hello   wire.Hello
-	decoder *vcodec.Decoder
-	qp      int
+	hello wire.Hello
+	qp    int
 	// decodeMu pins decoder use to one stage at a time: the decoder is
 	// stateful (reference frames), so packets of a stream must decode
-	// sequentially even if a stream ever spans connections.
+	// sequentially even if a stream ever spans connections; decoder is
+	// guarded by decodeMu.
 	decodeMu sync.Mutex
+	decoder  *vcodec.Decoder
 }
 
 // StreamInfo is the distribution-side metadata for one stream.
@@ -317,7 +320,8 @@ type ingestPipeline struct {
 
 	fatal atomic.Bool
 	errMu sync.Mutex
-	err   error
+	// err is guarded by errMu.
+	err error
 }
 
 func (p *ingestPipeline) fail(err error) {

@@ -35,8 +35,10 @@ type streamChunks struct {
 // chunk (its sequence number becomes a "gone" error, like a live
 // playlist sliding forward).
 type ChunkStore struct {
-	mu        sync.RWMutex
-	streams   map[uint32]*streamChunks
+	mu sync.RWMutex
+	// streams is guarded by mu.
+	streams map[uint32]*streamChunks
+	// retention is immutable after construction.
 	retention int
 }
 
@@ -86,7 +88,7 @@ func (s *ChunkStore) AppendChunk(streamID uint32, chunk []byte, degraded bool) i
 	return st.base + len(st.chunks) - 1
 }
 
-func (s *ChunkStore) lookup(streamID uint32, seq int) (storedChunk, error) {
+func (s *ChunkStore) lookupLocked(streamID uint32, seq int) (storedChunk, error) {
 	chunks, ok := s.streams[streamID]
 	if !ok {
 		return storedChunk{}, fmt.Errorf("media: unknown stream %d", streamID)
@@ -106,7 +108,7 @@ func (s *ChunkStore) lookup(streamID uint32, seq int) (storedChunk, error) {
 func (s *ChunkStore) Chunk(streamID uint32, seq int) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	c, err := s.lookup(streamID, seq)
+	c, err := s.lookupLocked(streamID, seq)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +120,7 @@ func (s *ChunkStore) Chunk(streamID uint32, seq int) ([]byte, error) {
 func (s *ChunkStore) ChunkDegraded(streamID uint32, seq int) (bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	c, err := s.lookup(streamID, seq)
+	c, err := s.lookupLocked(streamID, seq)
 	if err != nil {
 		return false, err
 	}

@@ -17,7 +17,7 @@ type SlabPool[T any] struct {
 // sufficient capacity is available.
 func (s *SlabPool[T]) Get(n int) []T {
 	if v := s.p.Get(); v != nil {
-		b := v.([]T)
+		b := *v.(*[]T)
 		if cap(b) >= n {
 			return b[:n]
 		}
@@ -26,10 +26,12 @@ func (s *SlabPool[T]) Get(n int) []T {
 }
 
 // Put returns a buffer obtained from Get to the pool. The caller must not
-// use b afterwards.
+// use b afterwards. The pool stores *[]T so the slice header itself is
+// not boxed into a fresh allocation on every cycle (staticcheck SA6002).
 func (s *SlabPool[T]) Put(b []T) {
 	if cap(b) == 0 {
 		return
 	}
-	s.p.Put(b[:cap(b)]) //nolint:staticcheck // slice headers are small
+	b = b[:cap(b)]
+	s.p.Put(&b)
 }

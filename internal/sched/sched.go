@@ -84,11 +84,13 @@ type Scheduler struct {
 	// capacity beyond the knee is left for more streams instead.
 	MaxAnchorFraction float64
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	// down is guarded by mu.
 	down map[int]bool
 	// inflight tracks the modeled inference time dispatched to each
 	// instance and not yet reported complete, so overlapping rounds
-	// (pipelined dispatch) don't double-book capacity.
+	// (pipelined dispatch) don't double-book capacity. Both tallies are
+	// guarded by mu.
 	inflight     []time.Duration
 	inflightJobs []int
 }

@@ -112,8 +112,10 @@ var ErrBadFrame = errors.New("wire: corrupt frame")
 // Write serializes a message to w.
 // Frame layout: magic(2) type(1) streamID(4) seq(4) len(4) crc32(4) payload.
 func Write(w io.Writer, m Message) error {
-	if m.Type == 0 {
-		return errors.New("wire: message type unset")
+	// Mirror Read's validation: emitting a frame the peer will reject as
+	// corrupt is a bug at the writer, not the reader.
+	if m.Type == 0 || m.Type > TypePong {
+		return fmt.Errorf("wire: invalid message type %d", m.Type)
 	}
 	var hdr [headerLen]byte
 	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
