@@ -2,7 +2,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint nslint vet-nslint fuzz-smoke
+.PHONY: build test race lint nslint vet-nslint fuzz-smoke alloc-budget
 
 build:
 	go build ./...
@@ -35,3 +35,8 @@ vet-nslint:
 fuzz-smoke:
 	go test -tags fuzz -run xxx -fuzz FuzzContainerRoundTrip -fuzztime 30s ./internal/hybrid
 	go test -tags fuzz -run xxx -fuzz FuzzWireFrame -fuzztime 30s ./internal/wire
+
+# Serving-path allocation gate: allocs/op on BenchmarkServerChunk versus
+# the checked-in bench_budget.json, failing on a >10% regression.
+alloc-budget:
+	./scripts/check_alloc_budget.sh

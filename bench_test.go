@@ -113,25 +113,30 @@ func benchStream(b *testing.B, lr []*frame.Frame) *vcodec.Stream {
 
 func BenchmarkVideoEncode(b *testing.B) {
 	_, lr := benchFrames(b, 24)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchStream(b, lr)
 	}
+	b.ReportMetric(float64(b.N*len(lr))/b.Elapsed().Seconds(), "frames/s")
 }
 
 func BenchmarkVideoDecode(b *testing.B) {
 	_, lr := benchFrames(b, 24)
 	s := benchStream(b, lr)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := vcodec.DecodeStream(s); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N*len(lr))/b.Elapsed().Seconds(), "frames/s")
 }
 
 func BenchmarkImageEncode(b *testing.B) {
 	hr, _ := benchFrames(b, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := icodec.Encode(hr[0], icodec.Options{Quality: 90}); err != nil {
@@ -146,6 +151,7 @@ func BenchmarkImageDecode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := icodec.Decode(data); err != nil {
@@ -163,6 +169,7 @@ func BenchmarkSelectiveSR(b *testing.B) {
 	}
 	metas := anchor.MetasFromStream(s)
 	set := anchor.PacketSet(anchor.SelectTopN(anchor.ZeroInferenceGains(metas), 3), 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sr.EnhanceStream(s, model, set); err != nil {
@@ -193,6 +200,7 @@ func BenchmarkHybridEncodeDecode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hybrid.Decode(res.Container); err != nil {
@@ -226,6 +234,7 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 	msg := wire.Message{Type: wire.TypeChunk, StreamID: 1, Seq: 2, Payload: payload}
 	var sink discard
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink.buf, sink.off = sink.buf[:0], 0

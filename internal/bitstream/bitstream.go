@@ -5,19 +5,31 @@
 package bitstream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrTruncated reports a read past the end of the stream.
 var ErrTruncated = errors.New("bitstream: truncated")
 
 // Writer accumulates bits most-significant first into a byte slice.
-// The zero value is ready to use.
+// The zero value is ready to use. Pending bits collect in a 64-bit
+// accumulator; whole bytes flush to the buffer, keeping fewer than 8
+// bits pending between calls.
 type Writer struct {
 	buf  []byte
-	bits uint8 // number of bits pending in cur
-	cur  uint8
+	bits uint8 // number of bits pending in cur, always < 8 between calls
+	cur  uint64
+}
+
+// flush moves every complete byte from the accumulator to the buffer.
+func (w *Writer) flush() {
+	for w.bits >= 8 {
+		w.bits -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.bits))
+	}
 }
 
 // WriteBit appends a single bit (any non-zero b is written as 1).
@@ -28,30 +40,33 @@ func (w *Writer) WriteBit(b int) {
 	}
 	w.bits++
 	if w.bits == 8 {
-		w.buf = append(w.buf, w.cur)
-		w.cur, w.bits = 0, 0
+		w.buf = append(w.buf, byte(w.cur))
+		w.bits = 0
 	}
 }
 
 // WriteBits appends the low n bits of v, most significant first.
 // n must be in [0, 64].
 func (w *Writer) WriteBits(v uint64, n int) {
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(int((v >> uint(i)) & 1))
+	if n > 56 {
+		// Split so the accumulator (holding up to 7 pending bits) never
+		// overflows.
+		w.WriteBits(v>>32, n-32)
+		v &= 1<<32 - 1
+		n = 32
 	}
+	w.cur = w.cur<<uint(n) | v&(1<<uint(n)-1)
+	w.bits += uint8(n)
+	w.flush()
 }
 
 // WriteUE appends v as an unsigned Exp-Golomb code.
 func (w *Writer) WriteUE(v uint64) {
+	// The code is n zeros followed by the n+1 bits of x (whose top bit is
+	// 1), which is exactly x written in 2n+1 bits.
 	x := v + 1
-	n := 0
-	for t := x; t > 1; t >>= 1 {
-		n++
-	}
-	for i := 0; i < n; i++ {
-		w.WriteBit(0)
-	}
-	w.WriteBits(x, n+1)
+	n := bits.Len64(x) - 1
+	w.WriteBits(x, 2*n+1)
 }
 
 // WriteSE appends v as a signed Exp-Golomb code (zig-zag mapped).
@@ -77,8 +92,7 @@ func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.bits) }
 // writes continue on a byte boundary.
 func (w *Writer) Bytes() []byte {
 	if w.bits > 0 {
-		w.cur <<= 8 - w.bits
-		w.buf = append(w.buf, w.cur)
+		w.buf = append(w.buf, byte(w.cur<<(8-w.bits)))
 		w.cur, w.bits = 0, 0
 	}
 	return w.buf
@@ -111,35 +125,86 @@ func (r *Reader) ReadBit() (int, error) {
 }
 
 // ReadBits returns the next n bits as an unsigned integer. n must be in
-// [0, 64].
+// [0, 64]. Bits are gathered up to a byte at a time.
 func (r *Reader) ReadBits(n int) (uint64, error) {
-	var v uint64
-	for i := 0; i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		v = v<<1 | uint64(b)
+	if n == 0 {
+		return 0, nil
 	}
+	end := r.pos + n
+	if end > len(r.buf)<<3 {
+		return 0, ErrTruncated
+	}
+	pos := r.pos
+	if n <= 56 && pos>>3+8 <= len(r.buf) {
+		// Fast path: a single unaligned 64-bit load covers the whole read.
+		// After discarding the sub-byte offset the word holds at least 57
+		// valid bits, so any n <= 56 extracts with two shifts.
+		word := binary.BigEndian.Uint64(r.buf[pos>>3:])
+		r.pos = end
+		return word << uint(pos&7) >> uint(64-n), nil
+	}
+	var v uint64
+	for n > 0 {
+		avail := 8 - pos&7
+		take := avail
+		if n < take {
+			take = n
+		}
+		chunk := (uint32(r.buf[pos>>3]) >> uint(avail-take)) & ((1 << uint(take)) - 1)
+		v = v<<uint(take) | uint64(chunk)
+		pos += take
+		n -= take
+	}
+	r.pos = pos
 	return v, nil
 }
 
 // ReadUE reads an unsigned Exp-Golomb code.
 func (r *Reader) ReadUE() (uint64, error) {
+	total := len(r.buf) << 3
+	pos := r.pos
+	if pos>>3+8 <= len(r.buf) {
+		// Fast path: one unaligned 64-bit load. Shifting off the sub-byte
+		// offset leaves zeros below the valid bits, so a non-zero word puts
+		// the terminating 1 inside the loaded window and the whole
+		// code — n zeros, the 1, and n payload bits — decodes from the word
+		// when 2n+1 fits the valid span.
+		word := binary.BigEndian.Uint64(r.buf[pos>>3:]) << uint(pos&7)
+		if word != 0 {
+			n := bits.LeadingZeros64(word)
+			if 2*n+1 <= 64-pos&7 {
+				x := word << uint(n) >> uint(63-n)
+				r.pos = pos + 2*n + 1
+				return x - 1, nil
+			}
+		}
+	}
+	// Scan the zero prefix a byte at a time: within a byte, the remaining
+	// unread bits sit in the high positions after the shift, so a non-zero
+	// value locates the terminating 1 via its leading-zero count.
 	n := 0
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		if pos >= total {
+			return 0, ErrTruncated
 		}
-		if b == 1 {
+		b := r.buf[pos>>3] << uint(pos&7)
+		if b != 0 {
+			z := bits.LeadingZeros8(b)
+			n += z
+			pos += z
 			break
 		}
-		n++
+		skip := 8 - pos&7
+		n += skip
+		pos += skip
 		if n > 63 {
 			return 0, fmt.Errorf("bitstream: exp-golomb prefix too long (%d zeros)", n)
 		}
 	}
+	if n > 63 {
+		return 0, fmt.Errorf("bitstream: exp-golomb prefix too long (%d zeros)", n)
+	}
+	r.pos = pos + 1 // consume the terminating 1
 	rest, err := r.ReadBits(n)
 	if err != nil {
 		return 0, err

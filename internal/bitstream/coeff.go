@@ -1,5 +1,10 @@
 package bitstream
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // Coefficient coding: quantized, zigzag-ordered transform coefficients are
 // dominated by zero runs, so they are stored as (run, level) pairs with an
 // explicit end-of-block marker. Runs use unsigned Exp-Golomb, levels signed
@@ -14,9 +19,27 @@ func WriteCoeffs(w *Writer, coeffs []int32) {
 			run++
 			continue
 		}
-		w.WriteBit(1) // coefficient present
-		w.WriteUE(run)
-		w.WriteSE(int64(c))
+		// Compose the present bit, the run's unsigned Exp-Golomb code, and
+		// the level's signed Exp-Golomb code into a single WriteBits call;
+		// the concatenated bit pattern is identical to writing the three
+		// codes separately.
+		ux := run + 1
+		ueBits := 2*bits.Len64(ux) - 1
+		var su uint64
+		if c > 0 {
+			su = uint64(2*int64(c) - 1)
+		} else {
+			su = uint64(-2 * int64(c))
+		}
+		sx := su + 1
+		seBits := 2*bits.Len64(sx) - 1
+		if total := 1 + ueBits + seBits; total <= 56 {
+			w.WriteBits((1<<uint(ueBits)|ux)<<uint(seBits)|sx, total)
+		} else {
+			w.WriteBit(1)
+			w.WriteUE(run)
+			w.WriteSE(int64(c))
+		}
 		run = 0
 	}
 	w.WriteBit(0) // end of block
@@ -24,12 +47,71 @@ func WriteCoeffs(w *Writer, coeffs []int32) {
 
 // ReadCoeffs reads a (run, level) coding into dst, which determines the
 // block size. Coefficients past the end-of-block marker are zero.
+//
+// The fast path decodes a whole (present, run, level) group from two
+// unaligned 64-bit peeks — consuming exactly the bits the general
+// ReadBit/ReadUE/ReadSE sequence would — and falls back to that sequence
+// near the end of the buffer or for oversized codes.
 func ReadCoeffs(r *Reader, dst []int32) error {
 	for i := range dst {
 		dst[i] = 0
 	}
-	pos := 0
+	buf := r.buf
+	idx := 0
 	for {
+		pos := r.pos
+		if pos>>3+8 <= len(buf) {
+			word := binary.BigEndian.Uint64(buf[pos>>3:]) << uint(pos&7)
+			if word>>63 == 0 {
+				r.pos = pos + 1
+				return nil
+			}
+			w2 := word << 1
+			if w2 != 0 {
+				z := bits.LeadingZeros64(w2)
+				if 2*z+2 <= 64-pos&7 {
+					run := w2<<uint(z)>>uint(63-z) - 1
+					pos += 2*z + 2
+					if pos>>3+8 <= len(buf) {
+						lw := binary.BigEndian.Uint64(buf[pos>>3:]) << uint(pos&7)
+						if lw != 0 {
+							lz := bits.LeadingZeros64(lw)
+							if 2*lz+1 <= 64-pos&7 {
+								u := lw<<uint(lz)>>uint(63-lz) - 1
+								r.pos = pos + 2*lz + 1
+								var level int64
+								if u&1 == 1 {
+									level = int64(u/2) + 1
+								} else {
+									level = -int64(u / 2)
+								}
+								idx += int(run)
+								if idx >= len(dst) {
+									return ErrTruncated
+								}
+								dst[idx] = int32(level)
+								idx++
+								continue
+							}
+						}
+					}
+					// Level code extends past the peek window; finish this
+					// group with the general signed read.
+					r.pos = pos
+					level, err := r.ReadSE()
+					if err != nil {
+						return err
+					}
+					idx += int(run)
+					if idx >= len(dst) {
+						return ErrTruncated
+					}
+					dst[idx] = int32(level)
+					idx++
+					continue
+				}
+			}
+		}
 		present, err := r.ReadBit()
 		if err != nil {
 			return err
@@ -45,11 +127,11 @@ func ReadCoeffs(r *Reader, dst []int32) error {
 		if err != nil {
 			return err
 		}
-		pos += int(run)
-		if pos >= len(dst) {
+		idx += int(run)
+		if idx >= len(dst) {
 			return ErrTruncated
 		}
-		dst[pos] = int32(level)
-		pos++
+		dst[idx] = int32(level)
+		idx++
 	}
 }

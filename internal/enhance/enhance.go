@@ -220,29 +220,127 @@ func (e *Enhancer) Run(ctx context.Context, jobs <-chan Job, results chan<- Resu
 	return runErr
 }
 
-// EnhanceBatch is the synchronous convenience used by the scheduler
-// simulations: process a slice of jobs and return results in order.
-func (e *Enhancer) EnhanceBatch(ctx context.Context, jobs []Job) ([]Result, error) {
-	jobCh := make(chan Job)
-	resCh := make(chan Result, len(jobs))
-	errCh := make(chan error, 1)
-	go func() { errCh <- e.Run(ctx, jobCh, resCh) }()
-	go func() {
-		defer close(jobCh)
-		for _, j := range jobs {
-			select {
-			case jobCh <- j:
-			case <-ctx.Done():
-				return
+// inferredJob is the output of the GPU stage for one job.
+type inferredJob struct {
+	job      Job
+	hr       *frame.Frame
+	inferLat time.Duration
+	err      error
+}
+
+// sameInferGroup reports whether two jobs can share one batched device
+// dispatch: same model architecture and same input geometry. Jobs missing
+// a model or frame never group, so the singleton path surfaces their
+// validation error.
+func sameInferGroup(a, b Job) bool {
+	if a.Model == nil || b.Model == nil || a.Decoded == nil || b.Decoded == nil {
+		return false
+	}
+	return a.Model.Config() == b.Model.Config() &&
+		a.Decoded.Frame.W == b.Decoded.Frame.W &&
+		a.Decoded.Frame.H == b.Decoded.Frame.H
+}
+
+// enhanceGroup runs the GPU stage for a run of jobs sharing one model and
+// geometry. A group of one takes exactly the single-dispatch path; larger
+// groups issue one gpu.InferBatch so the per-dispatch host setup is paid
+// once, with the charged latency split evenly across the group (remainder
+// and swap cost to the first job, keeping totals exact).
+func (e *Enhancer) enhanceGroup(jobs []Job) []inferredJob {
+	outs := make([]inferredJob, len(jobs))
+	for i, j := range jobs {
+		outs[i].job = j
+	}
+	if len(jobs) == 1 {
+		hr, lat, err := e.enhanceOne(jobs[0])
+		outs[0].hr, outs[0].inferLat, outs[0].err = hr, lat, err
+		return outs
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	swapLat, err := e.prepareLocked(jobs[0].Model.Config())
+	if err == nil {
+		var batchLat time.Duration
+		batchLat, err = e.device.InferBatch(jobs[0].Decoded.Frame.W, jobs[0].Decoded.Frame.H, len(jobs))
+		if err == nil {
+			per := batchLat / time.Duration(len(jobs))
+			rem := batchLat - per*time.Duration(len(jobs))
+			for i, j := range jobs {
+				hr, applyErr := j.Model.Apply(j.Decoded.Frame, j.Decoded.Info.DisplayIndex)
+				if applyErr != nil {
+					outs[i].err = applyErr
+					continue
+				}
+				e.inferred++
+				outs[i].hr = hr
+				outs[i].inferLat = per
+				if i == 0 {
+					outs[i].inferLat += rem + swapLat
+				}
 			}
+			return outs
+		}
+	}
+	for i := range outs {
+		outs[i].err = err
+	}
+	return outs
+}
+
+// EnhanceBatch is the synchronous batch entry point: process a slice of
+// jobs and return results in order. Consecutive jobs sharing a model and
+// geometry are inferred in one batched device dispatch (§6.2), and the
+// CPU encode stage overlaps inference as in Run.
+func (e *Enhancer) EnhanceBatch(ctx context.Context, jobs []Job) ([]Result, error) {
+	stagedCh := make(chan inferredJob, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stagedCh)
+		for lo := 0; lo < len(jobs); {
+			hi := lo + 1
+			for hi < len(jobs) && sameInferGroup(jobs[lo], jobs[hi]) {
+				hi++
+			}
+			for _, s := range e.enhanceGroup(jobs[lo:hi]) {
+				select {
+				case stagedCh <- s:
+				case <-ctx.Done():
+					return
+				}
+			}
+			lo = hi
 		}
 	}()
 	out := make([]Result, 0, len(jobs))
-	for r := range resCh {
-		out = append(out, r)
+	var runErr error
+	for s := range stagedCh {
+		res := Result{
+			StreamID:     s.job.StreamID,
+			Packet:       s.job.Packet,
+			HR:           s.hr,
+			InferLatency: s.inferLat,
+			Err:          s.err,
+		}
+		if s.err == nil {
+			data, lat, err := e.encodeOne(s.hr, s.job.QP)
+			res.Encoded, res.EncodeLatency, res.Err = data, lat, err
+		}
+		out = append(out, res)
+		if ctx.Err() != nil {
+			runErr = ctx.Err()
+			break
+		}
 	}
-	if err := <-errCh; err != nil {
-		return out, err
+	for range stagedCh {
+	}
+	wg.Wait()
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	if runErr != nil {
+		return out, runErr
 	}
 	if len(out) != len(jobs) {
 		return out, fmt.Errorf("enhance: %d results for %d jobs", len(out), len(jobs))

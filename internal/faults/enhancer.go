@@ -49,6 +49,26 @@ func (f *FlakyEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.Ancho
 	return f.Inner.Enhance(streamID, job)
 }
 
+// EnhanceBatch applies faults per anchor: each batch member gets its own
+// injector draw, so a seeded fault mid-batch degrades only the anchors it
+// hits while the siblings return their real results. A dead gate fails
+// the whole batch like the dropped connection it models.
+func (f *FlakyEnhancer) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]wire.AnchorBatchOutcome, error) {
+	if f.Gate != nil && f.Gate.Dead() {
+		return nil, fmt.Errorf("faults: enhance batch stream %d: %w", streamID, ErrKilled)
+	}
+	outs := make([]wire.AnchorBatchOutcome, len(jobs))
+	for i, job := range jobs {
+		res, err := f.Enhance(streamID, job)
+		if err != nil {
+			outs[i] = wire.AnchorBatchOutcome{Res: wire.AnchorResult{Packet: job.Packet}, Err: err.Error()}
+			continue
+		}
+		outs[i] = wire.AnchorBatchOutcome{Res: res}
+	}
+	return outs, nil
+}
+
 // Register forwards per-stream registration when the inner replica
 // supports it, so a FlakyEnhancer drops into any place a registering
 // enhancer fits. A dead gate rejects registration like any other call.

@@ -134,13 +134,26 @@ func (d *Device) LoadModel(cfg sr.ModelConfig) (time.Duration, error) {
 // Infer runs the loaded model over one lrW×lrH frame and returns the
 // latency charged, including per-frame host memory traffic.
 func (d *Device) Infer(lrW, lrH int) (time.Duration, error) {
+	return d.InferBatch(lrW, lrH, 1)
+}
+
+// InferBatch runs the loaded model over n lrW×lrH frames dispatched as
+// one batch and returns the total latency charged. The curve is a fixed
+// per-dispatch setup cost (host memory traffic, paid once) plus the
+// marginal inference cost per frame — the same way §6.2 models
+// context-switch elimination when anchors are batched per engine.
+// InferBatch(w, h, 1) charges exactly what Infer(w, h) does.
+func (d *Device) InferBatch(lrW, lrH, n int) (time.Duration, error) {
 	if d.loaded == nil {
 		return 0, errors.New("gpu: no model loaded")
 	}
 	if lrW <= 0 || lrH <= 0 {
 		return 0, fmt.Errorf("gpu: bad frame size %dx%d", lrW, lrH)
 	}
-	lat := cluster.InferLatencyOn(d.kind, d.loaded.cfg, lrW, lrH)
+	if n <= 0 {
+		return 0, fmt.Errorf("gpu: bad batch size %d", n)
+	}
+	lat := time.Duration(n) * cluster.InferLatencyOn(d.kind, d.loaded.cfg, lrW, lrH)
 	if d.hostPool != nil {
 		if _, err := d.hostPool.Acquire(lrW, lrH); err != nil {
 			return 0, err

@@ -287,3 +287,40 @@ func TestQuickHostPoolInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestInferBatchAmortizesSetup(t *testing.T) {
+	d := newDevice(t, Options{PreOptimize: true, PreAllocate: true})
+	_, _ = d.PreOptimizeArch(sr.HighQuality())
+	if _, err := d.LoadModel(sr.HighQuality()); err != nil {
+		t.Fatal(err)
+	}
+	single, err := d.Infer(426, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := d.InferBatch(426, 240, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != single {
+		t.Errorf("InferBatch(…, 1) = %v, want Infer's %v", b1, single)
+	}
+	marginal := cluster.InferLatencyOn(cluster.GPUT4, sr.HighQuality(), 426, 240)
+	setup := single - marginal
+	for _, n := range []int{2, 4, 8} {
+		got, err := d.InferBatch(426, 240, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := setup + time.Duration(n)*marginal
+		if got != want {
+			t.Errorf("InferBatch(n=%d) = %v, want setup %v + %d×%v = %v", n, got, setup, n, marginal, want)
+		}
+		if got >= time.Duration(n)*single {
+			t.Errorf("batch of %d (%v) not cheaper than %d singles (%v)", n, got, n, time.Duration(n)*single)
+		}
+	}
+	if _, err := d.InferBatch(426, 240, 0); err == nil {
+		t.Error("InferBatch accepted batch size 0")
+	}
+}

@@ -175,7 +175,43 @@ const (
 
 // MarshalBinary serializes the container.
 func (c *Container) MarshalBinary() ([]byte, error) {
-	return c.MarshalAppend(nil)
+	buf, err := c.MarshalAppend(make([]byte, 0, c.MarshalSize()))
+	return buf, err
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// MarshalSize returns the exact number of bytes MarshalAppend will
+// append for this container, so hot paths can marshal straight into a
+// single right-sized allocation (the steady-state chunk path stores each
+// chunk's bytes exactly once).
+func (c *Container) MarshalSize() int {
+	n := 4 + 1 // magic + version
+	n += uvarintLen(uint64(c.Config.Width))
+	n += uvarintLen(uint64(c.Config.Height))
+	n += uvarintLen(uint64(c.Config.FPS))
+	n += uvarintLen(uint64(c.Config.BitrateKbps))
+	n += uvarintLen(uint64(c.Config.GOP))
+	n += uvarintLen(uint64(c.Config.AltRefInterval))
+	n++ // mode
+	n += uvarintLen(uint64(c.Config.SearchRange))
+	n += uvarintLen(uint64(c.Scale))
+	n += uvarintLen(uint64(len(c.Frames)))
+	for _, f := range c.Frames {
+		n += uvarintLen(uint64(len(f.VideoPacket))) + len(f.VideoPacket) + 1
+		if f.Anchor != nil {
+			n += uvarintLen(uint64(len(f.Anchor))) + len(f.Anchor)
+		}
+	}
+	return n
 }
 
 // MarshalAppend serializes the container into buf (which may be a

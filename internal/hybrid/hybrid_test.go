@@ -229,6 +229,22 @@ func TestMarshalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got := c.MarshalSize(); got != len(data) {
+		t.Fatalf("MarshalSize = %d, marshaled %d bytes", got, len(data))
+	}
+	// An exact-size destination must not grow: the zero-copy store path
+	// relies on marshaling into one right-sized allocation.
+	dst := make([]byte, 0, c.MarshalSize())
+	exact, err := c.MarshalAppend(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &exact[0] != &dst[:1][0] {
+		t.Error("MarshalAppend reallocated an exact-size buffer")
+	}
+	if !bytes.Equal(exact, data) {
+		t.Error("exact-size marshal differs from MarshalBinary")
+	}
 	var back Container
 	if err := back.UnmarshalBinary(data); err != nil {
 		t.Fatal(err)

@@ -51,7 +51,7 @@ func Encode(f *frame.Frame, opts Options) ([]byte, Stats, error) {
 	w.WriteBits(uint64(f.W), 16)
 	w.WriteBits(uint64(f.H), 16)
 	w.WriteBits(uint64(opts.Quality), 8)
-	table := transform.QuantTable(opts.Quality)
+	table := transform.NewQuantizer(opts.Quality)
 	var st Stats
 	for _, p := range f.Planes() {
 		encodePlane(&w, p, &table, &st)
@@ -66,7 +66,7 @@ func Encode(f *frame.Frame, opts Options) ([]byte, Stats, error) {
 // (blocks are independent until DC prediction), then a serial raster-order
 // pass applies DC prediction and writes the bitstream, keeping the output
 // bit-identical for any worker count.
-func encodePlane(w *bitstream.Writer, p *frame.Plane, table *[64]int32, st *Stats) {
+func encodePlane(w *bitstream.Writer, p *frame.Plane, table *transform.Quantizer, st *Stats) {
 	bs := transform.BlockSize
 	nbx := (p.W + bs - 1) / bs
 	nby := (p.H + bs - 1) / bs
@@ -93,7 +93,7 @@ func encodePlane(w *bitstream.Writer, p *frame.Plane, table *[64]int32, st *Stat
 		for i := 0; i < n; i++ {
 			loadBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
 			transform.FDCT(&b, &b)
-			transform.Quantize(&b, table)
+			table.Quantize(&b)
 			prevDC = writeBlock(&b, prevDC)
 		}
 		return
@@ -104,7 +104,7 @@ func encodePlane(w *bitstream.Writer, p *frame.Plane, table *[64]int32, st *Stat
 		for i := lo; i < hi; i++ {
 			loadBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
 			transform.FDCT(&b, &b)
-			transform.Quantize(&b, table)
+			table.Quantize(&b)
 			copy(coeffs[i*64:(i+1)*64], b[:])
 		}
 	})
@@ -117,6 +117,17 @@ func encodePlane(w *bitstream.Writer, p *frame.Plane, table *[64]int32, st *Stat
 
 func loadBlock(b *transform.Block, p *frame.Plane, bx, by int) {
 	bs := transform.BlockSize
+	if bx+bs <= p.W && by+bs <= p.H {
+		// Interior block: straight row copies, no per-sample clamping.
+		for y := 0; y < bs; y++ {
+			row := p.Row(by + y)[bx : bx+bs]
+			o := y * bs
+			for x, v := range row {
+				b[o+x] = int32(v) - 128
+			}
+		}
+		return
+	}
 	for y := 0; y < bs; y++ {
 		for x := 0; x < bs; x++ {
 			// Clamped At extends edges for partial blocks.
@@ -183,8 +194,7 @@ func decodePlane(r *bitstream.Reader, p *frame.Plane, table *[64]int32) error {
 			}
 			scan[0] += prevDC
 			prevDC = scan[0]
-			transform.Unzigzag(&b, scan)
-			transform.Dequantize(&b, table)
+			transform.UnzigzagDequant(&b, scan, table)
 			transform.IDCT(&b, &b)
 			storeBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
 		}
@@ -204,8 +214,7 @@ func decodePlane(r *bitstream.Reader, p *frame.Plane, table *[64]int32) error {
 	par.For(n, blockGrain, func(lo, hi int) {
 		var b transform.Block
 		for i := lo; i < hi; i++ {
-			transform.Unzigzag(&b, coeffs[i*64:(i+1)*64])
-			transform.Dequantize(&b, table)
+			transform.UnzigzagDequant(&b, coeffs[i*64:(i+1)*64], table)
 			transform.IDCT(&b, &b)
 			storeBlock(&b, p, (i%nbx)*bs, (i/nbx)*bs)
 		}
@@ -216,6 +225,23 @@ func decodePlane(r *bitstream.Reader, p *frame.Plane, table *[64]int32) error {
 
 func storeBlock(b *transform.Block, p *frame.Plane, bx, by int) {
 	bs := transform.BlockSize
+	if bx+bs <= p.W && by+bs <= p.H {
+		// Interior block: straight row stores, no per-sample bound checks.
+		for y := 0; y < bs; y++ {
+			row := p.Row(by + y)[bx : bx+bs]
+			o := y * bs
+			for x := range row {
+				v := b[o+x] + 128
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				row[x] = byte(v)
+			}
+		}
+		return
+	}
 	for y := 0; y < bs; y++ {
 		if by+y >= p.H {
 			break
@@ -233,6 +259,55 @@ func storeBlock(b *transform.Block, p *frame.Plane, bx, by int) {
 			p.Set(bx+x, by+y, byte(v))
 		}
 	}
+}
+
+// Validate parses a bitstream produced by Encode without reconstructing
+// pixels and returns the coded dimensions. It fails on exactly the inputs
+// Decode fails on: entropy parsing is the only fallible stage, so walking
+// every block's coefficient codes checks decodability at a fraction of the
+// cost of dequantization and the inverse transform.
+func Validate(data []byte) (int, int, error) {
+	r := bitstream.NewReader(data)
+	m, err := r.ReadBits(32)
+	if err != nil || m != magic {
+		return 0, 0, errors.New("icodec: bad magic")
+	}
+	v, err := r.ReadBits(8)
+	if err != nil || v != version {
+		return 0, 0, fmt.Errorf("icodec: unsupported version %d", v)
+	}
+	wdt, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	hgt, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, err
+	}
+	q, err := r.ReadBits(8)
+	if err != nil {
+		return 0, 0, err
+	}
+	if q < 1 || q > 100 {
+		return 0, 0, fmt.Errorf("icodec: corrupt quality %d", q)
+	}
+	w, h := int(wdt), int(hgt)
+	if w <= 0 || h <= 0 {
+		return 0, 0, errors.New("icodec: corrupt dimensions")
+	}
+	bs := transform.BlockSize
+	cw, ch := (w+1)/2, (h+1)/2
+	var scan [64]int32
+	for _, d := range [3][2]int{{w, h}, {cw, ch}, {cw, ch}} {
+		nbx := (d[0] + bs - 1) / bs
+		nby := (d[1] + bs - 1) / bs
+		for i := 0; i < nbx*nby; i++ {
+			if err := bitstream.ReadCoeffs(r, scan[:]); err != nil {
+				return 0, 0, fmt.Errorf("icodec: block (%d,%d): %w", (i%nbx)*bs, (i/nbx)*bs, err)
+			}
+		}
+	}
+	return w, h, nil
 }
 
 // EncodeToSize searches for the highest quality whose output does not

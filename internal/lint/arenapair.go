@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ArenaPair checks the slab/frame arena discipline:
@@ -14,7 +15,16 @@ import (
 //     channel send, or store into a field/global;
 //   - a frame.Borrow/BorrowZero result that stays function-local must be
 //     frame.Released on every path (an escaping frame transfers
-//     ownership and carries no obligation — the GC backstops it).
+//     ownership and carries no obligation — the GC backstops it);
+//   - a call to a function annotated `//nslint:slab-borrow <pool-param>`
+//     borrows a slab from the pool passed as that parameter: the caller
+//     must Put it back, hand it off (channel send, struct store), or pass
+//     it to a function annotated `//nslint:slab-transfer <param>`, which
+//     takes ownership and ends the obligation.
+//
+// Directives on declarations in the package under analysis are read from
+// their doc comments; cross-package annotated functions are carried in
+// slabDirectiveRegistry because gc export data drops comments.
 //
 // The check is path-sensitive over the statement tree: branches are
 // explored independently, and obligations still open at a return or at
@@ -25,27 +35,157 @@ var ArenaPair = &Analyzer{
 	Run:  runArenaPair,
 }
 
+// slabDirective is one ownership annotation on a function: the named
+// parameter is the pool borrowed from (slabBorrow) or the buffer whose
+// ownership the callee assumes (slabTransfer).
+type slabDirective struct {
+	kind  slabDirKind
+	param string
+}
+
+type slabDirKind int
+
+const (
+	slabBorrow slabDirKind = iota
+	slabTransfer
+)
+
+// slabDirectiveRegistry mirrors the //nslint:slab-* doc directives of
+// functions called across package boundaries, keyed "pkg.Func" /
+// "pkg.Type.Method" on the package's import-path base.
+var slabDirectiveRegistry = map[string]slabDirective{
+	"wire.ReadPooled":              {kind: slabBorrow, param: "pool"},
+	"media.ChunkStore.AppendChunk": {kind: slabTransfer, param: "chunk"},
+}
+
 func runArenaPair(pass *Pass) {
+	dirs := slabDocDirectives(pass)
 	pass.eachFunc(func(fd *ast.FuncDecl) {
-		checkArenaFunc(pass, fd.Body)
+		// Inside a slab-borrow function, Gets on the annotated pool are
+		// the borrow being handed out: the caller owns the Put.
+		exempt := ""
+		if fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func); fn != nil {
+			if d, ok := dirs[fn]; ok && d.kind == slabBorrow {
+				exempt = d.param
+			}
+		}
+		checkArenaFunc(pass, fd.Body, dirs, exempt)
 		// Function literals own their control flow; check them separately
 		// and ignore them during the enclosing function's walk.
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			if lit, ok := n.(*ast.FuncLit); ok {
-				checkArenaFunc(pass, lit.Body)
+				checkArenaFunc(pass, lit.Body, dirs, "")
 			}
 			return true
 		})
 	})
 }
 
+// slabDocDirectives collects //nslint:slab-borrow and
+// //nslint:slab-transfer directives from the doc comments of this
+// package's function declarations.
+func slabDocDirectives(pass *Pass) map[*types.Func]slabDirective {
+	dirs := make(map[*types.Func]slabDirective)
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		if fd.Doc == nil {
+			return
+		}
+		fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			return
+		}
+		for _, c := range fd.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if param, ok := strings.CutPrefix(text, "nslint:slab-borrow "); ok {
+				dirs[fn] = slabDirective{kind: slabBorrow, param: strings.TrimSpace(param)}
+			} else if param, ok := strings.CutPrefix(text, "nslint:slab-transfer "); ok {
+				dirs[fn] = slabDirective{kind: slabTransfer, param: strings.TrimSpace(param)}
+			}
+		}
+	})
+	return dirs
+}
+
+// slabCallDirective resolves a call to its ownership directive, checking
+// the in-package doc directives first and the cross-package registry
+// second.
+func slabCallDirective(pass *Pass, dirs map[*types.Func]slabDirective, call *ast.CallExpr) (*types.Func, slabDirective, bool) {
+	fn := pass.calleeFunc(call)
+	if fn == nil {
+		return nil, slabDirective{}, false
+	}
+	if d, ok := dirs[fn]; ok {
+		return fn, d, true
+	}
+	if d, ok := slabDirectiveRegistry[slabFuncKey(fn)]; ok {
+		return fn, d, true
+	}
+	return nil, slabDirective{}, false
+}
+
+// slabFuncKey names a function the way slabDirectiveRegistry keys it.
+func slabFuncKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	key := pathBase(fn.Pkg().Path()) + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			key += n.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+// slabParamIndex finds the named parameter's position, -1 if absent.
+func slabParamIndex(fn *types.Func, name string) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// rootIdent unwraps selectors, slices, and index expressions down to the
+// base identifier, nil when the expression is not rooted in one.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
 // arenaState tracks open obligations along one path.
 type arenaState struct {
-	// slabs maps a pool expression (e.g. "s.marshalArena") to the number
-	// of outstanding Gets and the position of the most recent one.
+	// slabs maps a pool expression (e.g. "s.ingestArena") to the number
+	// of outstanding Gets/borrows and the position of the most recent
+	// one.
 	slabs map[string][]token.Pos
+	// slabVars maps a local variable holding a pooled buffer to the pool
+	// it came from, so an ownership transfer can discharge the right
+	// obligation.
+	slabVars map[string]string
 	// frames maps a local variable name to the Borrow position.
 	frames map[string]token.Pos
+	// borrowed marks acquisition positions that came from a slab-borrow
+	// call rather than a direct Get (message selection only; shared
+	// across clones since positions identify call sites uniquely).
+	borrowed map[token.Pos]bool
 	// deferred pools/frames discharged by defer statements (valid on
 	// every path).
 	deferredSlabs  map[string]bool
@@ -55,12 +195,17 @@ type arenaState struct {
 func (st *arenaState) clone() *arenaState {
 	c := &arenaState{
 		slabs:          make(map[string][]token.Pos, len(st.slabs)),
+		slabVars:       make(map[string]string, len(st.slabVars)),
 		frames:         make(map[string]token.Pos, len(st.frames)),
+		borrowed:       st.borrowed,
 		deferredSlabs:  st.deferredSlabs,
 		deferredFrames: st.deferredFrames,
 	}
 	for k, v := range st.slabs {
 		c.slabs[k] = append([]token.Pos(nil), v...)
+	}
+	for k, v := range st.slabVars {
+		c.slabVars[k] = v
 	}
 	for k, v := range st.frames {
 		c.frames[k] = v
@@ -68,13 +213,18 @@ func (st *arenaState) clone() *arenaState {
 	return c
 }
 
-func checkArenaFunc(pass *Pass, body *ast.BlockStmt) {
+func checkArenaFunc(pass *Pass, body *ast.BlockStmt, dirs map[*types.Func]slabDirective, exemptPool string) {
 	escaped := escapedVars(pass, body)
 	st := &arenaState{
 		slabs:          make(map[string][]token.Pos),
+		slabVars:       make(map[string]string),
 		frames:         make(map[string]token.Pos),
+		borrowed:       make(map[token.Pos]bool),
 		deferredSlabs:  make(map[string]bool),
 		deferredFrames: make(map[string]bool),
+	}
+	if exemptPool != "" {
+		st.deferredSlabs[exemptPool] = true
 	}
 	// Pre-scan defers anywhere in the body: a defer discharges on every
 	// path once executed, and the common pattern defers right after Get.
@@ -94,31 +244,31 @@ func checkArenaFunc(pass *Pass, body *ast.BlockStmt) {
 		}
 		return true
 	})
-	end := walkArena(pass, body.List, st, escaped)
+	end := walkArena(pass, body.List, st, escaped, dirs)
 	reportOpen(pass, end, body.End())
 }
 
 // walkArena interprets a statement list, returning the state at
 // fall-through. Reports happen at returns and are the caller's job at
 // block end.
-func walkArena(pass *Pass, stmts []ast.Stmt, st *arenaState, escaped map[string]bool) *arenaState {
+func walkArena(pass *Pass, stmts []ast.Stmt, st *arenaState, escaped map[string]bool, dirs map[*types.Func]slabDirective) *arenaState {
 	for _, s := range stmts {
-		st = walkArenaStmt(pass, s, st, escaped)
+		st = walkArenaStmt(pass, s, st, escaped, dirs)
 	}
 	return st
 }
 
-func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bool) *arenaState {
+func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bool, dirs map[*types.Func]slabDirective) *arenaState {
 	switch s := s.(type) {
 	case *ast.ReturnStmt:
 		reportOpen(pass, st, s.Pos())
 		return st
 	case *ast.BlockStmt:
-		return walkArena(pass, s.List, st, escaped)
+		return walkArena(pass, s.List, st, escaped, dirs)
 	case *ast.IfStmt:
-		then := walkArena(pass, s.Body.List, st.clone(), escaped)
+		then := walkArena(pass, s.Body.List, st.clone(), escaped, dirs)
 		if s.Else != nil {
-			walkArenaStmt(pass, s.Else, st.clone(), escaped)
+			walkArenaStmt(pass, s.Else, st.clone(), escaped, dirs)
 		}
 		// Fall-through state: a branch that acquired or released changes
 		// the merged view; keep the conservative union of the incoming
@@ -129,29 +279,29 @@ func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bo
 		}
 		return then
 	case *ast.ForStmt:
-		walkArena(pass, s.Body.List, st.clone(), escaped)
+		walkArena(pass, s.Body.List, st.clone(), escaped, dirs)
 		return st
 	case *ast.RangeStmt:
-		walkArena(pass, s.Body.List, st.clone(), escaped)
+		walkArena(pass, s.Body.List, st.clone(), escaped, dirs)
 		return st
 	case *ast.SwitchStmt:
 		for _, c := range s.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				walkArena(pass, cc.Body, st.clone(), escaped)
+				walkArena(pass, cc.Body, st.clone(), escaped, dirs)
 			}
 		}
 		return st
 	case *ast.TypeSwitchStmt:
 		for _, c := range s.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				walkArena(pass, cc.Body, st.clone(), escaped)
+				walkArena(pass, cc.Body, st.clone(), escaped, dirs)
 			}
 		}
 		return st
 	case *ast.SelectStmt:
 		for _, c := range s.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
-				walkArena(pass, cc.Body, st.clone(), escaped)
+				walkArena(pass, cc.Body, st.clone(), escaped, dirs)
 			}
 		}
 		return st
@@ -159,7 +309,7 @@ func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bo
 		return st // handled in the pre-scan
 	case *ast.ExprStmt:
 		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			applyArenaCall(pass, call, st, nil, escaped)
+			applyArenaCall(pass, call, st, nil, escaped, dirs)
 		}
 		return st
 	case *ast.AssignStmt:
@@ -180,7 +330,7 @@ func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bo
 			} else if len(s.Lhs) > 0 {
 				lhs = s.Lhs[0]
 			}
-			applyArenaCall(pass, call, st, lhs, escaped)
+			applyArenaCall(pass, call, st, lhs, escaped, dirs)
 		}
 		return st
 	case *ast.GoStmt:
@@ -192,16 +342,24 @@ func walkArenaStmt(pass *Pass, s ast.Stmt, st *arenaState, escaped map[string]bo
 
 // applyArenaCall updates state for a Get/Put/Borrow/Release call. lhs is
 // the assignment target of the call's result, when any.
-func applyArenaCall(pass *Pass, call *ast.CallExpr, st *arenaState, lhs ast.Expr, escaped map[string]bool) {
+func applyArenaCall(pass *Pass, call *ast.CallExpr, st *arenaState, lhs ast.Expr, escaped map[string]bool, dirs map[*types.Func]slabDirective) {
 	if pool, ok := slabGetPool(pass, call); ok {
 		if !st.deferredSlabs[pool] {
 			st.slabs[pool] = append(st.slabs[pool], call.Pos())
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			st.slabVars[id.Name] = pool
 		}
 		return
 	}
 	if pool, ok := slabPutPool(pass, call); ok {
 		if n := len(st.slabs[pool]); n > 0 {
 			st.slabs[pool] = st.slabs[pool][:n-1]
+		}
+		if len(call.Args) == 1 {
+			if id := rootIdent(call.Args[0]); id != nil {
+				delete(st.slabVars, id.Name)
+			}
 		}
 		return
 	}
@@ -217,6 +375,41 @@ func applyArenaCall(pass *Pass, call *ast.CallExpr, st *arenaState, lhs ast.Expr
 		delete(st.frames, v)
 		return
 	}
+	if fn, dir, ok := slabCallDirective(pass, dirs, call); ok {
+		idx := slabParamIndex(fn, dir.param)
+		if idx < 0 || idx >= len(call.Args) {
+			return
+		}
+		switch dir.kind {
+		case slabBorrow:
+			// The callee hands back a buffer borrowed from the pool passed
+			// as the annotated parameter. A result that escapes wholesale
+			// (channel send, struct store) transfers ownership with it.
+			pool := strings.TrimPrefix(types.ExprString(ast.Unparen(call.Args[idx])), "&")
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if id.Name == "_" || escaped[id.Name] {
+					return
+				}
+				st.slabVars[id.Name] = pool
+			}
+			if !st.deferredSlabs[pool] {
+				st.slabs[pool] = append(st.slabs[pool], call.Pos())
+				st.borrowed[call.Pos()] = true
+			}
+		case slabTransfer:
+			// The callee takes ownership of the annotated argument: the
+			// obligation on its originating pool ends here.
+			if id := rootIdent(call.Args[idx]); id != nil {
+				if pool, bound := st.slabVars[id.Name]; bound {
+					if n := len(st.slabs[pool]); n > 0 {
+						st.slabs[pool] = st.slabs[pool][:n-1]
+					}
+					delete(st.slabVars, id.Name)
+				}
+			}
+		}
+		return
+	}
 	// A call that receives a pooled-slab expression and returns it
 	// (append-style growth such as MarshalAppend) keeps the obligation on
 	// the same pool; nothing to update.
@@ -224,9 +417,13 @@ func applyArenaCall(pass *Pass, call *ast.CallExpr, st *arenaState, lhs ast.Expr
 
 func reportOpen(pass *Pass, st *arenaState, at token.Pos) {
 	for pool, poss := range st.slabs {
-		for range poss {
+		if len(poss) == 0 {
+			continue
+		}
+		if st.borrowed[poss[0]] {
+			pass.Reportf(poss[0], "slab borrowed from %s has no Put or ownership transfer on this path (buffer leaks back to the GC)", pool)
+		} else {
 			pass.Reportf(poss[0], "%s.Get has no matching Put on this path (leaks the slab back to the GC and defeats the arena)", pool)
-			break
 		}
 	}
 	for v, pos := range st.frames {

@@ -107,6 +107,12 @@ func TestDeterminismOutOfScope(t *testing.T) { runFixture(t, Determinism, "deter
 
 func TestArenaPairFixture(t *testing.T) { runFixture(t, ArenaPair, "arenapair/media") }
 
+func TestArenaPairBorrowFixture(t *testing.T) { runFixture(t, ArenaPair, "arenapair/borrow") }
+
+// Every borrowed slab in the transfer fixture is discharged; the
+// analyzer must not flag the ownership hand-offs.
+func TestArenaPairTransferFixture(t *testing.T) { runFixture(t, ArenaPair, "arenapair/transfer") }
+
 func TestConnIOFixture(t *testing.T) { runFixture(t, ConnIO, "connio/media") }
 
 func TestConnIOOutOfScope(t *testing.T) { runFixture(t, ConnIO, "connio/other") }

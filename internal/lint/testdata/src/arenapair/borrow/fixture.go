@@ -1,0 +1,65 @@
+// Package borrow is the flagging arenapair fixture for the slab
+// ownership directives: functions annotated nslint:slab-borrow hand
+// their caller a pooled buffer that must be Put, transferred via an
+// nslint:slab-transfer sink, or handed off.
+package borrow
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+type message struct {
+	payload []byte
+}
+
+// readMessage borrows the returned payload from pool.
+//
+//nslint:slab-borrow pool
+func readMessage(n int, pool *par.SlabPool[byte]) (message, error) {
+	return message{payload: pool.Get(n)}, nil
+}
+
+type store struct {
+	chunks [][]byte
+}
+
+// keep takes ownership of chunk; the caller must not recycle it.
+//
+//nslint:slab-transfer chunk
+func (s *store) keep(chunk []byte) {
+	s.chunks = append(s.chunks, chunk)
+}
+
+func putBack(pool *par.SlabPool[byte]) int {
+	m, _ := readMessage(64, pool)
+	n := len(m.payload)
+	pool.Put(m.payload)
+	return n
+}
+
+func deferred(pool *par.SlabPool[byte]) int {
+	m, _ := readMessage(64, pool)
+	defer pool.Put(m.payload)
+	return len(m.payload)
+}
+
+func transferred(pool *par.SlabPool[byte], s *store) {
+	m, _ := readMessage(64, pool)
+	s.keep(m.payload)
+}
+
+func handedOff(pool *par.SlabPool[byte], out chan message) {
+	m, _ := readMessage(64, pool)
+	out <- m
+}
+
+func leakyBranch(pool *par.SlabPool[byte]) int {
+	m, _ := readMessage(64, pool) // want `slab borrowed from pool has no Put or ownership transfer`
+	if len(m.payload) > 16 {
+		return 0
+	}
+	pool.Put(m.payload)
+	return 1
+}
+
+func discarded(pool *par.SlabPool[byte]) {
+	readMessage(64, pool) // want `slab borrowed from pool has no Put or ownership transfer`
+}

@@ -1,0 +1,55 @@
+// Package transfer is the non-flagging arenapair fixture for the slab
+// ownership directives: every pooled buffer is Put back, handed off, or
+// transferred through an annotated sink, so the analyzer must stay
+// silent.
+package transfer
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+type frameMsg struct {
+	payload []byte
+}
+
+// borrowFrame borrows the returned payload from pool.
+//
+//nslint:slab-borrow pool
+func borrowFrame(n int, pool *par.SlabPool[byte]) frameMsg {
+	return frameMsg{payload: pool.Get(n)}
+}
+
+type archive struct {
+	blobs [][]byte
+}
+
+// retain takes ownership of blob forever (readers alias it).
+//
+//nslint:slab-transfer blob
+func (a *archive) retain(blob []byte) int {
+	a.blobs = append(a.blobs, blob)
+	return len(a.blobs) - 1
+}
+
+func getThenTransfer(pool *par.SlabPool[byte], a *archive) int {
+	buf := pool.Get(32)
+	idx := a.retain(buf)
+	return idx
+}
+
+func borrowThenTransfer(pool *par.SlabPool[byte], a *archive) int {
+	m := borrowFrame(64, pool)
+	idx := a.retain(m.payload)
+	return idx
+}
+
+func borrowThenPut(pool *par.SlabPool[byte]) int {
+	m := borrowFrame(64, pool)
+	n := len(m.payload)
+	pool.Put(m.payload)
+	return n
+}
+
+func borrowDeferredPut(pool *par.SlabPool[byte]) int {
+	m := borrowFrame(64, pool)
+	defer pool.Put(m.payload)
+	return len(m.payload)
+}

@@ -50,6 +50,24 @@ type AnchorEnhancer interface {
 	Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error)
 }
 
+// AnchorOutcome is one anchor's result within a batch: exactly one of
+// Res or Err is meaningful. Batch members fail independently.
+type AnchorOutcome struct {
+	Res wire.AnchorResult
+	Err error
+}
+
+// BatchAnchorEnhancer is an AnchorEnhancer that can coalesce several
+// anchors into one dispatch (one wire round trip for a remote, one
+// device dispatch for a local engine). EnhanceBatch returns one outcome
+// per job, in job order; the error return is batch-level (transport or
+// protocol failure voiding every outcome). A batch of one must behave
+// exactly like Enhance.
+type BatchAnchorEnhancer interface {
+	AnchorEnhancer
+	EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]AnchorOutcome, error)
+}
+
 // registrar is implemented by enhancers needing per-stream registration.
 type registrar interface {
 	Register(uint32, wire.Hello) error
@@ -111,6 +129,18 @@ func (e *LocalEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.Ancho
 		return wire.AnchorResult{}, err
 	}
 	return wire.AnchorResult{Packet: job.Packet, Encoded: data}, nil
+}
+
+// EnhanceBatch implements BatchAnchorEnhancer: jobs are processed as one
+// dispatch with per-anchor error isolation, so one failing anchor never
+// poisons its batch siblings.
+func (e *LocalEnhancer) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]AnchorOutcome, error) {
+	outs := make([]AnchorOutcome, len(jobs))
+	for i, job := range jobs {
+		res, err := e.Enhance(streamID, job)
+		outs[i] = AnchorOutcome{Res: res, Err: err}
+	}
+	return outs, nil
 }
 
 // EnhancerServerConfig tunes an enhancer service endpoint.
@@ -310,6 +340,55 @@ func (s *EnhancerServer) serveConn(conn net.Conn) error {
 					s.cfg.Logf("media: enhancer reply: %v", err)
 				}
 			}(msg, job)
+		case wire.TypeAnchorBatchJob:
+			batch, err := wire.DecodeAnchorBatchJob(msg.Payload)
+			if err != nil {
+				_ = w.writeError(msg, err)
+				return err
+			}
+			// A batch is one dispatch: it occupies a single concurrency
+			// slot regardless of its size — that amortization is the point
+			// of batching (§6.2 context-switch elimination).
+			slots <- struct{}{}
+			jobs.Add(1)
+			go func(msg wire.Message, batch []wire.AnchorJob) {
+				defer jobs.Done()
+				defer func() { <-slots }()
+				outs, err := s.enhancer.EnhanceBatch(msg.StreamID, batch)
+				if err != nil {
+					if werr := w.writeError(msg, err); werr != nil {
+						s.cfg.Logf("media: enhancer reply: %v", werr)
+					}
+					return
+				}
+				wouts := make([]wire.AnchorBatchOutcome, len(outs))
+				for i, o := range outs {
+					if o.Err != nil {
+						wouts[i] = wire.AnchorBatchOutcome{
+							Res: wire.AnchorResult{Packet: batch[i].Packet},
+							Err: o.Err.Error(),
+						}
+					} else {
+						wouts[i] = wire.AnchorBatchOutcome{Res: o.Res}
+					}
+				}
+				payload, err := wire.EncodeAnchorBatchResult(wouts)
+				if err != nil {
+					if werr := w.writeError(msg, err); werr != nil {
+						s.cfg.Logf("media: enhancer reply: %v", werr)
+					}
+					return
+				}
+				reply := wire.Message{
+					Type:     wire.TypeAnchorBatchResult,
+					StreamID: msg.StreamID,
+					Seq:      msg.Seq,
+					Payload:  payload,
+				}
+				if err := w.write(reply); err != nil {
+					s.cfg.Logf("media: enhancer reply: %v", err)
+				}
+			}(msg, batch)
 		case wire.TypePing:
 			if err := w.write(wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
@@ -441,6 +520,44 @@ func (r *RemoteEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.Anch
 		return wire.AnchorResult{}, fmt.Errorf("media: enhance: unexpected reply %v", reply.Type)
 	}
 	return wire.DecodeAnchorResult(reply.Payload)
+}
+
+// EnhanceBatch implements BatchAnchorEnhancer with a single multiplexed
+// round trip: one TypeAnchorBatchJob frame out, one TypeAnchorBatchResult
+// frame back, per-anchor outcomes demultiplexed from the reply. Transport
+// failures void the whole batch (wrapped in ErrEnhancerUnavailable);
+// per-anchor job failures come back as outcome errors.
+func (r *RemoteEnhancer) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]AnchorOutcome, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	reply, err := r.call(wire.Message{
+		Type:     wire.TypeAnchorBatchJob,
+		StreamID: streamID,
+		Payload:  wire.EncodeAnchorBatchJob(jobs),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type != wire.TypeAnchorBatchResult {
+		return nil, fmt.Errorf("media: enhance batch: unexpected reply %v", reply.Type)
+	}
+	wouts, err := wire.DecodeAnchorBatchResult(reply.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(wouts) != len(jobs) {
+		return nil, fmt.Errorf("media: enhance batch: %d outcomes for %d jobs", len(wouts), len(jobs))
+	}
+	outs := make([]AnchorOutcome, len(jobs))
+	for i, o := range wouts {
+		if o.Err != "" {
+			outs[i].Err = fmt.Errorf("media: remote: %s", o.Err)
+		} else {
+			outs[i].Res = o.Res
+		}
+	}
+	return outs, nil
 }
 
 // Ping performs a liveness probe (heartbeat health checks).
@@ -612,8 +729,8 @@ func (r *RemoteEnhancer) dropConnLocked() {
 	}
 }
 
-var _ AnchorEnhancer = (*LocalEnhancer)(nil)
-var _ AnchorEnhancer = (*RemoteEnhancer)(nil)
+var _ BatchAnchorEnhancer = (*LocalEnhancer)(nil)
+var _ BatchAnchorEnhancer = (*RemoteEnhancer)(nil)
 var _ registrar = (*LocalEnhancer)(nil)
 var _ registrar = (*RemoteEnhancer)(nil)
 var _ pinger = (*RemoteEnhancer)(nil)

@@ -484,6 +484,12 @@ func TestServerRetentionAndStageStats(t *testing.T) {
 		stats.Stages.EnhanceWaitMsTotal <= 0 || stats.Stages.PackageMsTotal <= 0 {
 		t.Errorf("stage latency totals = %+v", stats.Stages)
 	}
+	// Every stage runs once per chunk on this quiet single-stream server,
+	// so the per-stage counts divide the totals into honest averages.
+	if stats.Stages.DecodeCount != chunks || stats.Stages.SelectCount != chunks ||
+		stats.Stages.EnhanceWaitCount != chunks || stats.Stages.PackageCount != chunks {
+		t.Errorf("stage counts = %+v, want %d each", stats.Stages, chunks)
+	}
 	if stats.Stages.AnchorsInFlight != 0 {
 		t.Errorf("anchors in flight at rest = %d", stats.Stages.AnchorsInFlight)
 	}

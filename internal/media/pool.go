@@ -287,6 +287,70 @@ func (p *EnhancerPool) Enhance(streamID uint32, job wire.AnchorJob) (wire.Anchor
 		job.Packet, streamID, attempts, lastErr, ErrEnhancerUnavailable)
 }
 
+// EnhanceBatch implements BatchAnchorEnhancer: one batched attempt on a
+// round-robin-admitted replica amortizes the per-anchor round trip, then
+// any anchor the batch did not land falls over to the full per-anchor
+// Enhance retry ladder. A mid-batch fault therefore degrades only the
+// anchors it actually touched: the siblings keep their batch results and
+// the failed ones get the same retry/failover treatment the per-anchor
+// path gives them. A batch of one is exactly the per-anchor path.
+func (p *EnhancerPool) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]AnchorOutcome, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	outs := make([]AnchorOutcome, len(jobs))
+	if len(jobs) == 1 {
+		res, err := p.Enhance(streamID, jobs[0])
+		outs[0] = AnchorOutcome{Res: res, Err: err}
+		return outs, nil
+	}
+	done := make([]bool, len(jobs))
+	if rep := p.next(make(map[*poolReplica]bool, len(p.replicas))); rep != nil {
+		bouts, err := rep.enhanceBatch(streamID, jobs)
+		if err == nil {
+			for i, o := range bouts {
+				if o.Err == nil {
+					outs[i] = o
+					done[i] = true
+				}
+			}
+		} else if !errors.Is(err, errBatchUnsupported) {
+			p.cfg.Logf("media: pool replica %s batch of %d stream %d: %v", rep.id, len(jobs), streamID, err)
+		}
+	}
+	// Per-anchor rescue: counters are charged by Enhance itself, so the
+	// batch attempt above stays invisible to the per-anchor call ledger.
+	// Rescued anchors fan out concurrently — the same parallelism the
+	// per-anchor dispatch path gives them — and outcomes land by index,
+	// so completion order never shows in the result.
+	var wg sync.WaitGroup
+	for i := range jobs {
+		if done[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Enhance(streamID, jobs[i])
+			outs[i] = AnchorOutcome{Res: res, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return outs, nil
+}
+
+// errBatchUnsupported reports a replica whose enhancer cannot coalesce
+// anchors; the pool falls back to per-anchor dispatch without charging
+// the replica's breaker.
+var errBatchUnsupported = errors.New("media: replica does not support batched enhancement")
+
+// wireBatchEnhancer is the wire-typed batch shape (outcome errors as
+// strings). Fault-injection tiers implement this form because they mirror
+// the media interfaces structurally without importing the package.
+type wireBatchEnhancer interface {
+	EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]wire.AnchorBatchOutcome, error)
+}
+
 // next picks the first admissible replica in round-robin order that is
 // not in tried; breaker-rejected replicas are skipped (and marked tried
 // for this round).
@@ -489,6 +553,66 @@ func (r *poolReplica) enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorR
 	return res, nil
 }
 
+// enhanceBatch runs one admitted batch on this replica. Per-anchor job
+// failures ride back inside the outcomes; the error return voids the
+// whole attempt (transport failure, protocol violation, or a replica
+// that cannot batch at all — the latter flagged with errBatchUnsupported
+// and not charged to the breaker, since the connection is healthy).
+func (r *poolReplica) enhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]AnchorOutcome, error) {
+	r.mu.Lock()
+	err := r.connectLocked()
+	if err == nil {
+		err = r.syncRegistrationsLocked()
+	}
+	enh := r.enh
+	r.mu.Unlock()
+	if err != nil {
+		r.report(false, time.Now())
+		r.dropIfUnavailable(err)
+		return nil, fmt.Errorf("replica %s: %w", r.id, err)
+	}
+	var outs []AnchorOutcome
+	switch be := enh.(type) {
+	case BatchAnchorEnhancer:
+		outs, err = be.EnhanceBatch(streamID, jobs)
+	case wireBatchEnhancer:
+		var wouts []wire.AnchorBatchOutcome
+		wouts, err = be.EnhanceBatch(streamID, jobs)
+		if err == nil {
+			outs = make([]AnchorOutcome, len(wouts))
+			for i, o := range wouts {
+				if o.Err != "" {
+					outs[i].Err = errors.New(o.Err)
+				} else {
+					outs[i].Res = o.Res
+				}
+			}
+		}
+	default:
+		// Connect + registration replay succeeded, so this was a healthy
+		// probe (ping semantics) even though no batch ran.
+		r.report(true, time.Now())
+		return nil, fmt.Errorf("replica %s: %w", r.id, errBatchUnsupported)
+	}
+	if err == nil && len(outs) != len(jobs) {
+		err = fmt.Errorf("replica %s returned %d outcomes for %d jobs", r.id, len(outs), len(jobs))
+	}
+	if err == nil {
+		for i := range outs {
+			if outs[i].Err == nil && outs[i].Res.Packet != jobs[i].Packet {
+				outs[i] = AnchorOutcome{Err: fmt.Errorf("replica %s returned anchor %d for job %d",
+					r.id, outs[i].Res.Packet, jobs[i].Packet)}
+			}
+		}
+	}
+	r.report(err == nil, time.Now())
+	if err != nil {
+		r.dropIfUnavailable(err)
+		return nil, fmt.Errorf("replica %s: %w", r.id, err)
+	}
+	return outs, nil
+}
+
 // dropIfUnavailable discards the cached enhancer after a transport-level
 // failure so the next admitted call re-dials and replays registrations.
 func (r *poolReplica) dropIfUnavailable(err error) {
@@ -557,5 +681,5 @@ func (r *poolReplica) report(ok bool, now time.Time) {
 	}
 }
 
-var _ AnchorEnhancer = (*EnhancerPool)(nil)
+var _ BatchAnchorEnhancer = (*EnhancerPool)(nil)
 var _ registrar = (*EnhancerPool)(nil)

@@ -32,6 +32,11 @@ const (
 	// bounded enough that a long-lived stream cannot grow the store
 	// without limit.
 	DefaultChunkRetention = 1024
+	// DefaultMaxAnchorBatch is the per-dispatch anchor coalescing bound:
+	// a chunk's selected anchors are grouped into batches of up to this
+	// many frames, each costing one enhancer round trip (§6.2 dispatch
+	// amortization).
+	DefaultMaxAnchorBatch = 4
 )
 
 // ServerConfig tunes the media server.
@@ -48,6 +53,15 @@ type ServerConfig struct {
 	// otherwise); 1 or negative serializes enhancement like the
 	// historical serial path.
 	MaxInFlightAnchors int
+	// MaxAnchorBatch caps how many of a chunk's in-flight anchors are
+	// coalesced into one enhancer round trip. Batching never changes
+	// output bytes (outcomes are keyed by selection index and anchors
+	// fail independently); it only amortizes per-dispatch overhead. The
+	// effective cap never exceeds MaxInFlightAnchors. Zero uses
+	// DefaultMaxAnchorBatch; 1 or negative dispatches per anchor exactly
+	// like the unbatched path. Enhancers that cannot batch fall back to
+	// per-anchor dispatch regardless.
+	MaxAnchorBatch int
 	// PipelineDepth bounds how many chunks per connection may occupy the
 	// ingest pipeline stages (decode+select → enhance → package+store)
 	// at once. Zero uses DefaultPipelineDepth; 1 or negative disables
@@ -95,15 +109,20 @@ type serverCounters struct {
 }
 
 // StageStats snapshots the pipeline's per-stage latency accounting (total
-// time spent in each stage across all chunks) and the current anchor
-// in-flight gauge. enhance_wait is the time the package stage stalled on
-// outstanding enhancements — the overlap target: it shrinks as decode of
-// later chunks hides behind it.
+// time spent in each stage across all chunks, plus how many times each
+// stage ran, so per-stage averages are derivable from one snapshot) and
+// the current anchor in-flight gauge. enhance_wait is the time the
+// package stage stalled on outstanding enhancements — the overlap target:
+// it shrinks as decode of later chunks hides behind it.
 type StageStats struct {
 	Chunks             uint64  `json:"chunks"`
+	DecodeCount        uint64  `json:"decode_count"`
 	DecodeMsTotal      float64 `json:"decode_ms_total"`
+	SelectCount        uint64  `json:"select_count"`
 	SelectMsTotal      float64 `json:"select_ms_total"`
+	EnhanceWaitCount   uint64  `json:"enhance_wait_count"`
 	EnhanceWaitMsTotal float64 `json:"enhance_wait_ms_total"`
+	PackageCount       uint64  `json:"package_count"`
 	PackageMsTotal     float64 `json:"package_ms_total"`
 	AnchorsInFlight    int64   `json:"anchors_in_flight"`
 }
@@ -111,6 +130,8 @@ type StageStats struct {
 type stageTimers struct {
 	decodeNanos, selectNanos       atomic.Int64
 	enhanceWaitNanos, packageNanos atomic.Int64
+	decodeCount, selectCount       atomic.Uint64
+	enhanceWaitCount, packageCount atomic.Uint64
 	anchorsInFlight                atomic.Int64
 }
 
@@ -140,11 +161,20 @@ type Server struct {
 	counters serverCounters
 	stages   stageTimers
 
-	// anchorSlots is the server-wide in-flight bound on anchor RPCs.
+	// anchorSlots is the server-wide in-flight bound on anchor RPCs; a
+	// batch of n anchors holds n slots. slotMu serializes multi-slot
+	// acquisition so two batches can never deadlock on partial holdings
+	// (single-slot acquirers release unconditionally, so the serialized
+	// waiter always makes progress).
 	anchorSlots chan struct{}
-	// marshalArena recycles the container-marshal scratch buffer across
-	// chunks (the stored copy is exact-size; the arena absorbs growth).
-	marshalArena par.SlabPool[byte]
+	slotMu      sync.Mutex
+	// ingestArena recycles wire payload buffers across chunks: the read
+	// loop borrows each frame's payload from it (wire.ReadPooled), decode
+	// aliases the packets out of it without copying, and the package
+	// stage returns it once the chunk's bytes have been marshaled into
+	// their single exact-size store allocation. Ownership is linear:
+	// reader → decode stage → package stage, which alone may Put.
+	ingestArena par.SlabPool[byte]
 
 	mu sync.Mutex
 	// streams is guarded by mu.
@@ -206,6 +236,15 @@ func NewServer(addr string, enhancer AnchorEnhancer, cfg ServerConfig) (*Server,
 	if cfg.MaxInFlightAnchors < 1 {
 		cfg.MaxInFlightAnchors = 1
 	}
+	if cfg.MaxAnchorBatch == 0 {
+		cfg.MaxAnchorBatch = DefaultMaxAnchorBatch
+	}
+	if cfg.MaxAnchorBatch < 1 {
+		cfg.MaxAnchorBatch = 1
+	}
+	if cfg.MaxAnchorBatch > cfg.MaxInFlightAnchors {
+		cfg.MaxAnchorBatch = cfg.MaxInFlightAnchors
+	}
 	if cfg.PipelineDepth == 0 {
 		cfg.PipelineDepth = DefaultPipelineDepth
 	}
@@ -258,9 +297,13 @@ func (s *Server) StageStats() StageStats {
 	const ms = float64(time.Millisecond)
 	return StageStats{
 		Chunks:             s.counters.chunksProcessed.Load(),
+		DecodeCount:        s.stages.decodeCount.Load(),
 		DecodeMsTotal:      float64(s.stages.decodeNanos.Load()) / ms,
+		SelectCount:        s.stages.selectCount.Load(),
 		SelectMsTotal:      float64(s.stages.selectNanos.Load()) / ms,
+		EnhanceWaitCount:   s.stages.enhanceWaitCount.Load(),
 		EnhanceWaitMsTotal: float64(s.stages.enhanceWaitNanos.Load()) / ms,
+		PackageCount:       s.stages.packageCount.Load(),
 		PackageMsTotal:     float64(s.stages.packageNanos.Load()) / ms,
 		AnchorsInFlight:    s.stages.anchorsInFlight.Load(),
 	}
@@ -376,7 +419,7 @@ func (s *Server) serveIngest(conn net.Conn) error {
 		if s.cfg.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
+		msg, err := wire.ReadPooled(conn, wire.DefaultMaxPayload, &s.ingestArena)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !p.fatal.Load() {
 				readErr = err
@@ -384,8 +427,11 @@ func (s *Server) serveIngest(conn net.Conn) error {
 			break
 		}
 		if msg.Type == wire.TypeGoodbye {
+			s.ingestArena.Put(msg.Payload)
 			break
 		}
+		// Payload ownership rides the job into the pipeline; the package
+		// stage is the single release point (see ingestArena).
 		decodeCh <- &ingestJob{msg: msg}
 		if p.fatal.Load() {
 			break
@@ -413,7 +459,10 @@ func (s *Server) decodeStage(job *ingestJob) {
 		job.err = fmt.Errorf("chunk before hello on stream %d", msg.StreamID)
 		return
 	}
-	packets, err := wire.DecodeChunk(msg.Payload)
+	// Packets alias the pooled payload rather than copying out of it; the
+	// aliases die when packageChunk finishes marshaling, strictly before
+	// the package stage recycles the payload.
+	packets, err := wire.DecodeChunkAlias(msg.Payload)
 	if err != nil {
 		job.err = err
 		return
@@ -435,6 +484,7 @@ func (s *Server) decodeStage(job *ingestJob) {
 	}
 	st.decodeMu.Unlock()
 	s.stages.decodeNanos.Add(int64(time.Since(start)))
+	s.stages.decodeCount.Add(1)
 
 	// Each container must be independently decodable by viewers joining
 	// mid-stream, so distribution chunks are GOP-aligned (as in HLS/DASH).
@@ -452,6 +502,7 @@ func (s *Server) decodeStage(job *ingestJob) {
 	}
 	selected := anchor.SelectTopN(cands, n)
 	s.stages.selectNanos.Add(int64(time.Since(start)))
+	s.stages.selectCount.Add(1)
 
 	container := &hybrid.Container{
 		Config: st.hello.Config,
@@ -479,11 +530,38 @@ func (s *Server) decodeStage(job *ingestJob) {
 			Frame:        decoded[i].Frame,
 		}
 	}
-	pc.wg.Add(len(selected))
-	for si := range pc.jobs {
-		go s.enhanceAnchor(pc, si)
-	}
+	s.dispatchAnchors(pc)
 	job.pc = pc
+}
+
+// dispatchAnchors fans a chunk's selected anchors out to the enhancer:
+// coalesced into batches of up to MaxAnchorBatch when the enhancer can
+// take them, per-anchor otherwise. Outcomes land by selection index
+// either way, so the configuration never changes output bytes.
+func (s *Server) dispatchAnchors(pc *pendingChunk) {
+	batch := s.cfg.MaxAnchorBatch
+	be, canBatch := s.enhancer.(BatchAnchorEnhancer)
+	if !canBatch || batch < 2 {
+		pc.wg.Add(len(pc.jobs))
+		for si := range pc.jobs {
+			go s.enhanceAnchor(pc, si)
+		}
+		return
+	}
+	for lo := 0; lo < len(pc.jobs); lo += batch {
+		hi := lo + batch
+		if hi > len(pc.jobs) {
+			hi = len(pc.jobs)
+		}
+		pc.wg.Add(1)
+		if hi-lo == 1 {
+			// A leftover singleton takes the per-anchor path so a batch of
+			// one degenerates to today's dispatch bit-exactly.
+			go s.enhanceAnchor(pc, lo)
+			continue
+		}
+		go s.enhanceBatch(be, pc, lo, hi)
+	}
 }
 
 // pendingChunk is one chunk's enhancement fan-out: outcomes land in a
@@ -516,12 +594,50 @@ func (s *Server) enhanceAnchor(pc *pendingChunk, si int) {
 	pc.outcomes[si] = anchorOutcome{res: res, err: err}
 }
 
+// enhanceBatch runs one coalesced dispatch for jobs[lo:hi) under the
+// in-flight bound (a batch of n holds n slots, acquired under slotMu so
+// concurrent batches cannot deadlock on partial holdings). A batch-level
+// failure annotates every member; per-anchor failures stay individual.
+func (s *Server) enhanceBatch(be BatchAnchorEnhancer, pc *pendingChunk, lo, hi int) {
+	defer pc.wg.Done()
+	n := hi - lo
+	s.slotMu.Lock()
+	for i := 0; i < n; i++ {
+		s.anchorSlots <- struct{}{}
+	}
+	s.slotMu.Unlock()
+	defer func() {
+		for i := 0; i < n; i++ {
+			<-s.anchorSlots
+		}
+	}()
+	s.stages.anchorsInFlight.Add(int64(n))
+	defer s.stages.anchorsInFlight.Add(-int64(n))
+	outs, err := be.EnhanceBatch(pc.streamID, pc.jobs[lo:hi])
+	if err == nil && len(outs) != n {
+		err = fmt.Errorf("media: enhancer returned %d outcomes for a batch of %d", len(outs), n)
+	}
+	if err != nil {
+		for si := lo; si < hi; si++ {
+			pc.outcomes[si] = anchorOutcome{err: err}
+		}
+		return
+	}
+	for i, o := range outs {
+		pc.outcomes[lo+i] = anchorOutcome{res: o.Res, err: o.Err}
+	}
+}
+
 // packageStage is the final stage: wait for the chunk's fan-out, rescue
 // stragglers, assemble and validate in deterministic order, marshal into
 // the arena scratch, store, and acknowledge. It also answers the
 // pass-through messages (hello, ping) so every reply leaves in arrival
 // order.
 func (s *Server) packageStage(p *ingestPipeline, job *ingestJob) {
+	// Single release point for the pooled wire payload: every job reaches
+	// this stage exactly once, and by the time it returns no alias of the
+	// payload (chunk packets, hello bytes) is live.
+	defer s.ingestArena.Put(job.msg.Payload)
 	if p.fatal.Load() {
 		// A prior job already reported a fatal error; drain outstanding
 		// enhancements so nothing leaks, and stay silent like the serial
@@ -596,6 +712,7 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 	start := time.Now()
 	pc.wg.Wait()
 	s.stages.enhanceWaitNanos.Add(int64(time.Since(start)))
+	s.stages.enhanceWaitCount.Add(1)
 
 	// Rescue pass: with concurrent fan-out, anchors racing a half-open
 	// breaker's probe can exhaust their retries while the probe is still
@@ -640,20 +757,19 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 		s.counters.chunksDegraded.Add(1)
 	}
 
+	// The chunk's bytes are allocated exactly once: one right-sized
+	// buffer, marshaled into directly (video packets still alias the
+	// pooled wire payload until this copy), then owned by the store.
 	start = time.Now()
-	scratch := s.marshalArena.Get(0)[:0]
-	buf, err := pc.container.MarshalAppend(scratch)
+	data, err := pc.container.MarshalAppend(make([]byte, 0, pc.container.MarshalSize()))
 	if err != nil {
-		s.marshalArena.Put(buf)
 		_ = p.w.writeError(job.msg, err)
 		p.fail(err)
 		return
 	}
-	data := make([]byte, len(buf))
-	copy(data, buf)
-	s.marshalArena.Put(buf)
 	seq := s.store.AppendChunk(pc.streamID, data, degraded)
 	s.stages.packageNanos.Add(int64(time.Since(start)))
+	s.stages.packageCount.Add(1)
 
 	if err := p.w.write(wire.Message{Type: wire.TypeAck, StreamID: pc.streamID, Seq: uint32(seq)}); err != nil {
 		p.fail(err)
@@ -667,14 +783,17 @@ func validateAnchor(res wire.AnchorResult, packet int, st *serverStream) error {
 	if res.Packet != packet {
 		return fmt.Errorf("media: result for packet %d, want %d", res.Packet, packet)
 	}
-	f, err := icodec.Decode(res.Encoded)
+	// Parse-only validation: entropy decoding is the only fallible stage
+	// of a full decode, so Validate catches exactly the payloads Decode
+	// would reject without paying for pixel reconstruction.
+	fw, fh, err := icodec.Validate(res.Encoded)
 	if err != nil {
 		return fmt.Errorf("media: anchor payload undecodable: %w", err)
 	}
 	wantW := st.hello.Config.Width * st.hello.Scale
 	wantH := st.hello.Config.Height * st.hello.Scale
-	if f.W != wantW || f.H != wantH {
-		return fmt.Errorf("media: anchor is %dx%d, want %dx%d", f.W, f.H, wantW, wantH)
+	if fw != wantW || fh != wantH {
+		return fmt.Errorf("media: anchor is %dx%d, want %dx%d", fw, fh, wantW, wantH)
 	}
 	return nil
 }

@@ -65,6 +65,12 @@ func (s *ChunkStore) Append(streamID uint32, chunk []byte) int {
 // AppendChunk stores the next chunk of a stream along with its
 // degradation flag and returns its sequence number. When the stream is
 // at its retention cap the oldest chunk is evicted.
+//
+// Ownership of chunk transfers to the store: callers must not modify or
+// recycle the buffer afterwards, because Chunk hands the stored slice to
+// HTTP readers without copying.
+//
+//nslint:slab-transfer chunk
 func (s *ChunkStore) AppendChunk(streamID uint32, chunk []byte, degraded bool) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

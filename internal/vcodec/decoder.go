@@ -202,8 +202,7 @@ func decodeIntraPlanes(r *bitstream.Reader, w, h, quality int) (*frame.Frame, er
 				}
 				scan[0] += prevDC
 				prevDC = scan[0]
-				transform.Unzigzag(&b, scan)
-				transform.Dequantize(&b, &table)
+				transform.UnzigzagDequant(&b, scan, &table)
 				transform.IDCT(&b, &b)
 				storeShifted(&b, p, bx, by)
 			}
@@ -225,8 +224,7 @@ func decodeIntraPlanes(r *bitstream.Reader, w, h, quality int) (*frame.Frame, er
 			var b transform.Block
 			for i := lo; i < hi; i++ {
 				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
-				transform.Unzigzag(&b, coeffs[i*64:(i+1)*64])
-				transform.Dequantize(&b, &table)
+				transform.UnzigzagDequant(&b, coeffs[i*64:(i+1)*64], &table)
 				transform.IDCT(&b, &b)
 				storeShifted(&b, p, bx, by)
 			}
@@ -263,8 +261,14 @@ func decodeResidualWithCapture(r *bitstream.Reader, pred *frame.Frame, quality i
 				if err := bitstream.ReadCoeffs(r, scan); err != nil {
 					return fmt.Errorf("vcodec: residual block (%d,%d): %w", bx, by, err)
 				}
-				transform.Unzigzag(&b, scan)
-				transform.Dequantize(&b, &table)
+				// All-zero blocks (static content) reconstruct to a zero
+				// residual: addBlock would add 0 and re-clamp in-range
+				// samples, and capture planes are pre-filled with the 128
+				// bias storeShifted would write — both exact no-ops.
+				if allZero(scan) {
+					continue
+				}
+				transform.UnzigzagDequant(&b, scan, &table)
 				transform.IDCT(&b, &b)
 				addBlock(&b, p, bx, by)
 				if capture != nil {
@@ -285,9 +289,13 @@ func decodeResidualWithCapture(r *bitstream.Reader, pred *frame.Frame, quality i
 		par.For(n, blockGrain, func(lo, hi int) {
 			var b transform.Block
 			for i := lo; i < hi; i++ {
+				scan := coeffs[i*64 : (i+1)*64]
+				// Same all-zero skip as the fused path.
+				if allZero(scan) {
+					continue
+				}
 				bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
-				transform.Unzigzag(&b, coeffs[i*64:(i+1)*64])
-				transform.Dequantize(&b, &table)
+				transform.UnzigzagDequant(&b, scan, &table)
 				transform.IDCT(&b, &b)
 				addBlock(&b, p, bx, by)
 				if capture != nil {
@@ -298,6 +306,15 @@ func decodeResidualWithCapture(r *bitstream.Reader, pred *frame.Frame, quality i
 		coeffPool.Put(coeffs)
 	}
 	return nil
+}
+
+// allZero reports whether every coefficient in a 64-entry scan is zero.
+func allZero(scan []int32) bool {
+	or := int32(0)
+	for _, c := range scan[:64] {
+		or |= c
+	}
+	return or == 0
 }
 
 func storeShifted(b *transform.Block, p *frame.Plane, bx, by int) {
@@ -317,6 +334,23 @@ func storeShifted(b *transform.Block, p *frame.Plane, bx, by int) {
 
 func addBlock(b *transform.Block, p *frame.Plane, bx, by int) {
 	bs := transform.BlockSize
+	if bx+bs <= p.W && by+bs <= p.H {
+		// Interior block: straight row updates, no per-sample bound checks.
+		for y := 0; y < bs; y++ {
+			row := p.Row(by + y)[bx : bx+bs]
+			o := y * bs
+			for x := range row {
+				v := int32(row[x]) + b[o+x]
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				row[x] = byte(v)
+			}
+		}
+		return
+	}
 	for y := 0; y < bs && by+y < p.H; y++ {
 		for x := 0; x < bs && bx+x < p.W; x++ {
 			v := int32(p.At(bx+x, by+y)) + b[y*bs+x]

@@ -216,19 +216,31 @@ func planeBlocks(p *frame.Plane) (nbx, nby, n int) {
 // pass applies DC prediction and entropy-codes the blocks in raster
 // order.
 func encodeIntraPlanes(w *bitstream.Writer, f *frame.Frame, quality int) {
-	table := transform.QuantTable(quality)
+	table := transform.NewQuantizer(quality)
 	scan := make([]int32, 64)
 	for _, p := range f.Planes() {
 		nbx, _, n := planeBlocks(p)
 		transformBlock := func(i int, b *transform.Block) {
-			bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
-			for y := 0; y < transform.BlockSize; y++ {
-				for x := 0; x < transform.BlockSize; x++ {
-					b[y*transform.BlockSize+x] = int32(p.At(bx+x, by+y)) - 128
+			bs := transform.BlockSize
+			bx, by := (i%nbx)*bs, (i/nbx)*bs
+			if bx+bs <= p.W && by+bs <= p.H {
+				// Interior block: straight row copies, no per-sample clamping.
+				for y := 0; y < bs; y++ {
+					row := p.Row(by + y)[bx : bx+bs]
+					o := y * bs
+					for x, v := range row {
+						b[o+x] = int32(v) - 128
+					}
+				}
+			} else {
+				for y := 0; y < bs; y++ {
+					for x := 0; x < bs; x++ {
+						b[y*bs+x] = int32(p.At(bx+x, by+y)) - 128
+					}
 				}
 			}
 			transform.FDCT(b, b)
-			transform.Quantize(b, &table)
+			table.Quantize(b)
 		}
 		writeBlock := func(b *transform.Block, prevDC int32) int32 {
 			dc := b[0]
@@ -268,20 +280,47 @@ func encodeIntraPlanes(w *bitstream.Writer, f *frame.Frame, quality int) {
 // Residual blocks have no cross-block state, so the parallel phase stages
 // them directly in zigzag order and the serial phase only writes bits.
 func encodeResidualPlanes(w *bitstream.Writer, src, pred *frame.Frame, quality int) {
-	table := transform.QuantTable(quality)
+	table := transform.NewQuantizer(quality)
 	sp, pp := src.Planes(), pred.Planes()
 	for pi := 0; pi < 3; pi++ {
 		s, p := sp[pi], pp[pi]
 		nbx, _, n := planeBlocks(s)
 		transformBlock := func(i int, b *transform.Block, scan []int32) {
-			bx, by := (i%nbx)*transform.BlockSize, (i/nbx)*transform.BlockSize
-			for y := 0; y < transform.BlockSize; y++ {
-				for x := 0; x < transform.BlockSize; x++ {
-					b[y*transform.BlockSize+x] = int32(s.At(bx+x, by+y)) - int32(p.At(bx+x, by+y))
+			bs := transform.BlockSize
+			bx, by := (i%nbx)*bs, (i/nbx)*bs
+			or := int32(0)
+			if bx+bs <= s.W && by+bs <= s.H {
+				// Interior block: straight row differences, no clamping.
+				for y := 0; y < bs; y++ {
+					srow := s.Row(by + y)[bx : bx+bs]
+					prow := p.Row(by + y)[bx : bx+bs][:len(srow)]
+					o := y * bs
+					for x, v := range srow {
+						d := int32(v) - int32(prow[x])
+						or |= d
+						b[o+x] = d
+					}
+				}
+			} else {
+				for y := 0; y < bs; y++ {
+					for x := 0; x < bs; x++ {
+						d := int32(s.At(bx+x, by+y)) - int32(p.At(bx+x, by+y))
+						or |= d
+						b[y*bs+x] = d
+					}
 				}
 			}
+			// A zero residual block (static content after motion
+			// compensation) transforms, quantizes, and scans to all zeros;
+			// emit the zero scan directly.
+			if or == 0 {
+				for j := range scan[:64] {
+					scan[j] = 0
+				}
+				return
+			}
 			transform.FDCT(b, b)
-			transform.Quantize(b, &table)
+			table.Quantize(b)
 			transform.Zigzag(scan, b)
 		}
 		if par.Workers() == 1 {

@@ -132,9 +132,43 @@ func DecodeChunk(data []byte) ([][]byte, error) {
 	return out, nil
 }
 
+// DecodeChunkAlias parses a chunk payload like DecodeChunk but returns
+// packet slices that alias data instead of copying it. The caller owns
+// data and must keep it alive (and unrecycled) for as long as any
+// returned packet is referenced; pooled payloads may only go back to
+// their pool after the last packet use.
+func DecodeChunkAlias(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("wire: truncated chunk")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > 1<<20 {
+		return nil, fmt.Errorf("wire: unreasonable packet count %d", n)
+	}
+	data = data[4:]
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("wire: truncated packet length")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, errors.New("wire: truncated packet body")
+		}
+		out = append(out, data[:l:l])
+		data = data[l:]
+	}
+	return out, nil
+}
+
 // EncodeFrame serializes a raw YUV frame.
 func EncodeFrame(f *frame.Frame) []byte {
 	buf := make([]byte, 0, 4+f.SizeBytes())
+	return appendFrame(buf, f)
+}
+
+func appendFrame(buf []byte, f *frame.Frame) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(f.W))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(f.H))
 	for _, p := range f.Planes() {
@@ -177,14 +211,21 @@ type AnchorJob struct {
 	Frame        *frame.Frame
 }
 
-// EncodeAnchorJob serializes an anchor job payload.
-func EncodeAnchorJob(j AnchorJob) []byte {
-	buf := make([]byte, 0, 12+4+j.Frame.SizeBytes())
+// anchorJobSize is the encoded size of one anchor job payload.
+func anchorJobSize(j AnchorJob) int {
+	return 12 + 4 + j.Frame.SizeBytes()
+}
+
+func appendAnchorJob(buf []byte, j AnchorJob) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(j.Packet))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(j.DisplayIndex))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(j.QP))
-	buf = append(buf, EncodeFrame(j.Frame)...)
-	return buf
+	return appendFrame(buf, j.Frame)
+}
+
+// EncodeAnchorJob serializes an anchor job payload.
+func EncodeAnchorJob(j AnchorJob) []byte {
+	return appendAnchorJob(make([]byte, 0, anchorJobSize(j)), j)
 }
 
 // DecodeAnchorJob parses an anchor job payload.
@@ -232,4 +273,132 @@ func DecodeAnchorResult(data []byte) (AnchorResult, error) {
 	}
 	r.Encoded = append([]byte(nil), data[8:]...)
 	return r, nil
+}
+
+// maxAnchorBatch bounds the per-frame anchor count against malformed or
+// malicious batch payloads; real batches are bounded by the server's
+// in-flight anchor cap, far below this.
+const maxAnchorBatch = 4096
+
+// EncodeAnchorBatchJob serializes a batch of anchor jobs into one
+// payload: count(4) then length-prefixed EncodeAnchorJob entries.
+func EncodeAnchorBatchJob(jobs []AnchorJob) []byte {
+	size := 4
+	for _, j := range jobs {
+		size += 4 + anchorJobSize(j)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(jobs)))
+	for _, j := range jobs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(anchorJobSize(j)))
+		buf = appendAnchorJob(buf, j)
+	}
+	return buf
+}
+
+// DecodeAnchorBatchJob parses a batch anchor job payload.
+func DecodeAnchorBatchJob(data []byte) ([]AnchorJob, error) {
+	if len(data) < 4 {
+		return nil, errors.New("wire: truncated anchor batch")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > maxAnchorBatch {
+		return nil, fmt.Errorf("wire: unreasonable anchor batch size %d", n)
+	}
+	data = data[4:]
+	jobs := make([]AnchorJob, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("wire: truncated anchor batch entry length")
+		}
+		l := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < l {
+			return nil, errors.New("wire: truncated anchor batch entry")
+		}
+		j, err := DecodeAnchorJob(data[:l])
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return nil, errors.New("wire: trailing bytes after anchor batch")
+	}
+	return jobs, nil
+}
+
+// AnchorBatchOutcome is the per-anchor outcome of a batch job, in job
+// order. Err is empty on success; otherwise it carries the failure
+// reason and Res.Encoded is empty. Anchors fail independently — one bad
+// anchor never poisons its batch siblings.
+type AnchorBatchOutcome struct {
+	Res AnchorResult
+	Err string
+}
+
+// EncodeAnchorBatchResult serializes per-anchor batch outcomes.
+func EncodeAnchorBatchResult(outs []AnchorBatchOutcome) ([]byte, error) {
+	size := 4
+	for _, o := range outs {
+		if len(o.Err) > 0xFFFF {
+			return nil, errors.New("wire: batch outcome error too long")
+		}
+		size += 4 + 2 + len(o.Err) + 4 + len(o.Res.Encoded)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(outs)))
+	for _, o := range outs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(o.Res.Packet))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(o.Err)))
+		buf = append(buf, o.Err...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(o.Res.Encoded)))
+		buf = append(buf, o.Res.Encoded...)
+	}
+	return buf, nil
+}
+
+// DecodeAnchorBatchResult parses per-anchor batch outcomes.
+func DecodeAnchorBatchResult(data []byte) ([]AnchorBatchOutcome, error) {
+	if len(data) < 4 {
+		return nil, errors.New("wire: truncated anchor batch result")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > maxAnchorBatch {
+		return nil, fmt.Errorf("wire: unreasonable anchor batch size %d", n)
+	}
+	data = data[4:]
+	outs := make([]AnchorBatchOutcome, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(data) < 6 {
+			return nil, errors.New("wire: truncated batch outcome header")
+		}
+		var o AnchorBatchOutcome
+		o.Res.Packet = int(binary.BigEndian.Uint32(data))
+		el := int(binary.BigEndian.Uint16(data[4:]))
+		data = data[6:]
+		if len(data) < el {
+			return nil, errors.New("wire: truncated batch outcome error")
+		}
+		o.Err = string(data[:el])
+		data = data[el:]
+		if len(data) < 4 {
+			return nil, errors.New("wire: truncated batch outcome length")
+		}
+		bl := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < bl {
+			return nil, errors.New("wire: truncated batch outcome body")
+		}
+		if bl > 0 {
+			o.Res.Encoded = append([]byte(nil), data[:bl]...)
+		}
+		outs = append(outs, o)
+		data = data[bl:]
+	}
+	if len(data) != 0 {
+		return nil, errors.New("wire: trailing bytes after batch result")
+	}
+	return outs, nil
 }

@@ -12,6 +12,8 @@ import (
 	"hash/crc32"
 	"io"
 	"sync/atomic"
+
+	"github.com/neuroscaler/neuroscaler/internal/par"
 )
 
 // Type identifies a message kind.
@@ -36,7 +38,18 @@ const (
 	TypePing
 	// TypePong answers a ping.
 	TypePong
+	// TypeAnchorBatchJob carries several decoded anchor frames to an
+	// enhancer in one round trip; the reply is one TypeAnchorBatchResult
+	// with per-anchor outcomes in job order.
+	TypeAnchorBatchJob
+	// TypeAnchorBatchResult carries the per-anchor outcomes of a batch
+	// job (each anchor succeeds or fails independently).
+	TypeAnchorBatchResult
 )
+
+// maxType is the highest assigned message type; Read and Write reject
+// frames outside (0, maxType]. Keep it on the last constant above.
+const maxType = TypeAnchorBatchResult
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -59,6 +72,10 @@ func (t Type) String() string {
 		return "ping"
 	case TypePong:
 		return "pong"
+	case TypeAnchorBatchJob:
+		return "anchor-batch-job"
+	case TypeAnchorBatchResult:
+		return "anchor-batch-result"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -114,7 +131,7 @@ var ErrBadFrame = errors.New("wire: corrupt frame")
 func Write(w io.Writer, m Message) error {
 	// Mirror Read's validation: emitting a frame the peer will reject as
 	// corrupt is a bug at the writer, not the reader.
-	if m.Type == 0 || m.Type > TypePong {
+	if m.Type == 0 || m.Type > maxType {
 		return fmt.Errorf("wire: invalid message type %d", m.Type)
 	}
 	var hdr [headerLen]byte
@@ -148,7 +165,7 @@ func Read(r io.Reader, maxPayload int) (Message, error) {
 	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
 		return Message{}, ErrBadFrame
 	}
-	if hdr[2] == 0 || Type(hdr[2]) > TypePong {
+	if hdr[2] == 0 || Type(hdr[2]) > maxType {
 		return Message{}, ErrBadFrame
 	}
 	m := Message{
@@ -168,6 +185,51 @@ func Read(r io.Reader, maxPayload int) (Message, error) {
 		}
 	}
 	if crc32.ChecksumIEEE(m.Payload) != sum {
+		return Message{}, ErrBadFrame
+	}
+	return m, nil
+}
+
+// ReadPooled parses the next message from r like Read, but borrows the
+// payload buffer from pool instead of allocating it. On success, ownership
+// of m.Payload transfers to the caller, who must return it to the same
+// pool once every slice derived from it (see DecodeChunkAlias) is dead.
+// On error nothing stays borrowed.
+//
+//nslint:slab-borrow pool
+func ReadPooled(r io.Reader, maxPayload int, pool *par.SlabPool[byte]) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("wire: read header: %w", err)
+	}
+	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+		return Message{}, ErrBadFrame
+	}
+	if hdr[2] == 0 || Type(hdr[2]) > maxType {
+		return Message{}, ErrBadFrame
+	}
+	m := Message{
+		Type:     Type(hdr[2]),
+		StreamID: binary.BigEndian.Uint32(hdr[3:]),
+		Seq:      binary.BigEndian.Uint32(hdr[7:]),
+	}
+	n := binary.BigEndian.Uint32(hdr[11:])
+	sum := binary.BigEndian.Uint32(hdr[15:])
+	if int64(n) > int64(maxPayload) {
+		return Message{}, ErrFrameTooLarge
+	}
+	if n > 0 {
+		m.Payload = pool.Get(int(n))
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			pool.Put(m.Payload)
+			return Message{}, fmt.Errorf("wire: read payload: %w", err)
+		}
+	}
+	if crc32.ChecksumIEEE(m.Payload) != sum {
+		pool.Put(m.Payload)
 		return Message{}, ErrBadFrame
 	}
 	return m, nil

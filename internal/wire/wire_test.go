@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
+	"github.com/neuroscaler/neuroscaler/internal/par"
 	"github.com/neuroscaler/neuroscaler/internal/sr"
 	"github.com/neuroscaler/neuroscaler/internal/vcodec"
 )
@@ -270,8 +271,151 @@ func TestPingPongRoundTrip(t *testing.T) {
 	// One past the last valid type is still a bad frame.
 	_ = Write(&buf, Message{Type: TypePong, Seq: 1})
 	data := buf.Bytes()
-	data[2] = byte(TypePong) + 1
+	data[2] = byte(maxType) + 1
 	if _, err := Read(bytes.NewReader(data), DefaultMaxPayload); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("out-of-range type err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestAnchorBatchJobRoundTrip(t *testing.T) {
+	jobs := []AnchorJob{
+		{Packet: 0, DisplayIndex: 3, QP: 80, Frame: frame.MustNew(16, 16)},
+		{Packet: 4, DisplayIndex: 11, QP: 95, Frame: frame.MustNew(24, 8)},
+	}
+	jobs[0].Frame.Y.Fill(12)
+	jobs[1].Frame.Y.Fill(200)
+	got, err := DecodeAnchorBatchJob(EncodeAnchorBatchJob(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("batch size = %d, want 2", len(got))
+	}
+	for i := range jobs {
+		if got[i].Packet != jobs[i].Packet || got[i].DisplayIndex != jobs[i].DisplayIndex || got[i].QP != jobs[i].QP {
+			t.Errorf("job %d fields: %+v", i, got[i])
+		}
+		sad, err := frame.AbsDiffSum(got[i].Frame, jobs[i].Frame)
+		if err != nil || sad != 0 {
+			t.Errorf("job %d frame: sad=%d err=%v", i, sad, err)
+		}
+	}
+	// Empty batches round-trip (degenerate but legal).
+	if got, err := DecodeAnchorBatchJob(EncodeAnchorBatchJob(nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty batch: %v %v", got, err)
+	}
+	for _, bad := range [][]byte{{1}, {0, 0, 0, 1}, {0, 0, 0, 1, 0, 0, 0, 9, 1}} {
+		if _, err := DecodeAnchorBatchJob(bad); err == nil {
+			t.Errorf("malformed batch %v accepted", bad)
+		}
+	}
+	enc := EncodeAnchorBatchJob(jobs[:1])
+	if _, err := DecodeAnchorBatchJob(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestAnchorBatchResultRoundTrip(t *testing.T) {
+	outs := []AnchorBatchOutcome{
+		{Res: AnchorResult{Packet: 2, Encoded: []byte("enhanced-a")}},
+		{Res: AnchorResult{Packet: 7}, Err: "enhancer unavailable"},
+		{Res: AnchorResult{Packet: 9, Encoded: []byte("enhanced-b")}},
+	}
+	enc, err := EncodeAnchorBatchResult(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAnchorBatchResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(outs) {
+		t.Fatalf("outcome count = %d, want %d", len(got), len(outs))
+	}
+	for i := range outs {
+		if got[i].Res.Packet != outs[i].Res.Packet || got[i].Err != outs[i].Err ||
+			!bytes.Equal(got[i].Res.Encoded, outs[i].Res.Encoded) {
+			t.Errorf("outcome %d = %+v, want %+v", i, got[i], outs[i])
+		}
+	}
+	for _, bad := range [][]byte{{9}, {0, 0, 0, 1, 0, 0, 0, 1, 0}, {0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 'x', 0, 0, 0, 5}} {
+		if _, err := DecodeAnchorBatchResult(bad); err == nil {
+			t.Errorf("malformed batch result %v accepted", bad)
+		}
+	}
+	if _, err := DecodeAnchorBatchResult(append(enc, 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestReadPooledRecyclesPayloads(t *testing.T) {
+	var pool par.SlabPool[byte]
+	var buf bytes.Buffer
+	payload := []byte("chunk bytes that should land in a pooled buffer")
+	if err := Write(&buf, Message{Type: TypeChunk, StreamID: 3, Seq: 8, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadPooled(&buf, DefaultMaxPayload, &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeChunk || m.StreamID != 3 || m.Seq != 8 || !bytes.Equal(m.Payload, payload) {
+		t.Errorf("pooled read = %+v", m)
+	}
+	pool.Put(m.Payload)
+	// The recycled buffer must be reused (capacity permitting) and the
+	// stale contents fully overwritten by the next read.
+	if err := Write(&buf, Message{Type: TypeAck, Seq: 9, Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadPooled(&buf, DefaultMaxPayload, &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m2.Payload) != "ok" {
+		t.Errorf("recycled payload = %q, want %q", m2.Payload, "ok")
+	}
+	// Corrupt frames must not leak the borrowed buffer (Put is internal);
+	// just assert the error surfaces.
+	bad := buf
+	if err := Write(&bad, Message{Type: TypeChunk, Payload: []byte("xyz")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := bad.Bytes()
+	raw[len(raw)-1] ^= 0xFF
+	if _, err := ReadPooled(bytes.NewReader(raw), DefaultMaxPayload, &pool); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("corrupt pooled read err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeChunkAlias(t *testing.T) {
+	packets := [][]byte{[]byte("first"), {}, []byte("third packet")}
+	payload := EncodeChunk(packets)
+	got, err := DecodeChunkAlias(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(packets) {
+		t.Fatalf("packet count = %d, want %d", len(got), len(packets))
+	}
+	for i := range packets {
+		if !bytes.Equal(got[i], packets[i]) {
+			t.Errorf("packet %d = %q, want %q", i, got[i], packets[i])
+		}
+	}
+	// Aliasing: mutating the payload must show through the packets, and
+	// full-capacity slices must not allow appends to clobber neighbors.
+	if len(got[0]) > 0 {
+		payload[8] ^= 0xFF // first byte of packet 0's body
+		if bytes.Equal(got[0], packets[0]) {
+			t.Error("DecodeChunkAlias copied instead of aliasing")
+		}
+		payload[8] ^= 0xFF
+	}
+	if cap(got[0]) != len(got[0]) {
+		t.Error("aliased packet capacity not clipped; appends would clobber the payload")
+	}
+	if _, err := DecodeChunkAlias([]byte{0, 0}); err == nil {
+		t.Error("truncated chunk accepted")
 	}
 }
