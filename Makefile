@@ -23,8 +23,12 @@ lint: nslint
 	@if [ -x "$(GOBIN)/govulncheck" ]; then "$(GOBIN)/govulncheck" ./...; \
 	else echo "govulncheck not installed; skipping (see Makefile for the pinned install)"; fi
 
+# Whole-tree analysis under the same 60-second wall-clock budget CI
+# enforces; the interprocedural analyzers (ownership, lockorder, goleak)
+# need the multi-package load, so the budget keeps them honest.
 nslint:
-	go run ./cmd/nslint ./...
+	go build -o /tmp/nslint ./cmd/nslint
+	timeout 60 /tmp/nslint ./internal/... ./cmd/... ./examples/... .
 
 # The same suite through go vet's -vettool driver (exercises the
 # unit-checker protocol path).

@@ -1,10 +1,12 @@
 // Command nslint runs the repo's static-analysis suite (internal/lint):
-// determinism, arenapair, connio, lockhold, seqsafe, and errwrap.
+// determinism, arenapair, connio, lockhold, seqsafe, errwrap, and the
+// interprocedural ownership, lockorder, and goleak analyzers.
 //
 // Standalone:
 //
 //	go run ./cmd/nslint ./...            # whole tree, all analyzers
 //	go run ./cmd/nslint -only connio ./internal/media
+//	go run ./cmd/nslint -json ./...      # machine-readable findings
 //	go run ./cmd/nslint -list
 //
 // As a vet tool (unit-checker protocol, one package per invocation):
@@ -56,8 +58,9 @@ func main() {
 	fs := flag.NewFlagSet("nslint", flag.ExitOnError)
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "print the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nslint [-only a,b] [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: nslint [-only a,b] [-json] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -84,13 +87,46 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "nslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "nslint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable finding shape: stable field names for
+// editor integrations and CI annotation tooling.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // selfBuildID derives a content ID for the running binary so the vet

@@ -120,6 +120,26 @@ func slabCallDirective(pass *Pass, dirs map[*types.Func]slabDirective, call *ast
 	if d, ok := slabDirectiveRegistry[slabFuncKey(fn)]; ok {
 		return fn, d, true
 	}
+	// Summary-derived directives: with the call graph available, the
+	// program layer discovers borrow/transfer behavior automatically —
+	// a callee that returns a buffer from a pool parameter borrows, a
+	// callee that Puts or retains a parameter takes ownership — so new
+	// hand-offs are covered without growing the hand-kept registry.
+	if prog := pass.Prog; prog != nil {
+		if node := prog.Funcs[slabFuncKey(fn)]; node != nil {
+			s := prog.summary(node)
+			if sig, ok := fn.Type().(*types.Signature); ok {
+				if s.borrowsPool >= 0 && s.borrowsPool < sig.Params().Len() {
+					return fn, slabDirective{kind: slabBorrow, param: sig.Params().At(s.borrowsPool).Name()}, true
+				}
+				for i := 0; i < sig.Params().Len(); i++ {
+					if s.releasesSome[i] || s.transfersParam[i] {
+						return fn, slabDirective{kind: slabTransfer, param: sig.Params().At(i).Name()}, true
+					}
+				}
+			}
+		}
+	}
 	return nil, slabDirective{}, false
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -38,24 +39,7 @@ func runConnIO(pass *Pass) {
 		return
 	}
 
-	// First pass over the package: which functions arm which deadline
-	// direction, and who calls whom (intra-package).
-	arms := map[string]map[ioDir]bool{} // funcKey -> directions armed
-	callers := map[string][]string{}    // callee funcKey -> caller funcKeys
-	pass.eachFunc(func(fd *ast.FuncDecl) {
-		key := pass.funcKey(fd)
-		arms[key] = armedDirs(pass, fd)
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if ck := pass.callKey(call); ck != "" && ck != key {
-				callers[ck] = append(callers[ck], key)
-			}
-			return true
-		})
-	})
+	arms, callers, keyOf := connCoverageIndex(pass)
 
 	// covered reports whether every path into fn arms dir before reaching
 	// it: the function arms it itself, or all in-package callers are
@@ -94,7 +78,7 @@ func runConnIO(pass *Pass) {
 		if isConnForwarder(pass, fd) {
 			return
 		}
-		key := pass.funcKey(fd)
+		key := keyOf(fd)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -118,6 +102,63 @@ func runConnIO(pass *Pass) {
 			return true
 		})
 	})
+}
+
+// connCoverageIndex builds the armed-direction and caller maps the
+// coverage query runs over. With the whole-program call graph available
+// (the standalone driver), callers cross package boundaries and
+// interface dispatch, and calls inside function literals are attributed
+// to the enclosing declaration — the same lexical attribution armedDirs
+// uses. Without it (the vet unit mode), the index degrades to the
+// intra-package view.
+func connCoverageIndex(pass *Pass) (map[string]map[ioDir]bool, map[string][]string, func(*ast.FuncDecl) string) {
+	if prog := pass.Prog; prog != nil {
+		arms := map[string]map[ioDir]bool{}
+		callers := map[string][]string{}
+		for _, n := range prog.Nodes {
+			if n.Decl != nil {
+				arms[n.Key] = prog.summary(n).arms
+			}
+			decl := n
+			if n.Parent != nil {
+				decl = n.Parent
+			}
+			for _, site := range n.Calls {
+				for _, callee := range site.Callees {
+					if callee.Decl == nil || callee.Key == decl.Key {
+						continue
+					}
+					callers[callee.Key] = append(callers[callee.Key], decl.Key)
+				}
+			}
+		}
+		keyOf := func(fd *ast.FuncDecl) string {
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				return pass.funcKey(fd)
+			}
+			return slabFuncKey(fn)
+		}
+		return arms, callers, keyOf
+	}
+
+	arms := map[string]map[ioDir]bool{}
+	callers := map[string][]string{}
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		key := pass.funcKey(fd)
+		arms[key] = armedDirs(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ck := pass.callKey(call); ck != "" && ck != key {
+				callers[ck] = append(callers[ck], key)
+			}
+			return true
+		})
+	})
+	return arms, callers, pass.funcKey
 }
 
 // connIOCall classifies a call as conn I/O: a Read/Write method on a

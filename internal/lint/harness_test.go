@@ -125,6 +125,25 @@ func TestErrWrapFixture(t *testing.T) { runFixture(t, ErrWrap, "errwrap/wire") }
 
 func TestErrWrapOutOfScope(t *testing.T) { runFixture(t, ErrWrap, "errwrap/other") }
 
+func TestOwnershipFixture(t *testing.T) { runFixture(t, Ownership, "ownership/media") }
+
+// Every slab in the clean fixture is released exactly once — across
+// callees, channel pipelines, and spawned goroutines — so the analyzer
+// must stay silent.
+func TestOwnershipCleanFixture(t *testing.T) { runFixture(t, Ownership, "ownership/clean") }
+
+func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder, "lockorder/media") }
+
+// Documented edges, Locked-suffix callees, and sequential acquisitions
+// must not be flagged.
+func TestLockOrderCleanFixture(t *testing.T) { runFixture(t, LockOrder, "lockorder/sched") }
+
+func TestGoLeakFixture(t *testing.T) { runFixture(t, GoLeak, "goleak/media") }
+
+// WaitGroup balance (field, local, parameter-passed) and closed-channel
+// waits all count as join evidence.
+func TestGoLeakCleanFixture(t *testing.T) { runFixture(t, GoLeak, "goleak/wire") }
+
 // TestSuppression pins the //nslint:disable contract: a justified
 // directive swallows its finding, an unjustified one is itself reported
 // and suppresses nothing.

@@ -2,15 +2,26 @@
 // analyzers that mechanically enforce the invariants the NeuroScaler
 // serving path depends on — byte-determinism of codec output, paired
 // arena Get/Put, deadline-armed connection I/O, no blocking calls under
-// locks, mutex-guarded field discipline, and %w error wrapping across
-// package boundaries. See DESIGN.md "Invariants" for the rationale
-// behind each analyzer and how to suppress a finding.
+// locks, mutex-guarded field discipline, %w error wrapping across
+// package boundaries, and the three interprocedural properties built on
+// the call-graph dataflow layer: pooled-buffer ownership linearity
+// (ownership), the repo-wide lock-acquisition order (lockorder), and
+// goroutine join evidence (goleak). See DESIGN.md "Invariants" for the
+// rationale behind each analyzer and how to suppress a finding.
 //
 // The framework mirrors golang.org/x/tools/go/analysis in shape but is
 // built on the standard library only: packages are resolved and
 // type-checked via `go list -export` (see load.go), each Analyzer gets a
 // Pass with the ASTs and type information, and diagnostics are filtered
 // through //nslint:disable suppressions before reporting.
+//
+// Program-scoped analyzers additionally see a Program (callgraph.go): a
+// call graph over every loaded package — function literals are
+// first-class nodes, interface calls resolve to analyzed implementers —
+// with per-function summaries (summary.go) of release/transfer
+// behavior, lock acquisition sets, and WaitGroup/channel join facts,
+// each propagated to fixpoint so evidence several calls away still
+// counts.
 package lint
 
 import (
@@ -22,21 +33,32 @@ import (
 	"strings"
 )
 
-// Analyzer is one nslint check.
+// Analyzer is one nslint check. Per-package analyzers set Run;
+// program-scoped analyzers (those that reason across call and package
+// boundaries) set RunProgram and execute once per invocation over the
+// whole call graph. An analyzer may set both.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in reports and in
 	// //nslint:disable comments.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run performs the check, reporting findings via pass.Reportf.
+	// Run performs the per-package check, reporting via pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram performs the whole-program check. In the vet-tool unit
+	// mode only one package is loaded, so the view degrades to an
+	// intra-package one; the full cross-package graph needs the
+	// standalone driver (`make nslint`).
+	RunProgram func(pass *ProgramPass)
 }
 
 // Pass carries one package's worth of inputs to an Analyzer.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the whole-run call graph, available to per-package
+	// analyzers that want interprocedural context (connio, arenapair).
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -45,6 +67,24 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ProgramPass carries the whole-run inputs to a program-scoped
+// Analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, which must belong to pkg's FileSet.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -69,6 +109,9 @@ var All = []*Analyzer{
 	LockHold,
 	SeqSafe,
 	ErrWrap,
+	Ownership,
+	LockOrder,
+	GoLeak,
 }
 
 // ByName resolves a comma-separated analyzer list ("" selects All).
@@ -95,22 +138,46 @@ func ByName(names string) ([]*Analyzer, error) {
 // Run executes the analyzers over the packages and returns the surviving
 // diagnostics, sorted by position. Suppressed findings are dropped;
 // malformed suppressions (no "-- reason") are themselves reported.
+// Suppressions from every package are merged into one filename/line
+// index so program-scoped findings honor them no matter which package's
+// pass surfaced them.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
+	sup := &suppressions{byFileLine: make(map[string]map[int][]string)}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		sup, bad := collectSuppressions(pkg)
+		pkgSup, bad := collectSuppressions(pkg)
 		diags = append(diags, bad...)
-		var raw []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
-			a.Run(pass)
-		}
-		for _, d := range raw {
-			if sup.covers(d) {
+		for file, lines := range pkgSup.byFileLine {
+			if sup.byFileLine[file] == nil {
+				sup.byFileLine[file] = lines
 				continue
 			}
-			diags = append(diags, d)
+			for line, names := range lines {
+				sup.byFileLine[file][line] = append(sup.byFileLine[file][line], names...)
+			}
 		}
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &raw})
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &raw})
+	}
+	for _, d := range raw {
+		if sup.covers(d) {
+			continue
+		}
+		diags = append(diags, d)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

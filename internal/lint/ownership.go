@@ -1,0 +1,655 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ownership is the linearity checker for pooled buffers: a par.SlabPool
+// slab acquired in a function — directly via Get or through a
+// borrow-summarized callee such as wire.ReadPooled — must be released
+// exactly once, and never touched afterwards. Unlike arenapair (which
+// balances Get against Put within one function), ownership follows the
+// buffer across boundaries using the call-graph summaries:
+//
+//   - a release can happen in a callee: passing the buffer to a
+//     function whose summary releases that parameter counts, and a
+//     second release anywhere on the same path — inline Put, deferred
+//     Put, or a releasing callee — is a double-free of the slab;
+//   - a channel send transfers ownership: the payload must then be
+//     released (or retained) on some receiving path of that channel,
+//     possibly after being forwarded through further channels, the
+//     decodeCh -> packageCh pipeline shape in media.Server.serveIngest;
+//   - a goroutine spawn transfers ownership: the spawned function's
+//     summary must release or retain the buffer parameter.
+//
+// Use after release is reported lexically along the same path, the
+// window where the pool may already have handed the slab to another
+// goroutine.
+var Ownership = &Analyzer{
+	Name: "ownership",
+	Doc: "track pooled-buffer ownership across calls, channel sends, and goroutine spawns; " +
+		"flag double releases, unreleased channel payloads, and uses after release",
+	RunProgram: runOwnership,
+}
+
+// pooledSend is one channel send whose value carries a pooled buffer.
+type pooledSend struct {
+	chanKey string // package-qualified channel key
+	pos     token.Pos
+	pkg     *Package
+	buf     string // buffer name for diagnostics
+}
+
+// chanBinding is one receive that binds a channel element to a name.
+type chanBinding struct {
+	chanKey string
+	obj     types.Object
+	node    *FuncNode
+}
+
+func runOwnership(pp *ProgramPass) {
+	prog := pp.Prog
+	o := &ownershipRun{
+		pp:       pp,
+		prog:     prog,
+		reported: make(map[string]bool),
+	}
+	for _, n := range prog.Nodes {
+		o.checkNode(n)
+	}
+	o.checkChannels()
+}
+
+type ownershipRun struct {
+	pp   *ProgramPass
+	prog *Program
+	// reported dedups findings re-encountered when branch walks revisit
+	// shared suffixes of the statement tree.
+	reported map[string]bool
+	sends    []pooledSend
+	bindings []chanBinding
+	// forwards records chanKey -> chanKey hand-offs seen in receiving
+	// bodies; the release fixpoint follows them.
+	forwards map[string]map[string]bool
+}
+
+func (o *ownershipRun) report(pkg *Package, pos token.Pos, format string, args ...any) {
+	key := pkg.Fset.Position(pos).String() + format
+	if o.reported[key] {
+		return
+	}
+	o.reported[key] = true
+	o.pp.Reportf(pkg, pos, format, args...)
+}
+
+// posStr renders a position compactly for inclusion in messages.
+func posStr(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// ownState is the per-path tracking state.
+type ownState struct {
+	// owned maps root objects holding a pooled buffer acquired in this
+	// function to a display name.
+	owned map[types.Object]string
+	// released maps root objects to the position of their release on
+	// this path.
+	released map[types.Object]token.Pos
+}
+
+func (st *ownState) clone() *ownState {
+	c := &ownState{
+		owned:    make(map[types.Object]string, len(st.owned)),
+		released: make(map[types.Object]token.Pos, len(st.released)),
+	}
+	for k, v := range st.owned {
+		c.owned[k] = v
+	}
+	for k, v := range st.released {
+		c.released[k] = v
+	}
+	return c
+}
+
+// nodeCtx bundles what the statement walk needs about the function.
+type nodeCtx struct {
+	node  *FuncNode
+	pass  *Pass
+	sites map[*ast.CallExpr]*CallSite
+	// deferredRel maps root objects released by a deferred Put (or a
+	// deferred releasing callee) to the defer's position.
+	deferredRel map[types.Object]token.Pos
+}
+
+func (o *ownershipRun) checkNode(n *FuncNode) {
+	pass := n.pass(o.prog)
+	cx := &nodeCtx{
+		node:        n,
+		pass:        pass,
+		sites:       make(map[*ast.CallExpr]*CallSite, len(n.Calls)),
+		deferredRel: make(map[types.Object]token.Pos),
+	}
+	for _, c := range n.Calls {
+		cx.sites[c.Call] = c
+	}
+	// Defer prescan: a deferred release covers every path out of the
+	// function, so inline releases of the same buffer double-free.
+	shallowInspect(n.Body, func(m ast.Node) bool {
+		d, ok := m.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if obj, all := o.releaseTarget(cx, d.Call); obj != nil && all {
+			cx.deferredRel[obj] = d.Pos()
+		}
+		return true
+	})
+	st := &ownState{owned: make(map[types.Object]string), released: make(map[types.Object]token.Pos)}
+	o.walk(cx, n.Body.List, st)
+	// Receive bindings feed the channel-obligation fixpoint.
+	o.collectBindings(cx)
+}
+
+// releaseTargetOf applies releaseTarget to an expression statement's
+// expression when it is a call, nil otherwise.
+func (o *ownershipRun) releaseTargetOf(cx *nodeCtx, e ast.Expr) (types.Object, bool) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return o.releaseTarget(cx, call)
+	}
+	return nil, false
+}
+
+// releaseTarget classifies a call as a release of a tracked root:
+// pool.Put(buf), or a call whose callee summary releases the argument's
+// parameter. The bool reports whether the release is unconditional in
+// the callee (Put always is).
+func (o *ownershipRun) releaseTarget(cx *nodeCtx, call *ast.CallExpr) (types.Object, bool) {
+	if _, ok := slabPutPool(cx.pass, call); ok && len(call.Args) == 1 {
+		return rootObjOf(cx.pass, call.Args[0]), true
+	}
+	site := cx.sites[call]
+	if site == nil {
+		return nil, false
+	}
+	for j, arg := range call.Args {
+		obj := rootObjOf(cx.pass, arg)
+		if obj == nil {
+			continue
+		}
+		for _, callee := range site.Callees {
+			cs := o.prog.summary(callee)
+			if cs.releasesAll[j] {
+				return obj, true
+			}
+			if cs.releasesSome[j] {
+				return obj, false
+			}
+		}
+	}
+	return nil, false
+}
+
+func rootObjOf(pass *Pass, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Pkg.Info.Defs[id]
+}
+
+// acquisition classifies a call as producing an owned pooled buffer:
+// a direct SlabPool Get, or a callee whose summary (or registry
+// directive) borrows from a pool parameter.
+func (o *ownershipRun) acquisition(cx *nodeCtx, call *ast.CallExpr) (string, bool) {
+	if pool, ok := slabGetPool(cx.pass, call); ok {
+		return pool, true
+	}
+	fn := cx.pass.calleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	borrowIdx := -1
+	if site := cx.sites[call]; site != nil {
+		for _, callee := range site.Callees {
+			if cs := o.prog.summary(callee); cs.borrowsPool >= 0 {
+				borrowIdx = cs.borrowsPool
+			}
+		}
+	}
+	if borrowIdx < 0 {
+		if d, ok := slabDirectiveRegistry[slabFuncKey(fn)]; ok && d.kind == slabBorrow {
+			borrowIdx = slabParamIndex(fn, d.param)
+		}
+	}
+	if borrowIdx < 0 || borrowIdx >= len(call.Args) {
+		return "", false
+	}
+	pool := strings.TrimPrefix(types.ExprString(ast.Unparen(call.Args[borrowIdx])), "&")
+	return pool, true
+}
+
+// walk interprets a statement list along one path, reporting linearity
+// violations as it goes.
+func (o *ownershipRun) walk(cx *nodeCtx, stmts []ast.Stmt, st *ownState) {
+	for _, s := range stmts {
+		o.walkStmt(cx, s, st)
+	}
+}
+
+func (o *ownershipRun) walkStmt(cx *nodeCtx, s ast.Stmt, st *ownState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, isCall := ast.Unparen(s.X).(*ast.CallExpr)
+		// A release statement's own mention of the buffer is not a
+		// "use after release"; double releases get their own report.
+		if rel, _ := o.releaseTargetOf(cx, s.X); !isCall || rel == nil {
+			o.checkUses(cx, s.X, st)
+		}
+		if isCall {
+			o.applyCall(cx, call, st, nil)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			o.checkUses(cx, r, st)
+		}
+		for i, lhs := range s.Lhs {
+			// Writing through a released buffer is still a use; plain
+			// rebinding is not.
+			if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+				o.checkUses(cx, lhs, st)
+			}
+			var rhs ast.Expr
+			if i < len(s.Rhs) {
+				rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			r := ast.Unparen(rhs)
+			if se, ok := r.(*ast.SliceExpr); ok {
+				r = ast.Unparen(se.X)
+			}
+			call, ok := r.(*ast.CallExpr)
+			if !ok {
+				// Rebinding a tracked root drops its history.
+				if obj := rootObjOf(cx.pass, lhs); obj != nil {
+					delete(st.owned, obj)
+					delete(st.released, obj)
+				}
+				continue
+			}
+			o.applyCall(cx, call, st, lhs)
+		}
+	case *ast.DeferStmt:
+		// Deferred releases were prescanned; other deferred calls run at
+		// return and are not interpreted on this path.
+	case *ast.SendStmt:
+		o.checkUses(cx, s.Value, st)
+		o.applySend(cx, s, st)
+	case *ast.GoStmt:
+		o.applySpawn(cx, s, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			o.checkUses(cx, r, st)
+			// Returning a buffer transfers it to the caller.
+			if obj := rootObjOf(cx.pass, r); obj != nil {
+				delete(st.owned, obj)
+			}
+		}
+	case *ast.BlockStmt:
+		o.walk(cx, s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			o.walkStmt(cx, s.Init, st)
+		}
+		o.checkUses(cx, s.Cond, st)
+		o.walk(cx, s.Body.List, st.clone())
+		if s.Else != nil {
+			o.walkStmt(cx, s.Else, st.clone())
+		}
+		// The fall-through keeps the pre-branch state: releases inside a
+		// branch pair with uses inside that branch only. A release on one
+		// branch followed by a fall-through use is a path the checker
+		// accepts (branch-sensitive joins trade recall for zero noise).
+	case *ast.ForStmt:
+		o.walk(cx, s.Body.List, st.clone())
+	case *ast.RangeStmt:
+		o.walk(cx, s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				o.walk(cx, cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				o.walk(cx, cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				o.walk(cx, cc.Body, st.clone())
+			}
+		}
+	}
+}
+
+// applyCall handles acquisitions and releases at a call site.
+func (o *ownershipRun) applyCall(cx *nodeCtx, call *ast.CallExpr, st *ownState, lhs ast.Expr) {
+	if pool, ok := o.acquisition(cx, call); ok {
+		if lhs != nil {
+			if obj := rootObjOf(cx.pass, lhs); obj != nil {
+				st.owned[obj] = pool
+				delete(st.released, obj)
+			}
+		}
+		return
+	}
+	// The walk never interprets deferred statements, so any release seen
+	// here is an inline one; the prescan's deferredRel entries are the
+	// defers themselves.
+	obj, definite := o.releaseTarget(cx, call)
+	if obj == nil {
+		return
+	}
+	name := objName(obj)
+	if prev, ok := st.released[obj]; ok && definite {
+		o.report(cx.node.Pkg, call.Pos(), "pooled buffer %q is released more than once on this path (previous release at %s)", name, posStr(cx.node.Pkg, prev))
+	} else if dpos, ok := cx.deferredRel[obj]; ok && definite {
+		o.report(cx.node.Pkg, call.Pos(), "pooled buffer %q is released here and again by the deferred release at %s", name, posStr(cx.node.Pkg, dpos))
+	}
+	if definite {
+		st.released[obj] = call.Pos()
+	}
+	delete(st.owned, obj)
+}
+
+func objName(obj types.Object) string {
+	return obj.Name()
+}
+
+// applySend records a channel send carrying an owned buffer: ownership
+// transfers to the receiving side, which the channel fixpoint audits.
+func (o *ownershipRun) applySend(cx *nodeCtx, s *ast.SendStmt, st *ownState) {
+	obj := containsTracked(cx.pass, s.Value, st.owned)
+	if obj == nil {
+		return
+	}
+	name := objName(obj)
+	if dpos, ok := cx.deferredRel[obj]; ok {
+		o.report(cx.node.Pkg, s.Pos(), "pooled buffer %q is sent on a channel (transferring ownership) but the deferred release at %s frees it again", name, posStr(cx.node.Pkg, dpos))
+	}
+	if key, ok := chanKey(cx.pass, s.Chan); ok {
+		o.sends = append(o.sends, pooledSend{
+			chanKey: cx.node.Pkg.Path + "|" + key,
+			pos:     s.Pos(),
+			pkg:     cx.node.Pkg,
+			buf:     name,
+		})
+	}
+	delete(st.owned, obj)
+}
+
+// applySpawn checks goroutine hand-offs: an owned buffer passed to a
+// spawned function must be released or retained by it.
+func (o *ownershipRun) applySpawn(cx *nodeCtx, g *ast.GoStmt, st *ownState) {
+	for j, arg := range g.Call.Args {
+		obj := rootObjOf(cx.pass, arg)
+		if obj == nil {
+			continue
+		}
+		if _, owned := st.owned[obj]; !owned {
+			continue
+		}
+		callees, _ := o.prog.resolveCall(cx.pass, g.Call)
+		ok := false
+		for _, callee := range callees {
+			cs := o.prog.summary(callee)
+			if cs.releasesSome[j] || cs.transfersParam[j] {
+				ok = true
+			}
+		}
+		if !ok {
+			o.report(cx.node.Pkg, g.Pos(), "pooled buffer %q handed to a spawned goroutine that neither releases nor retains it (the slab leaks)", objName(obj))
+		}
+		delete(st.owned, obj)
+	}
+}
+
+// checkUses reports reads of buffers already released on this path.
+func (o *ownershipRun) checkUses(cx *nodeCtx, e ast.Expr, st *ownState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := cx.pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if pos, released := st.released[obj]; released && id.Pos() > pos {
+			o.report(cx.node.Pkg, id.Pos(), "use of pooled buffer %q after its release at %s (the pool may already have handed the slab to another goroutine)", id.Name, posStr(cx.node.Pkg, pos))
+		}
+		return true
+	})
+}
+
+// containsTracked returns the first tracked root object referenced
+// anywhere in e, nil when none.
+func containsTracked(pass *Pass, e ast.Expr, owned map[types.Object]string) types.Object {
+	var found types.Object
+	ast.Inspect(e, func(m ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				if _, ok := owned[obj]; ok {
+					found = obj
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// collectBindings records receive bindings (x := <-ch, for x := range
+// ch, case x := <-ch) so the channel fixpoint can audit the receiving
+// side of each pooled send.
+func (o *ownershipRun) collectBindings(cx *nodeCtx) {
+	pass := cx.pass
+	record := func(ch ast.Expr, bound ast.Expr) {
+		key, ok := chanKey(pass, ch)
+		if !ok {
+			return
+		}
+		obj := rootObjOf(pass, bound)
+		if obj == nil {
+			return
+		}
+		o.bindings = append(o.bindings, chanBinding{
+			chanKey: cx.node.Pkg.Path + "|" + key,
+			obj:     obj,
+			node:    cx.node,
+		})
+	}
+	shallowInspect(cx.node.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for i, r := range m.Rhs {
+				if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW && i < len(m.Lhs) {
+					record(u.X, m.Lhs[i])
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.exprType(m.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && m.Key != nil {
+					record(m.X, m.Key)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkChannels closes the "some receiving path releases or retains the
+// payload" property over channel forwards and reports pooled sends into
+// channels where no such path exists.
+func (o *ownershipRun) checkChannels() {
+	if len(o.sends) == 0 {
+		return
+	}
+	releasing := make(map[string]bool)
+	forwards := make(map[string]map[string]bool)
+	for _, b := range o.bindings {
+		discharges, fwd := o.bindingDischarges(b)
+		if discharges {
+			releasing[b.chanKey] = true
+		}
+		for _, to := range fwd {
+			if forwards[b.chanKey] == nil {
+				forwards[b.chanKey] = make(map[string]bool)
+			}
+			forwards[b.chanKey][to] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for from, tos := range forwards {
+			if releasing[from] {
+				continue
+			}
+			for _, to := range sortedBoolKeys(tos) {
+				if releasing[to] {
+					releasing[from] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, s := range o.sends {
+		if releasing[s.chanKey] {
+			continue
+		}
+		o.report(s.pkg, s.pos, "pooled buffer %q sent on a channel with no receiving path that releases or retains it (the slab leaks past the pipeline)", s.buf)
+	}
+}
+
+// bindingDischarges inspects a receiving body: does the bound value get
+// released (Put, releasing callee), retained (field store, append), or
+// forwarded to another channel?
+func (o *ownershipRun) bindingDischarges(b chanBinding) (bool, []string) {
+	pass := b.node.pass(o.prog)
+	sites := make(map[*ast.CallExpr]*CallSite, len(b.node.Calls))
+	for _, c := range b.node.Calls {
+		sites[c.Call] = c
+	}
+	discharges := false
+	var fwd []string
+	shallowInspect(b.node.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if _, ok := slabPutPool(pass, m); ok && len(m.Args) == 1 {
+				if rootObjOf(pass, m.Args[0]) == b.obj {
+					discharges = true
+				}
+				return true
+			}
+			if site := sites[m]; site != nil {
+				for j, arg := range m.Args {
+					if rootObjOf(pass, arg) != b.obj {
+						continue
+					}
+					for _, callee := range site.Callees {
+						cs := o.prog.summary(callee)
+						if cs.releasesSome[j] || cs.transfersParam[j] {
+							discharges = true
+						}
+					}
+				}
+			}
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range m.Args[1:] {
+					if rootObjOf(pass, a) == b.obj {
+						discharges = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if refsObj(pass, m.Value, b.obj) {
+				if key, ok := chanKey(pass, m.Chan); ok {
+					fwd = append(fwd, b.node.Pkg.Path+"|"+key)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if i < len(m.Rhs) && refsObj(pass, m.Rhs[i], b.obj) {
+						discharges = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return discharges, fwd
+}
+
+// refsObj reports whether e references obj anywhere.
+func refsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

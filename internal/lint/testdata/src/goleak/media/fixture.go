@@ -1,0 +1,43 @@
+// Package media is the flagging goleak fixture: spawns with no
+// statically-visible join evidence — a method draining a channel nobody
+// closes, a literal in the same position, and a cross-function wait on
+// a parameter channel with no close anywhere in the program.
+package media
+
+type relay struct {
+	inbox chan int
+}
+
+// run drains inbox, but nothing closes it and no WaitGroup brackets the
+// spawn: the goroutine is unjoinable.
+func (r *relay) run() {
+	for v := range r.inbox {
+		_ = v
+	}
+}
+
+func (r *relay) start() {
+	go r.run() // want `no statically-visible join evidence`
+}
+
+// The literal neither Dones a WaitGroup nor waits on a channel the
+// program closes.
+func tick(events chan int) {
+	go func() { // want `no statically-visible join evidence`
+		for e := range events {
+			_ = e
+		}
+	}()
+}
+
+// work waits on its parameter, but no caller ever closes the channel it
+// is handed.
+func work(done chan struct{}) {
+	<-done
+}
+
+func launch() {
+	done := make(chan struct{})
+	go work(done) // want `no statically-visible join evidence`
+	_ = done
+}

@@ -1,0 +1,90 @@
+// Package wire is the non-flagging goleak fixture: every spawn carries
+// join evidence — field and local WaitGroups (directly and through a
+// callee), parameter-passed WaitGroups mapped through the spawn
+// arguments, and waits on channels the program closes.
+package wire
+
+import "sync"
+
+type mux struct {
+	wg    sync.WaitGroup
+	tasks chan int
+	done  chan struct{}
+}
+
+// Field WaitGroup: Add at the spawn, Done in the spawned method.
+func (m *mux) start() {
+	m.wg.Add(1)
+	go m.loop()
+}
+
+func (m *mux) loop() {
+	defer m.wg.Done()
+	for t := range m.tasks {
+		_ = t
+	}
+}
+
+// Done through a callee: the join fixpoint lifts finish's Done into
+// drainLoop's summary.
+func (m *mux) drain() {
+	m.wg.Add(1)
+	go m.drainLoop()
+}
+
+func (m *mux) drainLoop() {
+	m.finish()
+}
+
+func (m *mux) finish() {
+	m.wg.Done()
+}
+
+// Closed-channel wait: stop closes done, so the watcher is joinable.
+func (m *mux) watch() {
+	go m.waitDone()
+}
+
+func (m *mux) waitDone() {
+	<-m.done
+}
+
+func (m *mux) stop() {
+	close(m.done)
+}
+
+// Local WaitGroup captured by a literal spawned in a loop.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Parameter-passed WaitGroup mapped through the spawn arguments.
+func runOne(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func runAll() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go runOne(&wg)
+	go runOne(&wg)
+	wg.Wait()
+}
+
+// Parameter-passed channel the program closes.
+func consume(stop chan struct{}) {
+	<-stop
+}
+
+func boundedConsume() {
+	stop := make(chan struct{})
+	go consume(stop)
+	close(stop)
+}

@@ -1,0 +1,84 @@
+// Package media is the flagging lockorder fixture: an undocumented
+// cross-function acquisition order reached through an intermediate
+// helper, a self-deadlocking re-acquisition through a callee, and a
+// cycle whose edges are individually documented.
+package media
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+type journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (j *journal) bump() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+}
+
+// record reaches journal.mu through touch while registry.mu is held: an
+// interprocedural edge no single function exhibits.
+func (r *registry) record(j *journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	touch(j) // want `outside the documented lock order`
+}
+
+func touch(j *journal) {
+	j.bump()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) bumpTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want `self-deadlock`
+}
+
+// Both directions are individually documented, so neither edge is
+// reported on its own — only the cycle check catches the combination.
+//
+//nslint:lock-order front.mu -> back.mu -- fixture: forward order
+//nslint:lock-order back.mu -> front.mu -- fixture: reverse order
+
+type front struct{ mu sync.Mutex }
+
+type back struct{ mu sync.Mutex }
+
+func (b *back) poke() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func (f *front) poke() {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func forward(f *front, b *back) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b.poke()
+}
+
+func reverse(f *front, b *back) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f.poke() // want `lock-order cycle`
+}

@@ -1,0 +1,52 @@
+// Package sched is the non-flagging lockorder fixture: every
+// cross-function acquisition order is documented with an in-source
+// directive, Locked-suffix callees share the caller's hold, and
+// sequential (non-nested) acquisitions produce no edges.
+package sched
+
+import "sync"
+
+//nslint:lock-order runQueue.mu -> workerSet.mu -- fixture: the queue dispatches into workers, never the reverse
+
+type runQueue struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+type workerSet struct {
+	mu   sync.Mutex
+	busy int
+}
+
+func (w *workerSet) claim() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.busy++
+}
+
+// dispatch holds the queue lock while claiming a worker: the documented
+// order.
+func (q *runQueue) dispatch(w *workerSet) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	w.claim()
+}
+
+// drainLocked runs under q.mu (the Locked suffix seeds the held set);
+// its claim calls ride the same documented edge.
+func (q *runQueue) drainLocked(w *workerSet) {
+	for range q.jobs {
+		w.claim()
+	}
+}
+
+// sequential takes the locks one after the other, never nested: no
+// ordering constraint arises.
+func sequential(q *runQueue, w *workerSet) {
+	q.mu.Lock()
+	q.jobs = nil
+	q.mu.Unlock()
+	w.mu.Lock()
+	w.busy = 0
+	w.mu.Unlock()
+}

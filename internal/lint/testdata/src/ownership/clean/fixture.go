@@ -1,0 +1,96 @@
+// Package clean is the non-flagging ownership fixture: every slab is
+// released exactly once — through callees, across branch-local early
+// returns, down multi-stage channel pipelines, and inside spawned
+// goroutines — so the analyzer must stay silent.
+package clean
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+// release takes ownership: callers hand the slab over and stop.
+func release(pool *par.SlabPool[byte], buf []byte) {
+	pool.Put(buf)
+}
+
+func callerHandsOff(pool *par.SlabPool[byte], n int) {
+	buf := pool.Get(n)
+	release(pool, buf)
+}
+
+func deferredOnly(pool *par.SlabPool[byte], n int) int {
+	buf := pool.Get(n)
+	defer pool.Put(buf)
+	return len(buf)
+}
+
+// branchRelease releases on the early-return path and again on the main
+// path; the paths never overlap.
+func branchRelease(pool *par.SlabPool[byte], n int) int {
+	buf := pool.Get(n)
+	if n > 16 {
+		pool.Put(buf)
+		return 0
+	}
+	sum := len(buf)
+	pool.Put(buf)
+	return sum
+}
+
+// The two-stage pipeline mirrors the media server's decode -> package
+// shape: decode sends into decodeCh, the middle stage forwards into
+// packageCh, and the packager releases. The obligation fixpoint has to
+// follow the forward to see the release.
+var (
+	pipePool  par.SlabPool[byte]
+	decodeCh  = make(chan []byte, 4)
+	packageCh = make(chan []byte, 4)
+)
+
+func decodeStage(n int) {
+	buf := pipePool.Get(n)
+	decodeCh <- buf
+}
+
+func middleStage() {
+	for b := range decodeCh {
+		packageCh <- b
+	}
+}
+
+func packageStage() {
+	for b := range packageCh {
+		pipePool.Put(b)
+	}
+}
+
+// worker releases the slab it is handed: the spawn transfers ownership
+// cleanly across the goroutine boundary.
+func worker(pool *par.SlabPool[byte], buf []byte) {
+	pool.Put(buf)
+}
+
+func spawnHandOff(pool *par.SlabPool[byte], n int) {
+	buf := pool.Get(n)
+	go worker(pool, buf)
+}
+
+// Retention discharges the obligation too: the sink owns the blob for
+// the rest of the program.
+type sink struct {
+	blobs [][]byte
+}
+
+var (
+	store    = &sink{}
+	retainCh = make(chan []byte, 4)
+)
+
+func sendToRetain(n int) {
+	buf := pipePool.Get(n)
+	retainCh <- buf
+}
+
+func retainStage() {
+	for b := range retainCh {
+		store.blobs = append(store.blobs, b)
+	}
+}

@@ -1,0 +1,63 @@
+// Package media is the flagging ownership fixture: double releases
+// (through a releasing callee and against a deferred release), uses
+// after release, channel sends whose receivers drop the slab, and
+// goroutine hand-offs that neither release nor retain.
+package media
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+// release returns buf to the pool on every path: a callee release the
+// caller must not repeat.
+func release(pool *par.SlabPool[byte], buf []byte) {
+	pool.Put(buf)
+}
+
+// doubleViaCallee releases through the helper, then again inline: the
+// cross-function case only the call-graph summary can see.
+func doubleViaCallee(pool *par.SlabPool[byte], n int) {
+	buf := pool.Get(n)
+	release(pool, buf)
+	pool.Put(buf) // want `released more than once on this path`
+}
+
+// inlineThenDeferred pairs an inline release with a deferred one that
+// runs on every exit.
+func inlineThenDeferred(pool *par.SlabPool[byte], n int) int {
+	buf := pool.Get(n)
+	defer pool.Put(buf)
+	sum := len(buf)
+	pool.Put(buf) // want `released here and again by the deferred release`
+	return sum
+}
+
+// useAfterRelease touches the slab in the window where the pool may
+// already have handed it to another goroutine.
+func useAfterRelease(pool *par.SlabPool[byte], n int) byte {
+	buf := pool.Get(n)
+	pool.Put(buf)
+	return buf[0] // want `use of pooled buffer "buf" after its release`
+}
+
+// leakCh's only receiver reads the payload but never returns it to a
+// pool or retains it, so a send transferring ownership loses the slab.
+var leakCh = make(chan []byte, 8)
+
+func sendToLeak(pool *par.SlabPool[byte], n int) {
+	buf := pool.Get(n)
+	leakCh <- buf // want `sent on a channel with no receiving path that releases or retains it`
+}
+
+func drainLeak() {
+	for b := range leakCh {
+		_ = len(b)
+	}
+}
+
+// consume reads the buffer but never releases it: handing an owned slab
+// to it in a goroutine leaks.
+func consume(b []byte) int { return len(b) }
+
+func spawnDrop(pool *par.SlabPool[byte], n int) {
+	buf := pool.Get(n)
+	go consume(buf) // want `handed to a spawned goroutine that neither releases nor retains it`
+}

@@ -430,6 +430,10 @@ type RemoteEnhancer struct {
 	pending map[uint32]chan callReply
 	hellos  map[uint32][]byte // encoded hello payloads for re-registration
 	closed  bool
+
+	// readerWG joins every readLoop generation at Close: closing the
+	// conn fails the blocked read, so the wait is always bounded.
+	readerWG sync.WaitGroup
 }
 
 // callReply is one demultiplexed outcome: the matched reply frame or the
@@ -479,11 +483,19 @@ func (r *RemoteEnhancer) Close() error {
 	}
 	r.mu.Unlock()
 	if conn == nil {
+		// A reader from a torn-down generation may still be mid-exit;
+		// join it before returning.
+		r.readerWG.Wait()
 		return nil
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(pickTimeout(r.callTimeout, DefaultWriteTimeout)))
 	_ = wire.Write(conn, wire.Message{Type: wire.TypeGoodbye})
-	return conn.Close()
+	err := conn.Close()
+	// Join the reader: the closed conn fails its read, failConn sees the
+	// detached state and returns, and the loop exits. Pending replies
+	// ride buffered channels, so the reader never blocks on delivery.
+	r.readerWG.Wait()
+	return err
 }
 
 // Register announces a stream to the remote enhancer. The hello is
@@ -605,6 +617,7 @@ func (r *RemoteEnhancer) reconnectLocked() error {
 	}
 	r.conn = conn
 	r.connGen++
+	r.readerWG.Add(1)
 	go r.readLoop(conn, r.connGen)
 	return nil
 }
@@ -614,7 +627,9 @@ func (r *RemoteEnhancer) reconnectLocked() error {
 // transport error — or a reply no call is waiting for — tears the
 // connection down and fails every pending call.
 func (r *RemoteEnhancer) readLoop(conn net.Conn, gen uint64) {
+	defer r.readerWG.Done()
 	for {
+		//nslint:disable connio -- demux reader blocks for the connection's lifetime by design; each call's wait is bounded by callTimeout, and Close/failConn unblock the read by closing the conn
 		msg, err := wire.Read(conn, wire.DefaultMaxPayload)
 		if err != nil {
 			r.failConn(gen, err)

@@ -190,12 +190,16 @@ func (p *EnhancerPool) Close() error {
 	p.once.Do(func() { close(p.closed) })
 	p.closeWG.Wait()
 	for _, r := range p.replicas {
+		// Detach under the replica lock, close outside it: a remote
+		// enhancer's Close takes its own locks and writes a goodbye
+		// frame, and poolReplica.mu must not be held across either.
 		r.mu.Lock()
-		if c, ok := r.enh.(io.Closer); ok {
-			_ = c.Close()
-		}
+		enh := r.enh
 		r.enh = nil
 		r.mu.Unlock()
+		if c, ok := enh.(io.Closer); ok {
+			_ = c.Close()
+		}
 	}
 	return nil
 }
@@ -475,6 +479,16 @@ func (r *poolReplica) connectLocked() error {
 
 // syncRegistrationsLocked replays hellos the replica has not seen (a
 // fresh connection, or streams registered since). Callers hold r.mu.
+//
+// The replica lock is deliberately held across the enhancer's Register
+// call: it serializes connection state and registration replay per
+// replica. The enhancer's internal locks nest strictly below it — no
+// enhancer method calls back into the pool — so the layering below is
+// part of the documented repo lock order (DESIGN.md "Invariants").
+//
+//nslint:lock-order poolReplica.mu -> LocalEnhancer.mu -- enhancer locks nest below the replica lock; enhancers never call back into the pool
+//nslint:lock-order poolReplica.mu -> RemoteEnhancer.mu -- enhancer locks nest below the replica lock; enhancers never call back into the pool
+//nslint:lock-order poolReplica.mu -> RemoteEnhancer.writeMu -- enhancer locks nest below the replica lock; enhancers never call back into the pool
 func (r *poolReplica) syncRegistrationsLocked() error {
 	p := r.pool
 	p.helloMu.Lock()
@@ -495,6 +509,7 @@ func (r *poolReplica) syncRegistrationsLocked() error {
 		return nil
 	}
 	for id, h := range pending {
+		//nslint:disable lockorder -- interface over-approximation: r.enh is a leaf enhancer handed in at pool construction, never the pool itself, so Register cannot re-enter poolReplica.mu
 		if err := reg.Register(id, h); err != nil {
 			return fmt.Errorf("register stream %d: %w", id, err)
 		}
@@ -619,14 +634,17 @@ func (r *poolReplica) dropIfUnavailable(err error) {
 	if !errors.Is(err, ErrEnhancerUnavailable) {
 		return
 	}
+	// Detach under the replica lock, close outside it (same discipline
+	// as EnhancerPool.Close).
 	r.mu.Lock()
-	if c, ok := r.enh.(io.Closer); ok {
-		_ = c.Close()
-	}
+	enh := r.enh
 	r.enh = nil
 	r.registered = nil
 	r.regEpoch = 0
 	r.mu.Unlock()
+	if c, ok := enh.(io.Closer); ok {
+		_ = c.Close()
+	}
 }
 
 // ping probes the replica (connect + optional Ping + registration

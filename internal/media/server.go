@@ -809,22 +809,33 @@ func validateAnchor(res wire.AnchorResult, packet int, st *serverStream) error {
 func (s *Server) DistributionHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /streams", func(w http.ResponseWriter, r *http.Request) {
-		var infos []StreamInfo
+		// Snapshot stream metadata under s.mu, then query the store with
+		// the lock released: Server.mu and ChunkStore.mu are never held
+		// together (DESIGN.md "Invariants").
+		type streamMeta struct {
+			id    uint32
+			hello wire.Hello
+		}
 		s.mu.Lock()
+		metas := make([]streamMeta, 0, len(s.streams))
 		for id, st := range s.streams {
-			infos = append(infos, StreamInfo{
-				StreamID:       id,
-				Width:          st.hello.Config.Width,
-				Height:         st.hello.Config.Height,
-				Scale:          st.hello.Scale,
-				FPS:            st.hello.Config.FPS,
-				Content:        st.hello.Content,
-				Chunks:         s.store.ChunkCount(id),
-				DegradedChunks: s.store.DegradedCount(id),
-				EvictedChunks:  s.store.EvictedCount(id),
-			})
+			metas = append(metas, streamMeta{id: id, hello: st.hello})
 		}
 		s.mu.Unlock()
+		var infos []StreamInfo
+		for _, m := range metas {
+			infos = append(infos, StreamInfo{
+				StreamID:       m.id,
+				Width:          m.hello.Config.Width,
+				Height:         m.hello.Config.Height,
+				Scale:          m.hello.Scale,
+				FPS:            m.hello.Config.FPS,
+				Content:        m.hello.Content,
+				Chunks:         s.store.ChunkCount(m.id),
+				DegradedChunks: s.store.DegradedCount(m.id),
+				EvictedChunks:  s.store.EvictedCount(m.id),
+			})
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(infos); err != nil {
 			s.cfg.Logf("media: encode stream list: %v", err)
