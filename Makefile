@@ -2,7 +2,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint nslint vet-nslint fuzz-smoke alloc-budget
+.PHONY: build test race lint nslint vet-nslint fuzz-smoke alloc-budget chaos-overload
 
 build:
 	go build ./...
@@ -44,3 +44,9 @@ fuzz-smoke:
 # the checked-in bench_budget.json, failing on a >10% regression.
 alloc-budget:
 	./scripts/check_alloc_budget.sh
+
+# Overload-control tier under the race detector: deadline propagation,
+# queue discipline, brownout ladder, and the burst / gray-failure chaos
+# scenarios (mirrors the chaos-overload CI job).
+chaos-overload:
+	go test -race -timeout 15m -run 'TestJobQueue|TestTokenBucket|TestBrownout|TestPoolBackoffBoundedByDeadline|TestPoolBreakerHalfOpenExactlyOnce|TestEnhancerServerTypedOverloadReplies|TestIngestTokenBucket|TestMetricsEndpoint|TestChaosOverloadBurstBoundedLatency|TestChaosGrayFailureContainedByDeadlines|TestDeadlineNoOpByteIdentical' ./internal/media

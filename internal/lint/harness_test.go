@@ -132,6 +132,18 @@ func TestOwnershipFixture(t *testing.T) { runFixture(t, Ownership, "ownership/me
 // must stay silent.
 func TestOwnershipCleanFixture(t *testing.T) { runFixture(t, Ownership, "ownership/clean") }
 
+// Deadline-bearing shed queues transfer payload ownership with the
+// entry: dropping an expired entry without releasing leaks the slab,
+// and a shed helper's release must not be repeated.
+func TestOwnershipShedQueueFixture(t *testing.T) { runFixture(t, Ownership, "ownership/shedq") }
+
+// The clean shed queue discharges every payload exactly once: shed at
+// admission, released at the expired-drop point, or forwarded through
+// the EDF stage to a releasing serve loop.
+func TestOwnershipShedQueueCleanFixture(t *testing.T) {
+	runFixture(t, Ownership, "ownership/shedqclean")
+}
+
 func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder, "lockorder/media") }
 
 // Documented edges, Locked-suffix callees, and sequential acquisitions

@@ -1,0 +1,67 @@
+// Package shedq is the flagging fixture for deadline-bearing queue
+// ownership transfer: enqueueing a pooled payload hands it to the shed
+// queue, so a pop loop that drops expired entries on the floor leaks
+// the slab, and a shed path that already released through a helper
+// must not release again.
+package shedq
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+// entry is one queued job: a deadline tick plus the pooled payload the
+// queue owns once the entry is admitted.
+type entry struct {
+	deadlineTick int64
+	payload      []byte
+}
+
+var (
+	pool    par.SlabPool[byte]
+	queueCh = make(chan entry, 8)
+)
+
+// enqueue transfers ownership of the payload into the queue. No pop
+// path below ever releases or retains it, so the slab is lost whether
+// the entry expires or serves.
+func enqueue(tick int64, n int) {
+	buf := pool.Get(n)
+	queueCh <- entry{deadlineTick: tick, payload: buf} // want `sent on a channel with no receiving path that releases or retains it`
+}
+
+// popLoop drops expired entries without returning the slab and serves
+// fresh ones through a consumer that never releases either.
+func popLoop(now int64) {
+	for e := range queueCh {
+		if e.deadlineTick < now {
+			continue // expired: dropped on the floor
+		}
+		serve(e.payload)
+	}
+}
+
+// serve reads the payload but neither releases nor retains it.
+func serve(b []byte) int { return len(b) }
+
+// shedExpired returns an expired payload to the pool on every path: the
+// shed helper owns the slab once called.
+func shedExpired(p *par.SlabPool[byte], buf []byte) {
+	p.Put(buf)
+}
+
+// doubleShed sheds an expired payload through the helper, then releases
+// again inline: the cross-function double free only the call-graph
+// summary can see.
+func doubleShed(tick, now int64, n int) {
+	buf := pool.Get(n)
+	if tick < now {
+		shedExpired(&pool, buf)
+		pool.Put(buf) // want `released more than once on this path`
+	}
+}
+
+// useAfterShed touches a payload after the shed helper released it: the
+// pool may already have handed the slab to another goroutine.
+func useAfterShed(n int) byte {
+	buf := pool.Get(n)
+	shedExpired(&pool, buf)
+	return buf[0] // want `use of pooled buffer "buf" after its release`
+}

@@ -1,0 +1,59 @@
+// Package shedqclean is the non-flagging fixture for deadline-bearing
+// queue ownership transfer: every path out of the shed queue discharges
+// the payload exactly once — shed at admission returns it to the pool,
+// expired entries release at the drop point, and live entries forward
+// through the EDF stage to a releasing serve loop.
+package shedqclean
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+// entry is one queued job: a deadline tick plus the pooled payload
+// whose ownership rides the queue entry.
+type entry struct {
+	deadlineTick int64
+	payload      []byte
+}
+
+var (
+	pool    par.SlabPool[byte]
+	admitCh = make(chan entry, 8)
+	serveCh = make(chan entry, 8)
+)
+
+// pushOrShed admits the payload into the queue or, when the queue is
+// full, releases it at the shed point before reporting backpressure.
+func pushOrShed(tick int64, n int, full bool) bool {
+	buf := pool.Get(n)
+	if full {
+		pool.Put(buf)
+		return false
+	}
+	admitCh <- entry{deadlineTick: tick, payload: buf}
+	return true
+}
+
+// reorder is the EDF stage: expired entries release at the drop point,
+// live ones forward to the serving loop. The obligation fixpoint has to
+// follow the forward to see the final release.
+func reorder(now int64) {
+	for e := range admitCh {
+		if e.deadlineTick < now {
+			pool.Put(e.payload)
+			continue
+		}
+		serveCh <- e
+	}
+}
+
+// serveLoop hands every served payload to the releasing consumer.
+func serveLoop() {
+	for e := range serveCh {
+		serve(&pool, e.payload)
+	}
+}
+
+// serve consumes the payload and returns it to the pool: ownership ends
+// here on every path.
+func serve(p *par.SlabPool[byte], b []byte) {
+	p.Put(b)
+}

@@ -1,0 +1,179 @@
+package media
+
+import (
+	"sync"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/sched"
+)
+
+// Brownout levels. Each level includes every action of the levels below
+// it, so the ladder degrades monotonically: first spend less GPU per
+// chunk, then amortize dispatches harder, and only then stop enhancing
+// low-priority streams altogether.
+const (
+	// BrownoutOff is the steady state: no degradation.
+	BrownoutOff = 0
+	// BrownoutShrink halves the effective anchor fraction via the
+	// scheduler budget (half the anchors per chunk).
+	BrownoutShrink = 1
+	// BrownoutBatch additionally doubles the effective anchor batch size
+	// (fewer, larger dispatches per chunk).
+	BrownoutBatch = 2
+	// BrownoutFloor additionally degrades whole chunks of low-priority
+	// (background) streams to the bilinear floor: their anchors are not
+	// enhanced at all.
+	BrownoutFloor = 3
+)
+
+// BrownoutConfig tunes the hysteretic load controller.
+type BrownoutConfig struct {
+	// HighDelay is the measured queue delay (ingest admit → decode
+	// start) above which the controller steps one level up. Zero
+	// disables the controller entirely.
+	HighDelay time.Duration
+	// LowDelay is the queue delay below which the controller may step
+	// back down. Zero defaults to HighDelay/4. The gap between the two
+	// is the hysteresis band: delays inside it hold the current level.
+	LowDelay time.Duration
+	// HoldOff is the minimum dwell between level changes, so one bursty
+	// chunk cannot ratchet the ladder to the floor (or a single fast
+	// chunk collapse it). Zero defaults to one second.
+	HoldOff time.Duration
+	// MaxLevel caps the ladder (BrownoutFloor by default). A deployment
+	// that must never floor chunks sets BrownoutBatch.
+	MaxLevel int
+	// MaxOccupancy is the in-flight anchor occupancy (0..1) above which
+	// the controller refuses to step down even under low delay — the
+	// backlog has not actually drained. Zero defaults to 0.5.
+	MaxOccupancy float64
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.LowDelay <= 0 {
+		c.LowDelay = c.HighDelay / 4
+	}
+	if c.HoldOff <= 0 {
+		c.HoldOff = time.Second
+	}
+	if c.MaxLevel <= 0 || c.MaxLevel > BrownoutFloor {
+		c.MaxLevel = BrownoutFloor
+	}
+	if c.MaxOccupancy <= 0 || c.MaxOccupancy > 1 {
+		c.MaxOccupancy = 0.5
+	}
+	return c
+}
+
+// brownout is the hysteretic overload ladder. Every decoded chunk feeds
+// one observation (its measured queue delay plus the dispatcher's
+// in-flight occupancy); the controller steps one level at a time with a
+// dwell period between steps, up on sustained high delay, down only
+// when delay is low and the backlog has drained.
+//
+// A nil *brownout (controller disabled) is a valid no-op receiver: the
+// level is always BrownoutOff and observations are discarded.
+type brownout struct {
+	cfg    BrownoutConfig
+	budget *sched.Budget
+
+	mu sync.Mutex
+	// level and lastStep are guarded by mu.
+	level    int
+	lastStep time.Time
+
+	transitions [BrownoutFloor + 1]uint64 // step-up entries per level, guarded by mu
+}
+
+// newBrownout builds a controller driving budget; nil when cfg.HighDelay
+// is zero (disabled).
+func newBrownout(cfg BrownoutConfig, budget *sched.Budget) *brownout {
+	if cfg.HighDelay <= 0 {
+		return nil
+	}
+	return &brownout{cfg: cfg.withDefaults(), budget: budget}
+}
+
+// Level reports the current brownout level.
+func (b *brownout) Level() int {
+	if b == nil {
+		return BrownoutOff
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level
+}
+
+// Transitions reports how many times each level was stepped into (index
+// = level; index 0 counts recoveries to BrownoutOff).
+func (b *brownout) Transitions() []uint64 {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]uint64, len(b.transitions))
+	copy(out, b.transitions[:])
+	return out
+}
+
+// observe feeds one chunk's measured queue delay and the current
+// in-flight occupancy (0..1) at time now, stepping the ladder at most
+// one level per HoldOff dwell.
+func (b *brownout) observe(now time.Time, queueDelay time.Duration, occupancy float64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.lastStep.IsZero() && now.Sub(b.lastStep) < b.cfg.HoldOff {
+		return
+	}
+	switch {
+	case queueDelay > b.cfg.HighDelay && b.level < b.cfg.MaxLevel:
+		b.setLevelLocked(b.level+1, now)
+	case queueDelay < b.cfg.LowDelay && occupancy < b.cfg.MaxOccupancy && b.level > BrownoutOff:
+		b.setLevelLocked(b.level-1, now)
+	}
+}
+
+// setLevelLocked applies a level change to the scheduler budget. Callers
+// hold b.mu. The budget update happens under b.mu so the observed level
+// and the effective fraction can never disagree.
+//
+//nslint:lock-order brownout.mu -> Budget.mu -- Budget.mu is a leaf: SetGlobalScale/Fraction never call out of sched, so no path can close a cycle back to brownout.mu
+func (b *brownout) setLevelLocked(level int, now time.Time) {
+	b.level = level
+	b.lastStep = now
+	b.transitions[level]++
+	if level >= BrownoutShrink {
+		b.budget.SetGlobalScale(0.5)
+	} else {
+		b.budget.SetGlobalScale(1)
+	}
+}
+
+// batchBoost reports the multiplier for the effective MaxAnchorBatch at
+// the current level (1 = no boost).
+func (b *brownout) batchBoost() int {
+	if b == nil {
+		return 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.level >= BrownoutBatch {
+		return 2
+	}
+	return 1
+}
+
+// floorLowPriority reports whether low-priority streams should be
+// degraded to the bilinear floor at the current level.
+func (b *brownout) floorLowPriority() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.level >= BrownoutFloor
+}

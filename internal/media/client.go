@@ -32,6 +32,13 @@ type Streamer struct {
 	// broadcaster. Zero keeps the historical unbounded behaviour.
 	Timeout time.Duration
 
+	// ChunkBudget, when positive, stamps every uploaded chunk with a
+	// deadline budget: the server's whole admit-to-store allowance for
+	// the chunk (decode, enhancement, packaging). Budgeted chunks travel
+	// in a versioned frame extension; zero keeps the upload bytes
+	// identical to the legacy wire format.
+	ChunkBudget time.Duration
+
 	// Ack demultiplexing for pipelined sends: the server replies in
 	// arrival order, so outstanding sends form a FIFO queue that a
 	// single reader goroutine drains. The queue state below is
@@ -153,6 +160,7 @@ func (s *Streamer) SendChunkAsync(frames []*frame.Frame) (*PendingAck, error) {
 		StreamID: s.streamID,
 		Seq:      s.seq,
 		Payload:  wire.EncodeChunk(raw),
+		Budget:   s.ChunkBudget,
 	}
 	ch, err := s.enqueueReply(wire.TypeAck)
 	if err != nil {
@@ -243,7 +251,10 @@ func (s *Streamer) readReplies() {
 		case pr.want:
 			pr.ch <- ackOutcome{seq: int(reply.Seq)}
 		case wire.TypeError:
-			pr.ch <- ackOutcome{err: fmt.Errorf("media: chunk rejected: %s", reply.Payload)}
+			// Typed overload replies (shed, deadline) surface as their
+			// sentinels so the broadcaster can tell backpressure from a
+			// protocol failure.
+			pr.ch <- ackOutcome{err: remoteError("media: chunk rejected", reply.Payload)}
 		default:
 			pr.ch <- ackOutcome{err: fmt.Errorf("media: unexpected reply %v (want %v)", reply.Type, pr.want)}
 		}

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/icodec"
@@ -30,6 +31,12 @@ const (
 	// jobs an EnhancerServer processes concurrently: the per-replica
 	// concurrency a multiplexing client can extract from one replica.
 	DefaultEnhancerJobConcurrency = 4
+	// DefaultEnhancerJobQueueDepth bounds the per-connection backlog of
+	// anchor dispatches waiting for a worker. Beyond it the replica sheds
+	// (typed ErrShed reply) instead of queueing without bound — queue
+	// delay a replica can never serve within a deadline is better spent
+	// telling the pool to fail over.
+	DefaultEnhancerJobQueueDepth = 64
 )
 
 // pickTimeout resolves a configured timeout: zero selects the default,
@@ -112,8 +119,13 @@ func (e *LocalEnhancer) Register(streamID uint32, h wire.Hello) error {
 	return nil
 }
 
-// Enhance implements AnchorEnhancer.
+// Enhance implements AnchorEnhancer. A job whose deadline has already
+// passed is skipped with ErrDeadlineExceeded before any inference runs:
+// enhancing a frame nobody can ship is pure waste under overload.
 func (e *LocalEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error) {
+	if expired(job.Deadline, time.Now()) {
+		return wire.AnchorResult{}, fmt.Errorf("media: enhance stream %d packet %d: %w", streamID, job.Packet, ErrDeadlineExceeded)
+	}
 	e.mu.Lock()
 	m, ok := e.models[streamID]
 	e.mu.Unlock()
@@ -156,8 +168,21 @@ type EnhancerServerConfig struct {
 	// many RPCs through one replica). Zero uses
 	// DefaultEnhancerJobConcurrency; 1 or negative serializes jobs.
 	MaxConcurrentJobs int
+	// JobQueueDepth bounds the per-connection backlog of dispatches
+	// waiting for a worker; a full queue sheds new jobs with a typed
+	// ErrShed reply instead of queueing without bound. Zero uses
+	// DefaultEnhancerJobQueueDepth; 1 or negative allows one waiter.
+	JobQueueDepth int
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...any)
+}
+
+// EnhancerServerCounters snapshots one replica's overload-control
+// activity: jobs rejected at admission (queue full) and jobs dropped at
+// dequeue because their deadline had already expired.
+type EnhancerServerCounters struct {
+	JobsShed    uint64 `json:"jobs_shed"`
+	JobsExpired uint64 `json:"jobs_expired"`
 }
 
 // EnhancerServer exposes a LocalEnhancer over TCP using the wire
@@ -171,8 +196,19 @@ type EnhancerServer struct {
 	ln       net.Listener
 	cfg      EnhancerServerConfig
 
+	jobsShed    atomic.Uint64
+	jobsExpired atomic.Uint64
+
 	wg     sync.WaitGroup
 	closed chan struct{}
+}
+
+// Counters snapshots the server's overload-control counters.
+func (s *EnhancerServer) Counters() EnhancerServerCounters {
+	return EnhancerServerCounters{
+		JobsShed:    s.jobsShed.Load(),
+		JobsExpired: s.jobsExpired.Load(),
+	}
 }
 
 // NewEnhancerServer starts serving on addr (use "127.0.0.1:0" for tests)
@@ -196,6 +232,12 @@ func NewEnhancerServerWith(addr string, enhancer *LocalEnhancer, cfg EnhancerSer
 	}
 	if cfg.MaxConcurrentJobs < 1 {
 		cfg.MaxConcurrentJobs = 1
+	}
+	if cfg.JobQueueDepth == 0 {
+		cfg.JobQueueDepth = DefaultEnhancerJobQueueDepth
+	}
+	if cfg.JobQueueDepth < 1 {
+		cfg.JobQueueDepth = 1
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -275,16 +317,29 @@ func (w *connWriter) writeError(msg wire.Message, cause error) error {
 
 // serveConn demultiplexes one client connection: hellos and pings are
 // answered inline (a hello must land before the jobs that rely on it),
-// anchor jobs fan out to bounded concurrent workers that reply with the
-// job's Seq on completion. Job-level failures (unregistered stream,
-// model error) answer TypeError and keep the connection alive so other
-// in-flight jobs are unaffected; protocol-level failures (undecodable
-// payloads, unexpected types) drop the connection.
+// anchor jobs land in a bounded earliest-deadline-first queue served by
+// MaxConcurrentJobs workers that reply with the job's Seq on
+// completion. A full queue sheds the job with a typed ErrShed reply,
+// and workers drop entries whose deadline expired while queued with a
+// typed ErrDeadlineExceeded reply — replies are demultiplexed by Seq,
+// so out-of-order shed/expiry answers are harmless. Job-level failures
+// (unregistered stream, model error) answer TypeError and keep the
+// connection alive so other in-flight jobs are unaffected;
+// protocol-level failures (undecodable payloads, unexpected types) drop
+// the connection.
 func (s *EnhancerServer) serveConn(conn net.Conn) error {
 	w := &connWriter{conn: conn, timeout: s.cfg.WriteTimeout}
-	slots := make(chan struct{}, s.cfg.MaxConcurrentJobs)
+	queue := newJobQueue(s.cfg.JobQueueDepth)
 	var jobs sync.WaitGroup
 	defer jobs.Wait()
+	defer queue.close()
+	for i := 0; i < s.cfg.MaxConcurrentJobs; i++ {
+		jobs.Add(1)
+		go func() {
+			defer jobs.Done()
+			s.jobWorker(queue, w)
+		}()
+	}
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
@@ -318,77 +373,33 @@ func (s *EnhancerServer) serveConn(conn net.Conn) error {
 				_ = w.writeError(msg, err)
 				return err
 			}
-			slots <- struct{}{}
-			jobs.Add(1)
-			go func(msg wire.Message, job wire.AnchorJob) {
-				defer jobs.Done()
-				defer func() { <-slots }()
-				res, err := s.enhancer.Enhance(msg.StreamID, job)
-				if err != nil {
-					if werr := w.writeError(msg, err); werr != nil {
-						s.cfg.Logf("media: enhancer reply: %v", werr)
-					}
-					return
-				}
-				reply := wire.Message{
-					Type:     wire.TypeAnchorResult,
-					StreamID: msg.StreamID,
-					Seq:      msg.Seq,
-					Payload:  wire.EncodeAnchorResult(res),
-				}
-				if err := w.write(reply); err != nil {
-					s.cfg.Logf("media: enhancer reply: %v", err)
-				}
-			}(msg, job)
+			now := time.Now()
+			entry := &jobEntry{msg: msg, job: job, enqueued: now}
+			if msg.Budget > 0 {
+				// The wire budget is relative; re-derive the local deadline
+				// from arrival time so peer clock skew never leaks in.
+				entry.deadline = now.Add(msg.Budget)
+				entry.job.Deadline = entry.deadline
+			}
+			s.admit(queue, w, entry)
 		case wire.TypeAnchorBatchJob:
 			batch, err := wire.DecodeAnchorBatchJob(msg.Payload)
 			if err != nil {
 				_ = w.writeError(msg, err)
 				return err
 			}
-			// A batch is one dispatch: it occupies a single concurrency
-			// slot regardless of its size — that amortization is the point
-			// of batching (§6.2 context-switch elimination).
-			slots <- struct{}{}
-			jobs.Add(1)
-			go func(msg wire.Message, batch []wire.AnchorJob) {
-				defer jobs.Done()
-				defer func() { <-slots }()
-				outs, err := s.enhancer.EnhanceBatch(msg.StreamID, batch)
-				if err != nil {
-					if werr := w.writeError(msg, err); werr != nil {
-						s.cfg.Logf("media: enhancer reply: %v", werr)
-					}
-					return
+			// A batch is one dispatch: it occupies a single worker
+			// regardless of its size — that amortization is the point of
+			// batching (§6.2 context-switch elimination).
+			now := time.Now()
+			entry := &jobEntry{msg: msg, batch: batch, enqueued: now}
+			if msg.Budget > 0 {
+				entry.deadline = now.Add(msg.Budget)
+				for i := range entry.batch {
+					entry.batch[i].Deadline = entry.deadline
 				}
-				wouts := make([]wire.AnchorBatchOutcome, len(outs))
-				for i, o := range outs {
-					if o.Err != nil {
-						wouts[i] = wire.AnchorBatchOutcome{
-							Res: wire.AnchorResult{Packet: batch[i].Packet},
-							Err: o.Err.Error(),
-						}
-					} else {
-						wouts[i] = wire.AnchorBatchOutcome{Res: o.Res}
-					}
-				}
-				payload, err := wire.EncodeAnchorBatchResult(wouts)
-				if err != nil {
-					if werr := w.writeError(msg, err); werr != nil {
-						s.cfg.Logf("media: enhancer reply: %v", werr)
-					}
-					return
-				}
-				reply := wire.Message{
-					Type:     wire.TypeAnchorBatchResult,
-					StreamID: msg.StreamID,
-					Seq:      msg.Seq,
-					Payload:  payload,
-				}
-				if err := w.write(reply); err != nil {
-					s.cfg.Logf("media: enhancer reply: %v", err)
-				}
-			}(msg, batch)
+			}
+			s.admit(queue, w, entry)
 		case wire.TypePing:
 			if err := w.write(wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 				return err
@@ -400,6 +411,107 @@ func (s *EnhancerServer) serveConn(conn net.Conn) error {
 			_ = w.writeError(msg, err)
 			return err
 		}
+	}
+}
+
+// admit pushes one dispatch into the connection's job queue, answering
+// a full queue with a typed shed reply so the client's pool fails over
+// instead of waiting on a backlog this replica cannot clear in time.
+func (s *EnhancerServer) admit(queue *jobQueue, w *connWriter, entry *jobEntry) {
+	if queue.push(entry) {
+		return
+	}
+	s.jobsShed.Add(1)
+	err := fmt.Errorf("media: job queue full (depth %d): %w", s.cfg.JobQueueDepth, ErrShed)
+	if werr := w.writeError(entry.msg, err); werr != nil {
+		s.cfg.Logf("media: enhancer reply: %v", werr)
+	}
+}
+
+// jobWorker serves one connection's queue until it closes: expired
+// entries are dropped at dequeue with a typed deadline reply, live ones
+// run on the enhancer and answer with the request's Seq.
+func (s *EnhancerServer) jobWorker(queue *jobQueue, w *connWriter) {
+	for {
+		e, ok := queue.pop()
+		if !ok {
+			return
+		}
+		if expired(e.deadline, time.Now()) {
+			s.jobsExpired.Add(1)
+			err := fmt.Errorf("media: job expired after %v in queue: %w", time.Since(e.enqueued).Round(time.Microsecond), ErrDeadlineExceeded)
+			if werr := w.writeError(e.msg, err); werr != nil {
+				s.cfg.Logf("media: enhancer reply: %v", werr)
+			}
+			continue
+		}
+		if e.batch != nil {
+			s.runBatch(w, e.msg, e.batch)
+		} else {
+			s.runJob(w, e.msg, e.job)
+		}
+	}
+}
+
+func (s *EnhancerServer) runJob(w *connWriter, msg wire.Message, job wire.AnchorJob) {
+	res, err := s.enhancer.Enhance(msg.StreamID, job)
+	if err != nil {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			s.jobsExpired.Add(1)
+		}
+		if werr := w.writeError(msg, err); werr != nil {
+			s.cfg.Logf("media: enhancer reply: %v", werr)
+		}
+		return
+	}
+	reply := wire.Message{
+		Type:     wire.TypeAnchorResult,
+		StreamID: msg.StreamID,
+		Seq:      msg.Seq,
+		Payload:  wire.EncodeAnchorResult(res),
+	}
+	if err := w.write(reply); err != nil {
+		s.cfg.Logf("media: enhancer reply: %v", err)
+	}
+}
+
+func (s *EnhancerServer) runBatch(w *connWriter, msg wire.Message, batch []wire.AnchorJob) {
+	outs, err := s.enhancer.EnhanceBatch(msg.StreamID, batch)
+	if err != nil {
+		if werr := w.writeError(msg, err); werr != nil {
+			s.cfg.Logf("media: enhancer reply: %v", werr)
+		}
+		return
+	}
+	wouts := make([]wire.AnchorBatchOutcome, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			if errors.Is(o.Err, ErrDeadlineExceeded) {
+				s.jobsExpired.Add(1)
+			}
+			wouts[i] = wire.AnchorBatchOutcome{
+				Res: wire.AnchorResult{Packet: batch[i].Packet},
+				Err: o.Err.Error(),
+			}
+		} else {
+			wouts[i] = wire.AnchorBatchOutcome{Res: o.Res}
+		}
+	}
+	payload, err := wire.EncodeAnchorBatchResult(wouts)
+	if err != nil {
+		if werr := w.writeError(msg, err); werr != nil {
+			s.cfg.Logf("media: enhancer reply: %v", werr)
+		}
+		return
+	}
+	reply := wire.Message{
+		Type:     wire.TypeAnchorBatchResult,
+		StreamID: msg.StreamID,
+		Seq:      msg.Seq,
+		Payload:  payload,
+	}
+	if err := w.write(reply); err != nil {
+		s.cfg.Logf("media: enhancer reply: %v", err)
 	}
 }
 
@@ -518,12 +630,20 @@ func (r *RemoteEnhancer) Register(streamID uint32, h wire.Hello) error {
 	return nil
 }
 
-// Enhance implements AnchorEnhancer.
+// Enhance implements AnchorEnhancer. A job with a deadline ships its
+// remaining budget on the wire so the replica can queue and expire it
+// deadline-aware; an already-expired job fails locally without spending
+// a round trip (a near-zero budget would only trip the call timer and
+// tear down the shared connection).
 func (r *RemoteEnhancer) Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error) {
+	if expired(job.Deadline, time.Now()) {
+		return wire.AnchorResult{}, fmt.Errorf("media: enhance stream %d packet %d: %w", streamID, job.Packet, ErrDeadlineExceeded)
+	}
 	reply, err := r.call(wire.Message{
 		Type:     wire.TypeAnchorJob,
 		StreamID: streamID,
 		Payload:  wire.EncodeAnchorJob(job),
+		Budget:   jobBudget(job.Deadline, time.Now()),
 	})
 	if err != nil {
 		return wire.AnchorResult{}, err
@@ -543,10 +663,14 @@ func (r *RemoteEnhancer) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([
 	if len(jobs) == 0 {
 		return nil, nil
 	}
+	if expired(minJobDeadline(jobs), time.Now()) {
+		return nil, fmt.Errorf("media: enhance batch stream %d: %w", streamID, ErrDeadlineExceeded)
+	}
 	reply, err := r.call(wire.Message{
 		Type:     wire.TypeAnchorBatchJob,
 		StreamID: streamID,
 		Payload:  wire.EncodeAnchorBatchJob(jobs),
+		Budget:   jobBudget(minJobDeadline(jobs), time.Now()),
 	})
 	if err != nil {
 		return nil, err
@@ -564,7 +688,7 @@ func (r *RemoteEnhancer) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([
 	outs := make([]AnchorOutcome, len(jobs))
 	for i, o := range wouts {
 		if o.Err != "" {
-			outs[i].Err = fmt.Errorf("media: remote: %s", o.Err)
+			outs[i].Err = remoteError("media: remote", []byte(o.Err))
 		} else {
 			outs[i].Res = o.Res
 		}
@@ -677,7 +801,9 @@ func (r *RemoteEnhancer) failPendingLocked(cause error) {
 // call performs one request/response over the multiplexed connection:
 // register a pending slot under a fresh Seq, write the frame, and wait
 // for the demultiplexer to deliver the matching reply (or the transport
-// failure that voided it), bounded by the call timeout.
+// failure that voided it), bounded by the call timeout — tightened to
+// the frame's deadline budget when one is set, since waiting past the
+// chunk's deadline for a reply nobody can use just holds the slot open.
 func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
 	r.mu.Lock()
 	if r.closed {
@@ -696,12 +822,17 @@ func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
 	r.pending[msg.Seq] = ch
 	r.mu.Unlock()
 
+	wait := r.callTimeout
+	if msg.Budget > 0 && (wait <= 0 || msg.Budget < wait) {
+		wait = msg.Budget
+	}
+
 	r.writeMu.Lock()
-	if r.callTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(r.callTimeout))
+	if wait > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wait))
 	}
 	err := wire.Write(conn, msg)
-	if r.callTimeout > 0 {
+	if wait > 0 {
 		_ = conn.SetWriteDeadline(time.Time{})
 	}
 	r.writeMu.Unlock()
@@ -713,13 +844,13 @@ func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
 	}
 
 	var reply callReply
-	if r.callTimeout > 0 {
-		timer := time.NewTimer(r.callTimeout)
+	if wait > 0 {
+		timer := time.NewTimer(wait)
 		select {
 		case reply = <-ch:
 			timer.Stop()
 		case <-timer.C:
-			r.failConn(gen, fmt.Errorf("call timed out after %v", r.callTimeout))
+			r.failConn(gen, fmt.Errorf("call timed out after %v", wait))
 			reply = <-ch // failConn delivered; or the reply raced in first
 		}
 	} else {
@@ -729,7 +860,7 @@ func (r *RemoteEnhancer) call(msg wire.Message) (wire.Message, error) {
 		return wire.Message{}, fmt.Errorf("media: enhancer call: %v: %w", reply.err, ErrEnhancerUnavailable)
 	}
 	if reply.msg.Type == wire.TypeError {
-		return wire.Message{}, fmt.Errorf("media: remote: %s", reply.msg.Payload)
+		return wire.Message{}, remoteError("media: remote", reply.msg.Payload)
 	}
 	return reply.msg, nil
 }

@@ -1,0 +1,109 @@
+package media
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a fixed-bucket latency histogram with lock-free
+// observation: per-bucket counters plus a running sum and max. The max
+// stands in for the +Inf bucket's upper bound when reading quantiles,
+// so a p99 pulled from the histogram is never reported lower than an
+// observation that actually happened.
+type latencyHist struct {
+	bounds []time.Duration // ascending upper bounds; one extra +Inf bucket
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Int64    // nanoseconds
+	max    atomic.Int64    // nanoseconds
+}
+
+// defaultLatencyBounds spans sub-millisecond queue blips to multi-second
+// overload tails (1ms..8s, doubling).
+func defaultLatencyBounds() []time.Duration {
+	bounds := make([]time.Duration, 0, 14)
+	for d := time.Millisecond; d <= 8*time.Second; d *= 2 {
+		bounds = append(bounds, d)
+	}
+	return bounds
+}
+
+func newLatencyHist() *latencyHist {
+	bounds := defaultLatencyBounds()
+	return &latencyHist{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// observe records one latency sample.
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// count reports the total number of observations.
+func (h *latencyHist) count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// quantile reports an upper bound for the q-quantile (0 < q <= 1): the
+// upper bound of the bucket holding the rank-q observation, with the
+// recorded max standing in for the +Inf bucket. Zero observations yield
+// zero.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	total := h.count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// writePrometheus emits the histogram in Prometheus text exposition
+// format (cumulative le buckets in seconds) under name.
+func (h *latencyHist) writePrometheus(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b.Seconds(), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.sum.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// writeCounter emits one Prometheus counter.
+func writeCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// writeGauge emits one Prometheus gauge.
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}

@@ -114,19 +114,21 @@ func TCPReplica(addr string, dialTimeout, callTimeout time.Duration) Replica {
 
 // PoolCounters is a snapshot of a pool's fault-handling activity.
 type PoolCounters struct {
-	Calls         uint64 `json:"calls"`
-	Retries       uint64 `json:"retries"`
-	Failovers     uint64 `json:"failovers"`
-	BreakerOpens  uint64 `json:"breaker_opens"`
-	BreakerCloses uint64 `json:"breaker_closes"`
-	Heartbeats    uint64 `json:"heartbeats"`
-	Unavailable   uint64 `json:"unavailable"`
+	Calls           uint64 `json:"calls"`
+	Retries         uint64 `json:"retries"`
+	Failovers       uint64 `json:"failovers"`
+	BreakerOpens    uint64 `json:"breaker_opens"`
+	BreakerCloses   uint64 `json:"breaker_closes"`
+	Heartbeats      uint64 `json:"heartbeats"`
+	Unavailable     uint64 `json:"unavailable"`
+	DeadlineExpired uint64 `json:"deadline_expired"`
 }
 
 type poolCounters struct {
 	calls, retries, failovers   atomic.Uint64
 	breakerOpens, breakerCloses atomic.Uint64
 	heartbeats, unavailable     atomic.Uint64
+	deadlineExpired             atomic.Uint64
 }
 
 // EnhancerPool is an AnchorEnhancer over N replicas with bounded retry
@@ -210,13 +212,14 @@ func (p *EnhancerPool) Size() int { return len(p.replicas) }
 // Counters returns a snapshot of the pool's activity.
 func (p *EnhancerPool) Counters() PoolCounters {
 	return PoolCounters{
-		Calls:         p.counters.calls.Load(),
-		Retries:       p.counters.retries.Load(),
-		Failovers:     p.counters.failovers.Load(),
-		BreakerOpens:  p.counters.breakerOpens.Load(),
-		BreakerCloses: p.counters.breakerCloses.Load(),
-		Heartbeats:    p.counters.heartbeats.Load(),
-		Unavailable:   p.counters.unavailable.Load(),
+		Calls:           p.counters.calls.Load(),
+		Retries:         p.counters.retries.Load(),
+		Failovers:       p.counters.failovers.Load(),
+		BreakerOpens:    p.counters.breakerOpens.Load(),
+		BreakerCloses:   p.counters.breakerCloses.Load(),
+		Heartbeats:      p.counters.heartbeats.Load(),
+		Unavailable:     p.counters.unavailable.Load(),
+		DeadlineExpired: p.counters.deadlineExpired.Load(),
 	}
 }
 
@@ -254,15 +257,48 @@ func (p *EnhancerPool) Register(streamID uint32, h wire.Hello) error {
 
 // Enhance implements AnchorEnhancer with retry, failover, and breaker
 // bookkeeping. Attempts prefer replicas not yet tried for this job.
+//
+// A job without a deadline gets the legacy fixed ladder: MaxRetries+1
+// attempts with full jittered backoff between them. A job with a
+// deadline is instead capped by its remaining budget — attempts keep
+// going while budget remains (even past MaxRetries, since a healthy
+// replica may still land the anchor in time), every backoff sleep is
+// truncated to the remaining budget, and the ladder exits with a typed
+// ErrDeadlineExceeded the moment the budget runs out. Sleeping past the
+// chunk's deadline to honor a fixed attempt count would only delay the
+// degraded chunk it ships regardless.
 func (p *EnhancerPool) Enhance(streamID uint32, job wire.AnchorJob) (wire.AnchorResult, error) {
 	p.counters.calls.Add(1)
+	deadline := job.Deadline
+	if expired(deadline, time.Now()) {
+		p.counters.deadlineExpired.Add(1)
+		return wire.AnchorResult{}, fmt.Errorf("media: anchor %d of stream %d: budget spent before first attempt: %w",
+			job.Packet, streamID, ErrDeadlineExceeded)
+	}
 	attempts := p.cfg.MaxRetries + 1
 	tried := make(map[*poolReplica]bool, len(p.replicas))
 	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
+	attempt := 0
+	for {
 		if attempt > 0 {
+			if deadline.IsZero() && attempt >= attempts {
+				break
+			}
+			d := p.backoff(attempt - 1)
+			if !deadline.IsZero() {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					break
+				}
+				if d > remaining {
+					d = remaining
+				}
+			}
 			p.counters.retries.Add(1)
-			time.Sleep(p.backoff(attempt - 1))
+			time.Sleep(d)
+			if expired(deadline, time.Now()) {
+				break
+			}
 		}
 		rep := p.next(tried)
 		if rep == nil {
@@ -273,6 +309,7 @@ func (p *EnhancerPool) Enhance(streamID uint32, job wire.AnchorJob) (wire.Anchor
 		}
 		if rep == nil {
 			lastErr = fmt.Errorf("all %d breakers open", len(p.replicas))
+			attempt++
 			continue
 		}
 		tried[rep] = true
@@ -285,6 +322,12 @@ func (p *EnhancerPool) Enhance(streamID uint32, job wire.AnchorJob) (wire.Anchor
 		}
 		lastErr = err
 		p.cfg.Logf("media: pool replica %s anchor %d stream %d: %v", rep.id, job.Packet, streamID, err)
+		attempt++
+	}
+	if !deadline.IsZero() {
+		p.counters.deadlineExpired.Add(1)
+		return wire.AnchorResult{}, fmt.Errorf("media: anchor %d of stream %d: budget spent after %d attempts (%v): %w",
+			job.Packet, streamID, attempt, lastErr, ErrDeadlineExceeded)
 	}
 	p.counters.unavailable.Add(1)
 	return wire.AnchorResult{}, fmt.Errorf("media: anchor %d of stream %d failed after %d attempts (%v): %w",
@@ -309,18 +352,12 @@ func (p *EnhancerPool) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]A
 		return outs, nil
 	}
 	done := make([]bool, len(jobs))
-	if rep := p.next(make(map[*poolReplica]bool, len(p.replicas))); rep != nil {
-		bouts, err := rep.enhanceBatch(streamID, jobs)
-		if err == nil {
-			for i, o := range bouts {
-				if o.Err == nil {
-					outs[i] = o
-					done[i] = true
-				}
-			}
-		} else if !errors.Is(err, errBatchUnsupported) {
-			p.cfg.Logf("media: pool replica %s batch of %d stream %d: %v", rep.id, len(jobs), streamID, err)
-		}
+	// Skip the batch round trip when the whole batch has already
+	// expired; the per-anchor rescue below answers each job with the
+	// typed deadline error (and charges the counter) without any wire
+	// traffic.
+	if !expired(minJobDeadline(jobs), time.Now()) {
+		p.batchAttempt(streamID, jobs, outs, done)
 	}
 	// Per-anchor rescue: counters are charged by Enhance itself, so the
 	// batch attempt above stays invisible to the per-anchor call ledger.
@@ -341,6 +378,26 @@ func (p *EnhancerPool) EnhanceBatch(streamID uint32, jobs []wire.AnchorJob) ([]A
 	}
 	wg.Wait()
 	return outs, nil
+}
+
+// batchAttempt runs one batched dispatch on a round-robin-admitted
+// replica, marking the anchors it landed in done.
+func (p *EnhancerPool) batchAttempt(streamID uint32, jobs []wire.AnchorJob, outs []AnchorOutcome, done []bool) {
+	rep := p.next(make(map[*poolReplica]bool, len(p.replicas)))
+	if rep == nil {
+		return
+	}
+	bouts, err := rep.enhanceBatch(streamID, jobs)
+	if err == nil {
+		for i, o := range bouts {
+			if o.Err == nil {
+				outs[i] = o
+				done[i] = true
+			}
+		}
+	} else if !errors.Is(err, errBatchUnsupported) {
+		p.cfg.Logf("media: pool replica %s batch of %d stream %d: %v", rep.id, len(jobs), streamID, err)
+	}
 }
 
 // errBatchUnsupported reports a replica whose enhancer cannot coalesce

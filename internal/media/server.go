@@ -18,6 +18,7 @@ import (
 	"github.com/neuroscaler/neuroscaler/internal/hybrid"
 	"github.com/neuroscaler/neuroscaler/internal/icodec"
 	"github.com/neuroscaler/neuroscaler/internal/par"
+	"github.com/neuroscaler/neuroscaler/internal/sched"
 	"github.com/neuroscaler/neuroscaler/internal/vcodec"
 	"github.com/neuroscaler/neuroscaler/internal/wire"
 )
@@ -82,6 +83,29 @@ type ServerConfig struct {
 	// results. Validation rejects corrupt or mismatched anchor payloads
 	// (degrading the chunk) at the cost of one image decode per anchor.
 	DisableAnchorValidation bool
+	// DefaultChunkBudget is the deadline budget assigned to chunks that
+	// arrive without one on the wire. Zero leaves such chunks
+	// deadline-free (the legacy behavior); chunks that do carry a wire
+	// budget always use it. The budget is the chunk's whole
+	// admit-to-store allowance: decode, selection, enhancement (including
+	// the pool's retry ladder), and packaging all spend from it.
+	DefaultChunkBudget time.Duration
+	// StreamChunkRate, when positive, rate-limits chunk admission per
+	// stream to this many chunks per second (token bucket of
+	// StreamChunkBurst depth). Over-rate chunks are shed with a typed
+	// ErrShed reply before any decode work; the connection stays up.
+	StreamChunkRate float64
+	// StreamChunkBurst is the token-bucket depth for StreamChunkRate
+	// (minimum 1; zero picks 2× PipelineDepth).
+	StreamChunkBurst int
+	// Brownout configures the adaptive overload ladder; a zero HighDelay
+	// disables it (see BrownoutConfig).
+	Brownout BrownoutConfig
+	// Budget, when non-nil, is the anchor-fraction budget consulted by
+	// selection (shared with an external scheduler). Nil allocates a
+	// private one when Brownout is enabled; with both absent, selection
+	// uses AnchorFraction untouched.
+	Budget *sched.Budget
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...any)
 }
@@ -100,12 +124,31 @@ type ServerCounters struct {
 	// AnchorsRejected counts enhancer results that failed validation
 	// (undecodable payload, wrong packet, wrong dimensions).
 	AnchorsRejected uint64 `json:"anchors_rejected"`
+	// AnchorsSelected counts anchors picked by selection; every selected
+	// anchor lands in exactly one of Enhanced, Dropped, Rejected, or
+	// Expired, so the ledger balances under any overload.
+	AnchorsSelected uint64 `json:"anchors_selected"`
+	// AnchorsExpired counts anchors abandoned because their chunk's
+	// deadline budget ran out mid-enhancement.
+	AnchorsExpired uint64 `json:"anchors_expired"`
+	// ChunksShed counts chunks rejected at admission (per-stream token
+	// bucket) before any decode work.
+	ChunksShed uint64 `json:"chunks_shed"`
+	// ChunksExpired counts chunks whose deadline had already passed at
+	// decode start; they ship at the bilinear floor (no anchors).
+	ChunksExpired uint64 `json:"chunks_expired"`
+	// ChunksFloored counts low-priority chunks degraded to the bilinear
+	// floor by the brownout ladder.
+	ChunksFloored uint64 `json:"chunks_floored"`
 }
 
 type serverCounters struct {
 	chunksProcessed, chunksDegraded atomic.Uint64
 	anchorsEnhanced, anchorsDropped atomic.Uint64
 	anchorsRejected                 atomic.Uint64
+	anchorsSelected, anchorsExpired atomic.Uint64
+	chunksShed, chunksExpired       atomic.Uint64
+	chunksFloored                   atomic.Uint64
 }
 
 // StageStats snapshots the pipeline's per-stage latency accounting (total
@@ -161,6 +204,19 @@ type Server struct {
 	counters serverCounters
 	stages   stageTimers
 
+	// budget scales the effective anchor fraction (brownout L1+); nil
+	// when neither a Budget nor a Brownout config was supplied, in which
+	// case selection reads AnchorFraction directly.
+	budget *sched.Budget
+	// brownout is the hysteretic overload ladder; nil = disabled.
+	brownout *brownout
+	// queueDelayHist measures ingest admit → decode start; it is the
+	// brownout controller's input signal. admitStoreHist measures the
+	// full admit → stored latency per chunk (the SLO the chaos tests
+	// bound).
+	queueDelayHist *latencyHist
+	admitStoreHist *latencyHist
+
 	// anchorSlots is the server-wide in-flight bound on anchor RPCs; a
 	// batch of n anchors holds n slots. slotMu serializes multi-slot
 	// acquisition so two batches can never deadlock on partial holdings
@@ -188,6 +244,9 @@ type Server struct {
 type serverStream struct {
 	hello wire.Hello
 	qp    int
+	// bucket rate-limits chunk admission for this stream; nil when
+	// StreamChunkRate is unset.
+	bucket *tokenBucket
 	// decodeMu pins decoder use to one stage at a time: the decoder is
 	// stateful (reference frames), so packets of a stream must decode
 	// sequentially even if a stream ever spans connections; decoder is
@@ -257,18 +316,29 @@ func NewServer(addr string, enhancer AnchorEnhancer, cfg ServerConfig) (*Server,
 	if cfg.ChunkRetention < 0 {
 		cfg.ChunkRetention = 0 // unbounded
 	}
+	if cfg.StreamChunkBurst < 1 {
+		cfg.StreamChunkBurst = 2 * cfg.PipelineDepth
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("media: ingest listen: %w", err)
 	}
+	budget := cfg.Budget
+	if budget == nil && cfg.Brownout.HighDelay > 0 {
+		budget = &sched.Budget{}
+	}
 	s := &Server{
-		cfg:         cfg,
-		enhancer:    enhancer,
-		store:       NewChunkStoreRetention(cfg.ChunkRetention),
-		ln:          ln,
-		anchorSlots: make(chan struct{}, cfg.MaxInFlightAnchors),
-		streams:     make(map[uint32]*serverStream),
-		closed:      make(chan struct{}),
+		cfg:            cfg,
+		enhancer:       enhancer,
+		store:          NewChunkStoreRetention(cfg.ChunkRetention),
+		ln:             ln,
+		budget:         budget,
+		brownout:       newBrownout(cfg.Brownout, budget),
+		queueDelayHist: newLatencyHist(),
+		admitStoreHist: newLatencyHist(),
+		anchorSlots:    make(chan struct{}, cfg.MaxInFlightAnchors),
+		streams:        make(map[uint32]*serverStream),
+		closed:         make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -289,8 +359,22 @@ func (s *Server) Counters() ServerCounters {
 		AnchorsEnhanced: s.counters.anchorsEnhanced.Load(),
 		AnchorsDropped:  s.counters.anchorsDropped.Load(),
 		AnchorsRejected: s.counters.anchorsRejected.Load(),
+		AnchorsSelected: s.counters.anchorsSelected.Load(),
+		AnchorsExpired:  s.counters.anchorsExpired.Load(),
+		ChunksShed:      s.counters.chunksShed.Load(),
+		ChunksExpired:   s.counters.chunksExpired.Load(),
+		ChunksFloored:   s.counters.chunksFloored.Load(),
 	}
 }
+
+// BrownoutLevel reports the overload ladder's current level
+// (BrownoutOff when the controller is disabled).
+func (s *Server) BrownoutLevel() int { return s.brownout.Level() }
+
+// AdmitToStoreP99 reports the p99 admit-to-store latency across chunks
+// that carried an admission timestamp (an upper bucket bound; zero with
+// no observations).
+func (s *Server) AdmitToStoreP99() time.Duration { return s.admitStoreHist.quantile(0.99) }
 
 // StageStats returns a snapshot of the pipeline stage accounting.
 func (s *Server) StageStats() StageStats {
@@ -354,6 +438,14 @@ type ingestJob struct {
 	// reports it to the client in order and then tears the connection
 	// down, matching the serial path's error handling.
 	err error
+	// admitted is when the read loop accepted the chunk; zero for
+	// non-chunk messages. deadline is the chunk's admit-to-store budget
+	// (zero = none). shed marks a chunk rejected by admission control:
+	// it skips decode and the package stage answers with a typed,
+	// non-fatal ErrShed reply.
+	admitted time.Time
+	deadline time.Time
+	shed     bool
 }
 
 // ingestPipeline is the per-connection stage state.
@@ -401,7 +493,7 @@ func (s *Server) serveIngest(conn net.Conn) error {
 		defer stages.Done()
 		defer close(packageCh)
 		for job := range decodeCh {
-			if job.err == nil && job.pc == nil && job.msg.Type == wire.TypeChunk && !p.fatal.Load() {
+			if job.err == nil && job.pc == nil && !job.shed && job.msg.Type == wire.TypeChunk && !p.fatal.Load() {
 				s.decodeStage(job)
 			}
 			packageCh <- job
@@ -432,7 +524,11 @@ func (s *Server) serveIngest(conn net.Conn) error {
 		}
 		// Payload ownership rides the job into the pipeline; the package
 		// stage is the single release point (see ingestArena).
-		decodeCh <- &ingestJob{msg: msg}
+		job := &ingestJob{msg: msg}
+		if msg.Type == wire.TypeChunk {
+			s.admitChunk(job)
+		}
+		decodeCh <- job
 		if p.fatal.Load() {
 			break
 		}
@@ -445,11 +541,50 @@ func (s *Server) serveIngest(conn net.Conn) error {
 	return readErr
 }
 
+// admitChunk is the read loop's admission decision for one chunk: stamp
+// the admission time, derive the chunk's deadline (the wire budget wins
+// over DefaultChunkBudget), and charge the stream's token bucket. An
+// over-rate chunk is marked shed — it skips decode and the package
+// stage answers with a typed, non-fatal reply, so the stream survives
+// its own burst.
+func (s *Server) admitChunk(job *ingestJob) {
+	now := time.Now()
+	job.admitted = now
+	budget := job.msg.Budget
+	if budget <= 0 {
+		budget = s.cfg.DefaultChunkBudget
+	}
+	if budget > 0 {
+		job.deadline = now.Add(budget)
+	}
+	if s.cfg.StreamChunkRate <= 0 {
+		return
+	}
+	s.mu.Lock()
+	st := s.streams[job.msg.StreamID]
+	s.mu.Unlock()
+	if st == nil || st.bucket == nil {
+		// Unknown stream: decode reports the protocol error in order.
+		return
+	}
+	if !st.bucket.take(now) {
+		job.shed = true
+		s.counters.chunksShed.Add(1)
+	}
+}
+
 // decodeStage is stage one for a chunk: look up the stream, decode its
 // packets on the stream's pinned decoder, run zero-inference anchor
 // selection, and dispatch the selected anchors into the concurrent
 // fan-out. Failures annotate the job; the package stage reports them in
 // order.
+//
+// It is also where the overload ladder observes and acts: the chunk's
+// measured queue delay (admit → here) plus the dispatcher's in-flight
+// occupancy feed the brownout controller, a chunk whose deadline has
+// already passed ships at the bilinear floor instead of spending
+// enhancer budget nobody can use, and at the ladder's top level
+// low-priority streams are floored outright.
 func (s *Server) decodeStage(job *ingestJob) {
 	msg := job.msg
 	s.mu.Lock()
@@ -457,6 +592,24 @@ func (s *Server) decodeStage(job *ingestJob) {
 	s.mu.Unlock()
 	if st == nil {
 		job.err = fmt.Errorf("chunk before hello on stream %d", msg.StreamID)
+		return
+	}
+
+	if !job.admitted.IsZero() {
+		now := time.Now()
+		queueDelay := now.Sub(job.admitted)
+		s.queueDelayHist.observe(queueDelay)
+		occupancy := float64(s.stages.anchorsInFlight.Load()) / float64(s.cfg.MaxInFlightAnchors)
+		s.brownout.observe(now, queueDelay, occupancy)
+		if expired(job.deadline, now) {
+			s.counters.chunksExpired.Add(1)
+			s.floorChunk(job, st)
+			return
+		}
+	}
+	if st.hello.Priority > 0 && s.brownout.floorLowPriority() {
+		s.counters.chunksFloored.Add(1)
+		s.floorChunk(job, st)
 		return
 	}
 	// Packets alias the pooled payload rather than copying out of it; the
@@ -496,11 +649,17 @@ func (s *Server) decodeStage(job *ingestJob) {
 	start = time.Now()
 	metas := anchor.MetasFromInfos(infos)
 	cands := anchor.ZeroInferenceGains(metas)
-	n := int(s.cfg.AnchorFraction*float64(len(packets)) + 0.5)
+	// The effective fraction is the configured base scaled by the
+	// brownout budget; with no budget (or scale 1.0) the base float64
+	// passes through untouched, so the idle controller is bit-invisible
+	// to selection.
+	frac := s.budget.Fraction(msg.StreamID, s.cfg.AnchorFraction)
+	n := int(frac*float64(len(packets)) + 0.5)
 	if n < 1 {
 		n = 1
 	}
 	selected := anchor.SelectTopN(cands, n)
+	s.counters.anchorsSelected.Add(uint64(len(selected)))
 	s.stages.selectNanos.Add(int64(time.Since(start)))
 	s.stages.selectCount.Add(1)
 
@@ -528,10 +687,39 @@ func (s *Server) decodeStage(job *ingestJob) {
 			DisplayIndex: decoded[i].Info.DisplayIndex,
 			QP:           st.qp,
 			Frame:        decoded[i].Frame,
+			Deadline:     job.deadline,
 		}
 	}
 	s.dispatchAnchors(pc)
 	job.pc = pc
+}
+
+// floorChunk ships a chunk at the bilinear floor: the container carries
+// only the video packets (no anchors), so viewers reconstruct every
+// frame with codec-guided reuse over the upscaled base layer. Chunks are
+// GOP-aligned, so skipping this chunk's decode entirely leaves the
+// stream's decoder state valid for the next chunk — the floor path
+// spends no decode, no selection, and no enhancer budget.
+func (s *Server) floorChunk(job *ingestJob, st *serverStream) {
+	packets, err := wire.DecodeChunkAlias(job.msg.Payload)
+	if err != nil {
+		job.err = err
+		return
+	}
+	container := &hybrid.Container{
+		Config: st.hello.Config,
+		Scale:  st.hello.Scale,
+		Frames: make([]hybrid.ContainerFrame, len(packets)),
+	}
+	for i, pkt := range packets {
+		container.Frames[i] = hybrid.ContainerFrame{VideoPacket: pkt}
+	}
+	job.pc = &pendingChunk{
+		streamID:  job.msg.StreamID,
+		st:        st,
+		container: container,
+		floored:   true,
+	}
 }
 
 // dispatchAnchors fans a chunk's selected anchors out to the enhancer:
@@ -540,6 +728,15 @@ func (s *Server) decodeStage(job *ingestJob) {
 // either way, so the configuration never changes output bytes.
 func (s *Server) dispatchAnchors(pc *pendingChunk) {
 	batch := s.cfg.MaxAnchorBatch
+	// Brownout L2+ doubles the effective batch (still within the
+	// in-flight bound): fewer, larger dispatches shrink per-anchor
+	// overhead exactly when the enhancer tier is the bottleneck.
+	if boost := s.brownout.batchBoost(); boost > 1 {
+		batch *= boost
+		if batch > s.cfg.MaxInFlightAnchors {
+			batch = s.cfg.MaxInFlightAnchors
+		}
+	}
 	be, canBatch := s.enhancer.(BatchAnchorEnhancer)
 	if !canBatch || batch < 2 {
 		pc.wg.Add(len(pc.jobs))
@@ -575,6 +772,9 @@ type pendingChunk struct {
 	jobs      []wire.AnchorJob
 	outcomes  []anchorOutcome
 	wg        sync.WaitGroup
+	// floored marks a chunk shipped at the bilinear floor (expired
+	// deadline or brownout): no anchors were selected or dispatched.
+	floored bool
 }
 
 type anchorOutcome struct {
@@ -653,6 +853,15 @@ func (s *Server) packageStage(p *ingestPipeline, job *ingestJob) {
 		p.fail(job.err)
 		return
 	}
+	if job.shed {
+		// Admission shed is a per-chunk outcome, not a protocol breach:
+		// answer with the typed marker (the streamer maps it back to
+		// ErrShed) and keep the connection flowing.
+		if err := p.w.writeError(msg, fmt.Errorf("media: chunk seq %d: %w", msg.Seq, ErrShed)); err != nil {
+			p.fail(err)
+		}
+		return
+	}
 	switch {
 	case msg.Type == wire.TypeHello:
 		if err := s.registerStream(msg); err != nil {
@@ -699,8 +908,12 @@ func (s *Server) registerStream(msg wire.Message) error {
 			return err
 		}
 	}
+	st := &serverStream{hello: h, decoder: dec, qp: qp}
+	if s.cfg.StreamChunkRate > 0 {
+		st.bucket = newTokenBucket(s.cfg.StreamChunkRate, s.cfg.StreamChunkBurst)
+	}
 	s.mu.Lock()
-	s.streams[msg.StreamID] = &serverStream{hello: h, decoder: dec, qp: qp}
+	s.streams[msg.StreamID] = st
 	s.mu.Unlock()
 	return nil
 }
@@ -719,24 +932,33 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 	// in flight — a failure mode the serial path never had. One in-order
 	// retry of transport-failed anchors after the wave settles restores
 	// the serial path's availability (and stays deterministic: a dead
-	// enhancer fails both passes, a recovered one succeeds).
-	for si := range pc.outcomes {
-		out := &pc.outcomes[si]
-		if out.err == nil || !errors.Is(out.err, ErrEnhancerUnavailable) {
-			continue
-		}
-		res, err := s.enhancer.Enhance(pc.streamID, pc.jobs[si])
-		if err == nil {
-			*out = anchorOutcome{res: res}
+	// enhancer fails both passes, a recovered one succeeds). Anchors that
+	// ran out of deadline budget are not rescued — their chunk is late
+	// already — and the whole pass is skipped once the chunk's own
+	// deadline has passed.
+	if !expired(job.deadline, time.Now()) {
+		for si := range pc.outcomes {
+			out := &pc.outcomes[si]
+			if out.err == nil || !errors.Is(out.err, ErrEnhancerUnavailable) || errors.Is(out.err, ErrDeadlineExceeded) {
+				continue
+			}
+			res, err := s.enhancer.Enhance(pc.streamID, pc.jobs[si])
+			if err == nil {
+				*out = anchorOutcome{res: res}
+			}
 		}
 	}
 
-	degraded := false
+	degraded := pc.floored
 	for si, c := range pc.selected {
 		i := c.Meta.Packet
 		out := pc.outcomes[si]
 		if out.err != nil {
-			s.counters.anchorsDropped.Add(1)
+			if errors.Is(out.err, ErrDeadlineExceeded) {
+				s.counters.anchorsExpired.Add(1)
+			} else {
+				s.counters.anchorsDropped.Add(1)
+			}
 			degraded = true
 			s.cfg.Logf("media: stream %d: anchor %d dropped, shipping degraded chunk: %v", pc.streamID, i, out.err)
 			continue
@@ -770,6 +992,9 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 	seq := s.store.AppendChunk(pc.streamID, data, degraded)
 	s.stages.packageNanos.Add(int64(time.Since(start)))
 	s.stages.packageCount.Add(1)
+	if !job.admitted.IsZero() {
+		s.admitStoreHist.observe(time.Since(job.admitted))
+	}
 
 	if err := p.w.write(wire.Message{Type: wire.TypeAck, StreamID: pc.streamID, Seq: uint32(seq)}); err != nil {
 		p.fail(err)
@@ -860,15 +1085,21 @@ func (s *Server) DistributionHandler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		out := struct {
-			Server ServerCounters    `json:"server"`
-			Stages StageStats        `json:"stages"`
-			Store  StoreStats        `json:"store"`
-			Pool   *PoolCounters     `json:"pool,omitempty"`
-			States map[string]string `json:"replica_states,omitempty"`
+			Server        ServerCounters    `json:"server"`
+			Stages        StageStats        `json:"stages"`
+			Store         StoreStats        `json:"store"`
+			BrownoutLevel int               `json:"brownout_level"`
+			QueueDelayP99 float64           `json:"queue_delay_p99_ms"`
+			AdmitStoreP99 float64           `json:"admit_store_p99_ms"`
+			Pool          *PoolCounters     `json:"pool,omitempty"`
+			States        map[string]string `json:"replica_states,omitempty"`
 		}{
-			Server: s.Counters(),
-			Stages: s.StageStats(),
-			Store:  StoreStats{Retention: s.store.Retention(), ChunksEvicted: s.store.TotalEvicted()},
+			Server:        s.Counters(),
+			Stages:        s.StageStats(),
+			Store:         StoreStats{Retention: s.store.Retention(), ChunksEvicted: s.store.TotalEvicted()},
+			BrownoutLevel: s.brownout.Level(),
+			QueueDelayP99: float64(s.queueDelayHist.quantile(0.99)) / float64(time.Millisecond),
+			AdmitStoreP99: float64(s.admitStoreHist.quantile(0.99)) / float64(time.Millisecond),
 		}
 		if p, ok := s.enhancer.(*EnhancerPool); ok {
 			c := p.Counters()
@@ -883,5 +1114,42 @@ func (s *Server) DistributionHandler() http.Handler {
 			s.cfg.Logf("media: encode stats: %v", err)
 		}
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeMetrics(w)
+	})
 	return mux
+}
+
+// writeMetrics emits the server's overload-control observables in
+// Prometheus text exposition format: the queue-delay and admit-to-store
+// histograms, every shed/expired/degraded counter, the brownout-level
+// gauge, and (when pooled) the pool's fault counters.
+func (s *Server) writeMetrics(w io.Writer) {
+	s.queueDelayHist.writePrometheus(w, "neuroscaler_ingest_queue_delay_seconds",
+		"Chunk latency from ingest admission to decode start.")
+	s.admitStoreHist.writePrometheus(w, "neuroscaler_admit_to_store_seconds",
+		"Chunk latency from ingest admission to container store.")
+	c := s.Counters()
+	writeCounter(w, "neuroscaler_chunks_processed_total", "Chunks packaged and stored.", c.ChunksProcessed)
+	writeCounter(w, "neuroscaler_chunks_degraded_total", "Chunks shipped missing at least one selected anchor.", c.ChunksDegraded)
+	writeCounter(w, "neuroscaler_chunks_shed_total", "Chunks rejected by per-stream admission control.", c.ChunksShed)
+	writeCounter(w, "neuroscaler_chunks_expired_total", "Chunks floored because their deadline passed before decode.", c.ChunksExpired)
+	writeCounter(w, "neuroscaler_chunks_floored_total", "Low-priority chunks floored by the brownout ladder.", c.ChunksFloored)
+	writeCounter(w, "neuroscaler_anchors_selected_total", "Anchors picked by zero-inference selection.", c.AnchorsSelected)
+	writeCounter(w, "neuroscaler_anchors_enhanced_total", "Anchors enhanced and shipped.", c.AnchorsEnhanced)
+	writeCounter(w, "neuroscaler_anchors_dropped_total", "Anchors dropped after enhancement failure.", c.AnchorsDropped)
+	writeCounter(w, "neuroscaler_anchors_rejected_total", "Anchor results rejected by validation.", c.AnchorsRejected)
+	writeCounter(w, "neuroscaler_anchors_expired_total", "Anchors abandoned after their deadline budget ran out.", c.AnchorsExpired)
+	writeGauge(w, "neuroscaler_brownout_level", "Current brownout ladder level (0 = off).", float64(s.brownout.Level()))
+	writeGauge(w, "neuroscaler_anchors_in_flight", "Anchor enhancement RPCs currently outstanding.", float64(s.stages.anchorsInFlight.Load()))
+	if p, ok := s.enhancer.(*EnhancerPool); ok {
+		pc := p.Counters()
+		writeCounter(w, "neuroscaler_pool_calls_total", "Per-anchor pool calls.", pc.Calls)
+		writeCounter(w, "neuroscaler_pool_retries_total", "Pool retry attempts.", pc.Retries)
+		writeCounter(w, "neuroscaler_pool_failovers_total", "Pool failovers to another replica.", pc.Failovers)
+		writeCounter(w, "neuroscaler_pool_breaker_opens_total", "Replica breakers opened.", pc.BreakerOpens)
+		writeCounter(w, "neuroscaler_pool_unavailable_total", "Pool calls exhausted on every replica.", pc.Unavailable)
+		writeCounter(w, "neuroscaler_pool_deadline_expired_total", "Pool calls abandoned on deadline budget exhaustion.", pc.DeadlineExpired)
+	}
 }

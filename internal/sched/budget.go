@@ -1,0 +1,106 @@
+package sched
+
+// This file is the brownout hook between the serving path's load
+// controller and anchor selection: a multiplicative scale on the anchor
+// fraction every selection consults before sizing its top-N cut. Under
+// overload the controller shrinks the scale (fewer anchors per chunk →
+// less GPU work per chunk → queues drain); in the steady state the
+// scale is exactly 1.0 and Fraction returns its input bit-for-bit, so
+// an idle controller cannot perturb byte-determinism.
+
+import (
+	"math"
+	"sync"
+)
+
+// Budget scales anchor fractions globally and per stream. The zero
+// value (and a nil *Budget) applies no scaling. It is safe for
+// concurrent use: the media server's decode stages read it while the
+// brownout controller writes it.
+type Budget struct {
+	mu sync.Mutex
+	// global and perStream are guarded by mu. A zero global means unset
+	// (treated as 1.0) so the zero value is a no-op.
+	global    float64
+	perStream map[uint32]float64
+}
+
+// SetGlobalScale sets the fraction multiplier applied to every stream.
+// Values are clamped to [0, 1]: a budget never raises a fraction above
+// its configured base, and negative scales mean zero anchors.
+func (b *Budget) SetGlobalScale(scale float64) {
+	if b == nil {
+		return
+	}
+	scale = clampScale(scale)
+	b.mu.Lock()
+	b.global = scale
+	b.mu.Unlock()
+}
+
+// SetStreamScale sets an additional multiplier for one stream (it
+// composes with the global scale). A scale of 1 removes the override.
+func (b *Budget) SetStreamScale(streamID uint32, scale float64) {
+	if b == nil {
+		return
+	}
+	scale = clampScale(scale)
+	b.mu.Lock()
+	if scale == 1 {
+		delete(b.perStream, streamID)
+	} else {
+		if b.perStream == nil {
+			b.perStream = make(map[uint32]float64)
+		}
+		b.perStream[streamID] = scale
+	}
+	b.mu.Unlock()
+}
+
+// GlobalScale reports the current global multiplier (1 when unset).
+func (b *Budget) GlobalScale() float64 {
+	if b == nil {
+		return 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.global == 0 {
+		return 1
+	}
+	return b.global
+}
+
+// Fraction applies the budget to a stream's base anchor fraction. With
+// no scaling in effect the base is returned unchanged (the same
+// float64, not a ×1.0 product), so an idle budget is exactly invisible
+// to selection arithmetic.
+func (b *Budget) Fraction(streamID uint32, base float64) float64 {
+	if b == nil {
+		return base
+	}
+	b.mu.Lock()
+	g := b.global
+	s, ok := b.perStream[streamID]
+	b.mu.Unlock()
+	if (g == 0 || g == 1) && !ok {
+		return base
+	}
+	f := base
+	if g != 0 && g != 1 {
+		f *= g
+	}
+	if ok {
+		f *= s
+	}
+	return f
+}
+
+func clampScale(scale float64) float64 {
+	if math.IsNaN(scale) || scale < 0 {
+		return 0
+	}
+	if scale > 1 {
+		return 1
+	}
+	return scale
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
 	"github.com/neuroscaler/neuroscaler/internal/sr"
@@ -20,6 +21,12 @@ type Hello struct {
 	Model  sr.ModelConfig
 	// Content is a free-form label (profile name) for diagnostics.
 	Content string
+	// Priority classes the stream for overload control: 0 is foreground
+	// (never floored by brownout), higher values are background tiers the
+	// server may degrade to the bilinear floor first. It rides as a
+	// trailing byte so pre-priority decoders (which stop after Content)
+	// keep accepting new hellos, and old hellos decode as foreground.
+	Priority uint8
 }
 
 // EncodeHello serializes a Hello payload.
@@ -35,6 +42,11 @@ func EncodeHello(h Hello) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(h.Model.Scale))
 	buf = append(buf, byte(len(h.Content)))
 	buf = append(buf, h.Content...)
+	if h.Priority != 0 {
+		// Emitted only when set, so foreground hellos stay byte-identical
+		// to the pre-priority encoding.
+		buf = append(buf, h.Priority)
+	}
 	return buf, nil
 }
 
@@ -58,6 +70,9 @@ func DecodeHello(data []byte) (Hello, error) {
 		return h, errors.New("wire: truncated hello content")
 	}
 	h.Content = string(rest[9 : 9+n])
+	if len(rest) > 9+n {
+		h.Priority = rest[9+n]
+	}
 	return h, nil
 }
 
@@ -209,6 +224,12 @@ type AnchorJob struct {
 	DisplayIndex int
 	QP           int
 	Frame        *frame.Frame
+	// Deadline is the local absolute deadline for this job; zero means
+	// unbounded. It is process-local and never serialized: across the
+	// wire the deadline travels as the frame header's relative Budget
+	// (see wire.Message), and each receiver re-derives its own local
+	// Deadline from arrival time plus budget.
+	Deadline time.Time
 }
 
 // anchorJobSize is the encoded size of one anchor job payload.

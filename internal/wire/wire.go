@@ -12,6 +12,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/par"
 )
@@ -94,6 +95,14 @@ type Message struct {
 	StreamID uint32
 	Seq      uint32
 	Payload  []byte
+	// Budget is the remaining deadline budget the sender grants the
+	// receiver for this message's work. It is relative (remaining time,
+	// not absolute wall clock) so clock skew between peers never corrupts
+	// it; each hop re-derives its local deadline as now+Budget. Zero
+	// means "no deadline" and the frame is emitted in the legacy v1
+	// layout, byte-identical to the pre-deadline protocol; a positive
+	// budget rides the extended v2 header.
+	Budget time.Duration
 }
 
 // SeqSource allocates request Seqs for one connection. It is safe for
@@ -114,8 +123,15 @@ func (s *SeqSource) Next() uint32 {
 }
 
 const (
-	frameMagic = 0x4E53 // "NS"
-	headerLen  = 2 + 1 + 4 + 4 + 4 + 4
+	frameMagic = 0x4E53 // "NS": v1 frame, no deadline field
+	// frameMagicV2 marks the deadline-bearing frame: the v1 header plus a
+	// trailing budget field. Readers accept both magics, so v2-aware
+	// peers interoperate with v1 senders frame by frame.
+	frameMagicV2 = 0x4E44 // "ND"
+	headerLen    = 2 + 1 + 4 + 4 + 4 + 4
+	// budgetLen is the size of the v2 budget extension: remaining
+	// microseconds as a big-endian uint64, appended after the v1 header.
+	budgetLen = 8
 	// DefaultMaxPayload bounds frame size against malicious peers.
 	DefaultMaxPayload = 64 << 20
 )
@@ -127,21 +143,36 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds payload limit")
 var ErrBadFrame = errors.New("wire: corrupt frame")
 
 // Write serializes a message to w.
-// Frame layout: magic(2) type(1) streamID(4) seq(4) len(4) crc32(4) payload.
+// Frame layout: magic(2) type(1) streamID(4) seq(4) len(4) crc32(4)
+// [budgetMicros(8) if v2] payload. A message without a budget is
+// emitted as a v1 frame, so deadline-free traffic stays byte-identical
+// to the legacy protocol.
 func Write(w io.Writer, m Message) error {
 	// Mirror Read's validation: emitting a frame the peer will reject as
 	// corrupt is a bug at the writer, not the reader.
 	if m.Type == 0 || m.Type > maxType {
 		return fmt.Errorf("wire: invalid message type %d", m.Type)
 	}
-	var hdr [headerLen]byte
+	var hdr [headerLen + budgetLen]byte
+	n := headerLen
 	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
 	hdr[2] = byte(m.Type)
 	binary.BigEndian.PutUint32(hdr[3:], m.StreamID)
 	binary.BigEndian.PutUint32(hdr[7:], m.Seq)
 	binary.BigEndian.PutUint32(hdr[11:], uint32(len(m.Payload)))
 	binary.BigEndian.PutUint32(hdr[15:], crc32.ChecksumIEEE(m.Payload))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if m.Budget > 0 {
+		micros := m.Budget / time.Microsecond
+		if micros < 1 {
+			// Sub-microsecond remainders still mean "a deadline exists";
+			// round up so the receiver sees expiry, not "no deadline".
+			micros = 1
+		}
+		binary.BigEndian.PutUint16(hdr[0:], frameMagicV2)
+		binary.BigEndian.PutUint64(hdr[headerLen:], uint64(micros))
+		n += budgetLen
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if len(m.Payload) > 0 {
@@ -152,8 +183,26 @@ func Write(w io.Writer, m Message) error {
 	return nil
 }
 
+// readBudget consumes the v2 budget extension when the magic calls for
+// it, returning the decoded relative budget (never zero for v2 frames).
+func readBudget(r io.Reader, magic uint16) (time.Duration, error) {
+	if magic != frameMagicV2 {
+		return 0, nil
+	}
+	var ext [budgetLen]byte
+	if _, err := io.ReadFull(r, ext[:]); err != nil {
+		return 0, fmt.Errorf("wire: read budget: %w", err)
+	}
+	micros := binary.BigEndian.Uint64(ext[:])
+	if micros == 0 || micros > uint64(1<<62)/uint64(time.Microsecond) {
+		return 0, ErrBadFrame
+	}
+	return time.Duration(micros) * time.Microsecond, nil
+}
+
 // Read parses the next message from r, rejecting frames larger than
-// maxPayload (use DefaultMaxPayload when in doubt).
+// maxPayload (use DefaultMaxPayload when in doubt). Both v1 and v2
+// (deadline-bearing) frames are accepted.
 func Read(r io.Reader, maxPayload int) (Message, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -162,7 +211,8 @@ func Read(r io.Reader, maxPayload int) (Message, error) {
 		}
 		return Message{}, fmt.Errorf("wire: read header: %w", err)
 	}
-	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+	magic := binary.BigEndian.Uint16(hdr[0:])
+	if magic != frameMagic && magic != frameMagicV2 {
 		return Message{}, ErrBadFrame
 	}
 	if hdr[2] == 0 || Type(hdr[2]) > maxType {
@@ -178,6 +228,11 @@ func Read(r io.Reader, maxPayload int) (Message, error) {
 	if int64(n) > int64(maxPayload) {
 		return Message{}, ErrFrameTooLarge
 	}
+	budget, err := readBudget(r, magic)
+	if err != nil {
+		return Message{}, err
+	}
+	m.Budget = budget
 	if n > 0 {
 		m.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
@@ -205,7 +260,8 @@ func ReadPooled(r io.Reader, maxPayload int, pool *par.SlabPool[byte]) (Message,
 		}
 		return Message{}, fmt.Errorf("wire: read header: %w", err)
 	}
-	if binary.BigEndian.Uint16(hdr[0:]) != frameMagic {
+	magic := binary.BigEndian.Uint16(hdr[0:])
+	if magic != frameMagic && magic != frameMagicV2 {
 		return Message{}, ErrBadFrame
 	}
 	if hdr[2] == 0 || Type(hdr[2]) > maxType {
@@ -221,6 +277,11 @@ func ReadPooled(r io.Reader, maxPayload int, pool *par.SlabPool[byte]) (Message,
 	if int64(n) > int64(maxPayload) {
 		return Message{}, ErrFrameTooLarge
 	}
+	budget, err := readBudget(r, magic)
+	if err != nil {
+		return Message{}, err
+	}
+	m.Budget = budget
 	if n > 0 {
 		m.Payload = pool.Get(int(n))
 		if _, err := io.ReadFull(r, m.Payload); err != nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/neuroscaler/neuroscaler/internal/frame"
 	"github.com/neuroscaler/neuroscaler/internal/par"
@@ -417,5 +418,85 @@ func TestDecodeChunkAlias(t *testing.T) {
 	}
 	if _, err := DecodeChunkAlias([]byte{0, 0}); err == nil {
 		t.Error("truncated chunk accepted")
+	}
+}
+
+// TestDeadlineFrameRoundTrip pins the v2 frame: a positive budget
+// survives Write/Read, and a zero budget emits bytes identical to the
+// legacy v1 layout so deadline-free traffic is indistinguishable from
+// the pre-deadline protocol.
+func TestDeadlineFrameRoundTrip(t *testing.T) {
+	var v2 bytes.Buffer
+	in := Message{Type: TypeChunk, StreamID: 9, Seq: 4, Payload: []byte("abc"), Budget: 1500 * time.Millisecond}
+	if err := Write(&v2, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&v2, DefaultMaxPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != in.Budget {
+		t.Errorf("budget = %v, want %v", got.Budget, in.Budget)
+	}
+	if got.Type != in.Type || got.StreamID != in.StreamID || got.Seq != in.Seq || !bytes.Equal(got.Payload, in.Payload) {
+		t.Errorf("frame mismatch: %+v vs %+v", got, in)
+	}
+
+	// Sub-microsecond budgets round up to the 1µs floor instead of
+	// degrading to "no deadline".
+	var tiny bytes.Buffer
+	if err := Write(&tiny, Message{Type: TypeAck, Budget: time.Nanosecond}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Read(&tiny, DefaultMaxPayload); err != nil || got.Budget != time.Microsecond {
+		t.Errorf("tiny budget = %v, %v; want 1µs", got.Budget, err)
+	}
+
+	// Zero budget must produce the v1 bytes exactly.
+	var zero bytes.Buffer
+	if err := Write(&zero, Message{Type: TypeChunk, StreamID: 9, Seq: 4, Payload: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(zero.Bytes(), []byte{0x4E, 0x53}) {
+		t.Errorf("zero-budget frame does not start with the v1 magic: % x", zero.Bytes()[:2])
+	}
+}
+
+// TestDeadlineFramePooledAndTruncated covers ReadPooled's v2 path and
+// the error cases: a truncated budget extension and a zero on-the-wire
+// budget (which only a buggy or malicious writer can produce) are
+// rejected without leaking pooled payloads.
+func TestDeadlineFramePooledAndTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	in := Message{Type: TypeAnchorJob, StreamID: 1, Seq: 7, Payload: []byte("payload"), Budget: 250 * time.Microsecond}
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+
+	var pool par.SlabPool[byte]
+	got, err := ReadPooled(bytes.NewReader(full), DefaultMaxPayload, &pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != in.Budget || !bytes.Equal(got.Payload, in.Payload) {
+		t.Errorf("pooled v2 read mismatch: %+v", got)
+	}
+	pool.Put(got.Payload)
+
+	// Truncate inside the budget extension: the reader must error, not
+	// misparse the remaining bytes as a payload.
+	if _, err := Read(bytes.NewReader(full[:headerLen+3]), DefaultMaxPayload); err == nil {
+		t.Error("truncated budget extension accepted")
+	}
+
+	// A v2 frame with an explicit zero budget is a protocol violation
+	// (zero means "emit v1"): reject it as corrupt.
+	zeroed := append([]byte(nil), full...)
+	for i := headerLen; i < headerLen+budgetLen; i++ {
+		zeroed[i] = 0
+	}
+	if _, err := Read(bytes.NewReader(zeroed), DefaultMaxPayload); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero v2 budget: err = %v, want ErrBadFrame", err)
 	}
 }
