@@ -2,7 +2,7 @@
 
 GOBIN ?= $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint nslint vet-nslint fuzz-smoke alloc-budget chaos-overload
+.PHONY: build test race lint nslint vet-nslint fuzz-smoke alloc-budget chaos-overload delivery-fanout
 
 build:
 	go build ./...
@@ -11,7 +11,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/par ./internal/vcodec ./internal/sr ./internal/frame ./internal/icodec ./internal/metrics ./internal/media ./internal/sched
+	go test -race ./internal/par ./internal/vcodec ./internal/sr ./internal/frame ./internal/icodec ./internal/metrics ./internal/media ./internal/sched ./internal/edge
 
 # lint always runs nslint (self-contained, no downloads); staticcheck and
 # govulncheck run when installed. To install the pinned versions CI uses:
@@ -50,3 +50,11 @@ alloc-budget:
 # scenarios (mirrors the chaos-overload CI job).
 chaos-overload:
 	go test -race -timeout 15m -run 'TestJobQueue|TestTokenBucket|TestBrownout|TestPoolBackoffBoundedByDeadline|TestPoolBreakerHalfOpenExactlyOnce|TestEnhancerServerTypedOverloadReplies|TestIngestTokenBucket|TestMetricsEndpoint|TestChaosOverloadBurstBoundedLatency|TestChaosGrayFailureContainedByDeadlines|TestDeadlineNoOpByteIdentical' ./internal/media
+
+# Delivery tier: edge concurrency tests under the race detector, the
+# fanout loadgen test, and one iteration of the cached-vs-pass-through
+# fanout benchmark (mirrors the delivery-fanout CI job).
+delivery-fanout:
+	go test -race -timeout 10m -run 'TestEdgeSingleFlight|TestEdgeSubscribeFanout|TestEdgeUpstreamChaos' ./internal/edge
+	go test -timeout 10m -run 'TestRunFanout' ./internal/driver
+	go test -run xxx -bench 'BenchmarkEdgeFanout' -benchtime 1x -timeout 15m ./internal/driver

@@ -130,6 +130,17 @@ type Client struct {
 	throughputKbps float64 // EWMA
 	bufferS        float64
 	lastChoice     int
+
+	// Edge delivery feedback (the BONES-style step): the delivery tier
+	// reports per chunk whether the edge cache served it and how long
+	// delivery took. A cold edge means enhanced-rung chunks carry the
+	// origin's enhancement latency on the viewer's critical path, so
+	// the controller demands extra buffer headroom before picking the
+	// enhanced rung.
+	edgeHitRate  float64 // EWMA of hit indicator
+	edgeHitLatS  float64 // EWMA delivery latency on hits
+	edgeMissLatS float64 // EWMA delivery latency on misses
+	edgeSamples  int
 }
 
 // NewClient returns a controller with standard parameters.
@@ -142,6 +153,49 @@ func (c *Client) Buffer() float64 { return c.bufferS }
 
 // ThroughputKbps returns the current throughput estimate.
 func (c *Client) ThroughputKbps() float64 { return c.throughputKbps }
+
+// OnEdgeDelivery records one enhanced-rung delivery observed at the
+// viewer: hit says whether the edge cache served it (the wire cache-hit
+// flag), latencyS is the request round trip. The EWMAs feed the
+// enhanced-rung headroom check in Choose.
+func (c *Client) OnEdgeDelivery(hit bool, latencyS float64) {
+	const alpha = 0.2
+	ind := 0.0
+	if hit {
+		ind = 1.0
+	}
+	if c.edgeSamples == 0 {
+		c.edgeHitRate = ind
+	} else {
+		c.edgeHitRate = alpha*ind + (1-alpha)*c.edgeHitRate
+	}
+	ewma := func(cur *float64, sample float64) {
+		if *cur == 0 {
+			*cur = sample
+		} else {
+			*cur = alpha*sample + (1-alpha)**cur
+		}
+	}
+	if hit {
+		ewma(&c.edgeHitLatS, latencyS)
+	} else {
+		ewma(&c.edgeMissLatS, latencyS)
+	}
+	c.edgeSamples++
+}
+
+// EdgeHitRate returns the EWMA edge cache hit rate (0 before feedback).
+func (c *Client) EdgeHitRate() float64 { return c.edgeHitRate }
+
+// edgeMissPenaltyS is the expected extra delivery latency of one
+// enhanced-rung chunk: the miss probability times the hit/miss latency
+// gap. Zero until both a hit and a miss have been observed.
+func (c *Client) edgeMissPenaltyS() float64 {
+	if c.edgeSamples == 0 || c.edgeMissLatS <= c.edgeHitLatS {
+		return 0
+	}
+	return (1 - c.edgeHitRate) * (c.edgeMissLatS - c.edgeHitLatS)
+}
 
 // Choose picks the rung index to download next. Rungs must be ordered by
 // ascending bitrate.
@@ -176,6 +230,15 @@ func (c *Client) Choose(rungs []Rung) (int, error) {
 	}
 	if pick > c.lastChoice+1 {
 		pick = c.lastChoice + 1
+	}
+	// Enhanced rungs ride the delivery tier: when the edge is cold, a
+	// miss adds the origin's enhancement latency to the download, so the
+	// buffer must also cover the expected miss penalty. Step down to the
+	// best non-enhanced rung when the headroom is not there.
+	if penalty := c.edgeMissPenaltyS(); penalty > 0 {
+		for pick > 0 && rungs[pick].Enhanced && c.bufferS < c.LowBufferS+penalty {
+			pick--
+		}
 	}
 	c.lastChoice = pick
 	return pick, nil

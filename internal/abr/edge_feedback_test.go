@@ -1,0 +1,124 @@
+package abr
+
+import (
+	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/vcodec"
+)
+
+// edgeLadder builds a ladder whose top rung is enhanced.
+func edgeLadder(t *testing.T) []Rung {
+	t.Helper()
+	rungs, err := Ladder(vcodec.Config{Width: 480, Height: 270}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rungs[len(rungs)-1].Enhanced {
+		t.Fatal("ladder has no enhanced top rung")
+	}
+	return rungs
+}
+
+// warmTo drives the controller until it settles on rung idx under
+// generous bandwidth.
+func warmTo(t *testing.T, c *Client, rungs []Rung, idx int) {
+	t.Helper()
+	top := rungs[len(rungs)-1].BitrateKbps
+	for i := 0; i < 32; i++ {
+		pick, err := c.Choose(rungs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2s chunks at 10x top-rung bandwidth: buffer grows, estimate
+		// climbs, picks ratchet up one rung per round.
+		bits := rungs[pick].BitrateKbps * 2
+		if err := c.OnChunkDownloaded(bits, bits/(10*top), 2); err != nil {
+			t.Fatal(err)
+		}
+		if pick == idx {
+			return
+		}
+	}
+	t.Fatalf("controller never reached rung %d", idx)
+}
+
+// TestEdgeFeedbackDemotesEnhanced: a cold edge (low hit rate, expensive
+// misses) pushes the controller off the enhanced rung until the cache
+// warms back up.
+func TestEdgeFeedbackDemotesEnhanced(t *testing.T) {
+	rungs := edgeLadder(t)
+	enhanced := len(rungs) - 1
+	c := NewClient()
+	warmTo(t, c, rungs, enhanced)
+
+	// Mostly misses, each costing ~6s over a 50ms hit: expected penalty
+	// ~0.8 * 6s, far beyond the buffer headroom.
+	for i := 0; i < 20; i++ {
+		if i%5 == 0 {
+			c.OnEdgeDelivery(true, 0.05)
+		} else {
+			c.OnEdgeDelivery(false, 6.0)
+		}
+	}
+	if hr := c.EdgeHitRate(); hr > 0.5 {
+		t.Fatalf("hit rate EWMA = %.2f, want < 0.5 after miss storm", hr)
+	}
+	pick, err := c.Choose(rungs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rungs[pick].Enhanced {
+		t.Fatalf("picked enhanced rung %d with cold edge (buffer %.1fs)", pick, c.Buffer())
+	}
+
+	// Cache warms: hits dominate, the penalty collapses, and the
+	// enhanced rung comes back (one step per chunk).
+	for i := 0; i < 64; i++ {
+		c.OnEdgeDelivery(true, 0.05)
+	}
+	for i := 0; i < 4; i++ {
+		if pick, err = c.Choose(rungs); err != nil {
+			t.Fatal(err)
+		}
+		bits := rungs[pick].BitrateKbps * 2
+		if err := c.OnChunkDownloaded(bits, bits/(10*rungs[enhanced].BitrateKbps), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rungs[pick].Enhanced {
+		t.Fatalf("never returned to enhanced rung after edge warmed (pick %d)", pick)
+	}
+}
+
+// TestEdgeFeedbackNoObservationsIsNeutral: without feedback the
+// controller behaves exactly as before the delivery tier existed.
+func TestEdgeFeedbackNoObservationsIsNeutral(t *testing.T) {
+	rungs := edgeLadder(t)
+	c := NewClient()
+	warmTo(t, c, rungs, len(rungs)-1)
+	pick, err := c.Choose(rungs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rungs[pick].Enhanced {
+		t.Fatalf("pick %d, want enhanced with no edge feedback", pick)
+	}
+}
+
+// TestEdgeFeedbackHitsOnlyIsNeutral: a perfectly warm edge never
+// demotes — the penalty needs observed misses costlier than hits.
+func TestEdgeFeedbackHitsOnlyIsNeutral(t *testing.T) {
+	rungs := edgeLadder(t)
+	c := NewClient()
+	warmTo(t, c, rungs, len(rungs)-1)
+	for i := 0; i < 50; i++ {
+		c.OnEdgeDelivery(true, 0.05)
+	}
+	pick, err := c.Choose(rungs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rungs[pick].Enhanced {
+		t.Fatalf("pick %d, want enhanced with all-hit edge", pick)
+	}
+}

@@ -1,0 +1,282 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/edge"
+)
+
+// This file is the delivery-tier load generator: it models a viewer
+// population whose stream choices follow a Zipf popularity law (a few
+// streams soak up most viewers — the regime where NeuroScaler's
+// enhance-once amortization pays) and drives an edge with concurrent
+// pulls, subscriptions, and an optional flash crowd. The report feeds
+// the fanout benchmarks: aggregate egress, cache hit rate, and
+// enhancer work per delivered chunk.
+
+// FlashCrowd schedules a mid-run popularity spike: when the first
+// puller of Stream reaches chunk AtChunk, ExtraViewers new pullers
+// pile onto that stream. This exercises the single-flight path under
+// the worst case the paper cares about — many viewers arriving at the
+// same cold chunk at once.
+type FlashCrowd struct {
+	Stream       uint32
+	AtChunk      uint32
+	ExtraViewers int
+}
+
+// FanoutConfig describes one load-generation run against an edge.
+type FanoutConfig struct {
+	// EdgeAddr is the edge's viewer-facing listen address.
+	EdgeAddr string
+	// Streams is the catalog viewers choose from; index 0 is the most
+	// popular rank.
+	Streams []uint32
+	// ChunksPerStream bounds each puller's sequence walk.
+	ChunksPerStream int
+	// Viewers is the initial viewer population (before any flash crowd).
+	Viewers int
+	// ZipfExponent shapes popularity: weight(rank r) = 1/r^s. Zero
+	// defaults to 1.0, the canonical live-stream skew.
+	ZipfExponent float64
+	// SubscribeFraction is the share of viewers that subscribe for
+	// pushed chunks instead of pulling; at least one viewer always
+	// pulls so the catalog advances.
+	SubscribeFraction float64
+	// Seed fixes viewer/stream assignment for reproducible runs.
+	Seed int64
+	// MaxDeliveries, when positive, caps total fetch attempts across
+	// all pullers (they loop the catalog until the budget drains).
+	// Zero means one pass over each puller's stream.
+	MaxDeliveries int64
+	// FetchTimeout is the per-request budget stamped on viewer fetches.
+	FetchTimeout time.Duration
+	// Flash, when non-nil, schedules a flash crowd.
+	Flash *FlashCrowd
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// FanoutReport aggregates one run's delivery totals.
+type FanoutReport struct {
+	// Delivered counts successful fetch replies across all pullers.
+	Delivered int64
+	// Pushes counts chunks delivered to subscribers via fanout.
+	Pushes int64
+	// Errors counts failed dials and fetch errors.
+	Errors int64
+	// FlashViewers is how many flash-crowd pullers actually launched.
+	FlashViewers int64
+	// Elapsed is wall time from first dial to last viewer exit.
+	Elapsed time.Duration
+	// EgressChunksPerSec is (Delivered+Pushes)/Elapsed — the delivery
+	// tier's aggregate output rate.
+	EgressChunksPerSec float64
+}
+
+// zipfPicker samples catalog ranks with probability proportional to
+// 1/rank^exp. Unlike math/rand's Zipf it accepts exponents <= 1, which
+// the acceptance workload (Zipf 1.0) needs.
+type zipfPicker struct {
+	cum []float64
+}
+
+func newZipfPicker(n int, exp float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), exp)
+		cum[i] = total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(r *rand.Rand) int {
+	x := r.Float64() * z.cum[len(z.cum)-1]
+	i := sort.SearchFloat64s(z.cum, x)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+type fanoutRun struct {
+	cfg       FanoutConfig
+	delivered atomic.Int64
+	pushes    atomic.Int64
+	errs      atomic.Int64
+	flashN    atomic.Int64
+	// budget holds remaining deliveries when MaxDeliveries > 0.
+	budget    atomic.Int64
+	capped    bool
+	stop      chan struct{}
+	stopOnce  sync.Once
+	flashOnce sync.Once
+	pullers   sync.WaitGroup
+	subs      sync.WaitGroup
+}
+
+// claim reserves one delivery from the global budget; when the budget
+// drains it signals every viewer to wind down.
+func (r *fanoutRun) claim() bool {
+	if !r.capped {
+		select {
+		case <-r.stop:
+			return false
+		default:
+			return true
+		}
+	}
+	if r.budget.Add(-1) < 0 {
+		r.stopOnce.Do(func() { close(r.stop) })
+		return false
+	}
+	return true
+}
+
+// RunFanout drives the configured viewer population against the edge
+// and blocks until every viewer exits.
+func RunFanout(cfg FanoutConfig) (FanoutReport, error) {
+	if cfg.EdgeAddr == "" {
+		return FanoutReport{}, errors.New("driver: fanout needs an edge address")
+	}
+	if len(cfg.Streams) == 0 || cfg.ChunksPerStream <= 0 || cfg.Viewers <= 0 {
+		return FanoutReport{}, fmt.Errorf("driver: fanout needs streams/chunks/viewers, got %d/%d/%d",
+			len(cfg.Streams), cfg.ChunksPerStream, cfg.Viewers)
+	}
+	if cfg.ZipfExponent == 0 {
+		cfg.ZipfExponent = 1.0
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = edge.DefaultFetchBudget
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	r := &fanoutRun{cfg: cfg, capped: cfg.MaxDeliveries > 0, stop: make(chan struct{})}
+	r.budget.Store(cfg.MaxDeliveries)
+
+	// Assign streams up front from one seeded source so the workload is
+	// reproducible regardless of goroutine interleaving.
+	picker := newZipfPicker(len(cfg.Streams), cfg.ZipfExponent)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nSubs := int(cfg.SubscribeFraction * float64(cfg.Viewers))
+	if nSubs >= cfg.Viewers {
+		nSubs = cfg.Viewers - 1
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Viewers; i++ {
+		stream := cfg.Streams[picker.pick(rng)]
+		if i < nSubs {
+			r.subs.Add(1)
+			go r.subscriber(stream)
+		} else {
+			r.pullers.Add(1)
+			go r.puller(stream)
+		}
+	}
+	cfg.Logf("driver: fanout launched %d pullers + %d subscribers over %d streams",
+		cfg.Viewers-nSubs, nSubs, len(cfg.Streams))
+
+	// Pullers drive the run; once they drain, subscribers have nothing
+	// left to receive.
+	r.pullers.Wait()
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.subs.Wait()
+	elapsed := time.Since(start)
+
+	rep := FanoutReport{
+		Delivered:    r.delivered.Load(),
+		Pushes:       r.pushes.Load(),
+		Errors:       r.errs.Load(),
+		FlashViewers: r.flashN.Load(),
+		Elapsed:      elapsed,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.EgressChunksPerSec = float64(rep.Delivered+rep.Pushes) / s
+	}
+	return rep, nil
+}
+
+// puller walks its stream's chunk sequence, re-looping while a global
+// delivery budget remains.
+func (r *fanoutRun) puller(stream uint32) {
+	defer r.pullers.Done()
+	c, err := edge.Dial(r.cfg.EdgeAddr, r.cfg.FetchTimeout)
+	if err != nil {
+		r.errs.Add(1)
+		return
+	}
+	defer c.Close()
+	for {
+		for seq := 0; seq < r.cfg.ChunksPerStream; seq++ {
+			if !r.claim() {
+				return
+			}
+			if _, err := c.FetchChunk(stream, uint32(seq), 0); err != nil {
+				r.errs.Add(1)
+			} else {
+				r.delivered.Add(1)
+			}
+			if f := r.cfg.Flash; f != nil && stream == f.Stream && uint32(seq) == f.AtChunk {
+				r.flashOnce.Do(func() { r.launchFlashCrowd(f) })
+			}
+		}
+		if !r.capped {
+			return // single pass when no delivery budget is set
+		}
+	}
+}
+
+// launchFlashCrowd spawns the extra pullers. Called from inside a
+// running puller, so the puller WaitGroup counter is necessarily
+// nonzero and Add here cannot race Wait from zero.
+func (r *fanoutRun) launchFlashCrowd(f *FlashCrowd) {
+	r.cfg.Logf("driver: flash crowd: +%d viewers on stream %d at chunk %d",
+		f.ExtraViewers, f.Stream, f.AtChunk)
+	for i := 0; i < f.ExtraViewers; i++ {
+		r.flashN.Add(1)
+		r.pullers.Add(1)
+		go r.puller(f.Stream)
+	}
+}
+
+// subscriber rides fanout pushes populated by other viewers' pulls.
+func (r *fanoutRun) subscriber(stream uint32) {
+	defer r.subs.Done()
+	c, err := edge.Dial(r.cfg.EdgeAddr, r.cfg.FetchTimeout)
+	if err != nil {
+		r.errs.Add(1)
+		return
+	}
+	defer c.Close()
+	if err := c.Subscribe(stream, 0, 0); err != nil {
+		r.errs.Add(1)
+		return
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		p, err := c.NextPush(100 * time.Millisecond)
+		if err != nil {
+			if errors.Is(err, edge.ErrNoPush) {
+				continue
+			}
+			r.errs.Add(1)
+			return
+		}
+		_ = p
+		r.pushes.Add(1)
+	}
+}

@@ -1,0 +1,231 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+// Push is one unsolicited chunk delivery to a subscriber.
+type Push struct {
+	StreamID uint32
+	Chunk    wire.ChunkData
+}
+
+// Client is a viewer-side edge connection. It demuxes the shared conn:
+// replies (echoed Seq) route to the waiting caller, unsolicited pushes
+// (Seq 0) queue for NextPush. Fetches and subscriptions may be issued
+// concurrently from multiple goroutines.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+	wmu     sync.Mutex
+	seqs    wire.SeqSource
+
+	mu      sync.Mutex
+	pending map[uint32]chan wire.Message
+	readErr error
+
+	pushes chan Push
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// pushBacklog bounds queued pushes per client; a viewer that stops
+// draining NextPush loses the oldest pushes rather than stalling the
+// edge's fanout (the live edge of the stream matters more than a
+// backlog).
+const pushBacklog = 256
+
+// Dial connects to an edge. timeout bounds each request round trip
+// (and is the budget stamped on fetches); zero uses
+// DefaultFetchBudget.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultFetchBudget
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("edge: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		timeout: timeout,
+		pending: make(map[uint32]chan wire.Message),
+		pushes:  make(chan Push, pushBacklog),
+		closed:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection and joins the reader.
+func (c *Client) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		// The read deadline re-arms per frame: a client parked on a
+		// subscription may legitimately idle, so the bound is generous —
+		// it exists to kill the goroutine if the edge silently vanishes.
+		_ = c.conn.SetReadDeadline(time.Now().Add(DefaultReadTimeout))
+		msg, err := wire.Read(c.conn, wire.DefaultMaxPayload)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for seq, ch := range c.pending {
+				close(ch)
+				delete(c.pending, seq)
+			}
+			c.mu.Unlock()
+			close(c.pushes)
+			return
+		}
+		if msg.Seq == 0 {
+			if msg.Type != wire.TypeChunkData {
+				continue
+			}
+			cd, err := wire.DecodeChunkData(msg.Payload)
+			if err != nil {
+				continue
+			}
+			select {
+			case c.pushes <- Push{StreamID: msg.StreamID, Chunk: cd}:
+			default:
+				// Backlog full: drop the oldest push to keep the newest.
+				select {
+				case <-c.pushes:
+				default:
+				}
+				select {
+				case c.pushes <- Push{StreamID: msg.StreamID, Chunk: cd}:
+				default:
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.Seq]
+		delete(c.pending, msg.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- msg
+		}
+	}
+}
+
+// roundTrip sends one request frame and waits for its reply.
+func (c *Client) roundTrip(m wire.Message) (wire.Message, error) {
+	seq := c.seqs.Next()
+	m.Seq = seq
+	ch := make(chan wire.Message, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("edge: conn broken: %w", err)
+	}
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	err := wire.Write(c.conn, m)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("edge: write: %w", err)
+	}
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("edge: conn broken: %w", err)
+	}
+	if reply.Type == wire.TypeError {
+		return wire.Message{}, fmt.Errorf("edge: remote: %s", reply.Payload)
+	}
+	return reply, nil
+}
+
+// FetchChunk requests one chunk, stamping the client timeout as the
+// request's end-to-end budget so the edge and origin shed work the
+// viewer has already abandoned.
+func (c *Client) FetchChunk(streamID uint32, seq uint32, quality uint8) (wire.ChunkData, error) {
+	reply, err := c.roundTrip(wire.Message{
+		Type: wire.TypeFetchChunk, StreamID: streamID, Budget: c.timeout,
+		Payload: wire.EncodeFetchChunk(wire.FetchChunk{Seq: seq, Quality: quality}),
+	})
+	if err != nil {
+		return wire.ChunkData{}, err
+	}
+	if reply.Type != wire.TypeChunkData {
+		return wire.ChunkData{}, fmt.Errorf("edge: fetch reply type %v", reply.Type)
+	}
+	cd, err := wire.DecodeChunkData(reply.Payload)
+	if err != nil {
+		return wire.ChunkData{}, fmt.Errorf("edge: fetch reply: %w", err)
+	}
+	return cd, nil
+}
+
+// Subscribe registers for pushes of a stream's chunks from fromSeq on;
+// deliveries arrive via NextPush as other viewers' fetches populate the
+// edge.
+func (c *Client) Subscribe(streamID uint32, fromSeq uint32, quality uint8) error {
+	reply, err := c.roundTrip(wire.Message{
+		Type: wire.TypeSubscribe, StreamID: streamID,
+		Payload: wire.EncodeSubscribe(wire.Subscribe{FromSeq: fromSeq, Quality: quality}),
+	})
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.TypeSubscribe {
+		return fmt.Errorf("edge: subscribe reply type %v", reply.Type)
+	}
+	return nil
+}
+
+// NextPush returns the next subscribed delivery, waiting up to timeout.
+var ErrNoPush = errors.New("edge: no push within timeout")
+
+func (c *Client) NextPush(timeout time.Duration) (Push, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case p, ok := <-c.pushes:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return Push{}, fmt.Errorf("edge: conn broken: %w", err)
+		}
+		return p, nil
+	case <-t.C:
+		return Push{}, ErrNoPush
+	}
+}
+
+// Heartbeat round-trips a liveness probe (and resets the edge's idle
+// reaper for quiet subscriber conns).
+func (c *Client) Heartbeat() error {
+	_, err := c.roundTrip(wire.Message{Type: wire.TypePing})
+	return err
+}

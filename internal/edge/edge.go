@@ -1,0 +1,665 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/neuroscaler/neuroscaler/internal/media"
+	"github.com/neuroscaler/neuroscaler/internal/par"
+	"github.com/neuroscaler/neuroscaler/internal/wire"
+)
+
+const (
+	// DefaultCacheBytes holds a few thousand test-geometry containers —
+	// enough that eviction pressure is a deliberate test knob, not an
+	// accident of defaults.
+	DefaultCacheBytes = 64 << 20
+	// DefaultShards spreads cache locking; fanout-heavy serving touches
+	// the cache from every viewer conn's goroutine.
+	DefaultShards = 8
+	// DefaultUpstreamConns bounds concurrent origin fetches. Misses
+	// beyond it queue for a conn, which is the delivery tier's natural
+	// origin-protection throttle.
+	DefaultUpstreamConns = 4
+	// DefaultFetchBudget is the end-to-end deadline assumed for a fetch
+	// that arrived without a wire budget.
+	DefaultFetchBudget = 10 * time.Second
+	// DefaultReadTimeout is the viewer-conn idle bound. Subscribers that
+	// send nothing must ping within it or be reaped.
+	DefaultReadTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds each delivery write so one stalled
+	// viewer cannot wedge a fanout goroutine.
+	DefaultWriteTimeout = 10 * time.Second
+	// maxRequestPayload caps viewer->edge frames; requests are a few
+	// bytes, so anything large is a protocol violation.
+	maxRequestPayload = 4 << 10
+)
+
+// Config parameterizes an Edge.
+type Config struct {
+	// Upstream is the origin media server's wire address (required).
+	Upstream string
+	// CacheBytes bounds resident cached payload bytes; zero uses
+	// DefaultCacheBytes.
+	CacheBytes int64
+	// Shards is the cache lock-domain count; zero uses DefaultShards.
+	Shards int
+	// UpstreamConns is the origin connection pool size; zero uses
+	// DefaultUpstreamConns.
+	UpstreamConns int
+	// FetchBudget is the deadline granted to fetches that carry no wire
+	// budget; zero uses DefaultFetchBudget.
+	FetchBudget time.Duration
+	// ReadTimeout bounds the wait for the next viewer frame; zero uses
+	// DefaultReadTimeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each delivery write; zero uses
+	// DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// DialUpstream overrides how origin connections are made (fault
+	// injection, wrapped conns); nil uses net.Dial.
+	DialUpstream func(addr string) (net.Conn, error)
+	// PassThrough disables the cache AND single-flight coalescing:
+	// every fetch goes upstream. This is the no-cache baseline the
+	// fanout benchmarks compare against; production edges leave it off.
+	PassThrough bool
+	// Logf sinks diagnostics; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Counters is a point-in-time snapshot of edge activity. CacheHits
+// counts deliveries straight from memory; CacheMisses counts leader
+// fetches to the origin; CoalescedWaits counts deliveries that rode an
+// already-airborne fetch instead of duplicating it. Hit rate for the
+// amortization economics is (hits+coalesced)/(hits+coalesced+misses):
+// coalesced waiters consumed no extra origin work.
+type Counters struct {
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	CoalescedWaits   uint64 `json:"coalesced_waits"`
+	AdmissionRejects uint64 `json:"admission_rejects"`
+	Evictions        uint64 `json:"evictions"`
+	UpstreamErrors   uint64 `json:"upstream_errors"`
+	FanoutPushes     uint64 `json:"fanout_pushes"`
+	FetchesServed    uint64 `json:"fetches_served"`
+	Subscribers      int64  `json:"subscribers"`
+}
+
+// AmortizedRate returns the fraction of chunk deliveries that consumed
+// no fresh origin fetch (cache hits plus coalesced waits).
+func (c Counters) AmortizedRate() float64 {
+	total := c.CacheHits + c.CoalescedWaits + c.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.CacheHits+c.CoalescedWaits) / float64(total)
+}
+
+// Edge is the delivery-tier server: it listens for viewer connections
+// speaking the wire protocol (fetch, subscribe, ping), serves enhanced
+// containers from its cache, and fetches misses from the origin with
+// single-flight coalescing and budget-bounded deadlines.
+type Edge struct {
+	cfg       Config
+	ln        net.Listener
+	cache     *Cache
+	flights   *flightGroup
+	pool      par.SlabPool[byte]
+	upstreams chan *upstreamConn
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	subMu sync.Mutex
+	// subs indexes live subscribers by stream; byConn tracks each
+	// viewer conn's subscriptions for teardown. Both guarded by subMu,
+	// as is every subscriber's lastSeq watermark.
+	subs   map[uint32]map[*subscriber]struct{}
+	byConn map[*viewerConn][]*subscriber
+	nSubs  atomic.Int64
+
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	coalescedWaits   atomic.Uint64
+	admissionRejects atomic.Uint64
+	upstreamErrors   atomic.Uint64
+	fanoutPushes     atomic.Uint64
+	fetchesServed    atomic.Uint64
+
+	hitLatency  *media.LatencyHist
+	missLatency *media.LatencyHist
+}
+
+// NewEdge starts an edge listening on addr (use "127.0.0.1:0" in
+// tests) in front of cfg.Upstream.
+func NewEdge(addr string, cfg Config) (*Edge, error) {
+	if cfg.Upstream == "" {
+		return nil, errors.New("edge: Config.Upstream required")
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.UpstreamConns == 0 {
+		cfg.UpstreamConns = DefaultUpstreamConns
+	}
+	if cfg.FetchBudget == 0 {
+		cfg.FetchBudget = DefaultFetchBudget
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.DialUpstream == nil {
+		cfg.DialUpstream = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("edge: listen: %w", err)
+	}
+	e := &Edge{
+		cfg:         cfg,
+		ln:          ln,
+		cache:       NewCache(cfg.CacheBytes, cfg.Shards),
+		flights:     newFlightGroup(),
+		upstreams:   make(chan *upstreamConn, cfg.UpstreamConns),
+		closed:      make(chan struct{}),
+		subs:        make(map[uint32]map[*subscriber]struct{}),
+		byConn:      make(map[*viewerConn][]*subscriber),
+		hitLatency:  media.NewLatencyHist(),
+		missLatency: media.NewLatencyHist(),
+	}
+	for i := 0; i < cfg.UpstreamConns; i++ {
+		e.upstreams <- &upstreamConn{}
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the edge's listen address.
+func (e *Edge) Addr() string { return e.ln.Addr().String() }
+
+// Close stops accepting, tears down viewer conns, and joins all
+// serving goroutines. Closing twice is a no-op.
+func (e *Edge) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		err = e.ln.Close()
+		e.subMu.Lock()
+		for c := range e.byConn {
+			_ = c.conn.Close()
+		}
+		e.subMu.Unlock()
+		e.wg.Wait()
+		for i := 0; i < cap(e.upstreams); i++ {
+			u := <-e.upstreams
+			if u.conn != nil {
+				_ = u.conn.Close()
+			}
+		}
+	})
+	return err
+}
+
+// Counters snapshots edge activity.
+func (e *Edge) Counters() Counters {
+	return Counters{
+		CacheHits:        e.hits.Load(),
+		CacheMisses:      e.misses.Load(),
+		CoalescedWaits:   e.coalescedWaits.Load(),
+		AdmissionRejects: e.admissionRejects.Load(),
+		Evictions:        e.cache.Evictions(),
+		UpstreamErrors:   e.upstreamErrors.Load(),
+		FanoutPushes:     e.fanoutPushes.Load(),
+		FetchesServed:    e.fetchesServed.Load(),
+		Subscribers:      e.nSubs.Load(),
+	}
+}
+
+// HitLatency exposes the cache-hit serve-latency histogram.
+func (e *Edge) HitLatency() *media.LatencyHist { return e.hitLatency }
+
+// MissLatency exposes the miss (origin round-trip) serve-latency
+// histogram.
+func (e *Edge) MissLatency() *media.LatencyHist { return e.missLatency }
+
+func (e *Edge) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.closed:
+			default:
+				e.cfg.Logf("edge: accept: %v", err)
+			}
+			return
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer conn.Close()
+			if err := e.serveConn(conn); err != nil {
+				e.cfg.Logf("edge: conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// viewerConn wraps one viewer connection with a write lock so the
+// conn's own request/reply goroutine and fanout pushes from other
+// goroutines interleave whole frames, each under a write deadline.
+type viewerConn struct {
+	conn    net.Conn
+	timeout time.Duration
+	mu      sync.Mutex
+}
+
+func (c *viewerConn) write(m wire.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	return wire.Write(c.conn, m)
+}
+
+func (c *viewerConn) writeShared(m wire.Message, prefix, tail []byte, crcPrefix uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	return wire.WriteShared(c.conn, m, prefix, tail, crcPrefix)
+}
+
+func (c *viewerConn) writeError(streamID, seq uint32, err error) error {
+	return c.write(wire.Message{
+		Type: wire.TypeError, StreamID: streamID, Seq: seq, Payload: []byte(err.Error()),
+	})
+}
+
+// subscriber is one viewer's standing request for a stream's chunks.
+// lastSeq is the highest sequence already pushed (subMu-guarded), the
+// at-most-once watermark for fanout.
+type subscriber struct {
+	c       *viewerConn
+	stream  uint32
+	quality uint8
+	lastSeq int64
+}
+
+func (e *Edge) serveConn(conn net.Conn) error {
+	c := &viewerConn{conn: conn, timeout: e.cfg.WriteTimeout}
+	// Register the conn (with no subscriptions yet) so Close can reach
+	// it even while it idles in a read.
+	e.subMu.Lock()
+	e.byConn[c] = nil
+	e.subMu.Unlock()
+	defer e.dropConn(c)
+	select {
+	case <-e.closed:
+		return nil
+	default:
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(e.cfg.ReadTimeout))
+		msg, err := wire.Read(conn, maxRequestPayload)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return nil
+			default:
+			}
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case wire.TypePing:
+			if err := c.write(wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
+				return err
+			}
+		case wire.TypeGoodbye:
+			return nil
+		case wire.TypeFetchChunk:
+			if err := e.handleFetch(c, msg); err != nil {
+				return err
+			}
+		case wire.TypeSubscribe:
+			if err := e.handleSubscribe(c, msg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("edge: unexpected %v frame", msg.Type)
+		}
+	}
+}
+
+// handleFetch serves one chunk request: cache hit, coalesced wait, or
+// leader fetch from the origin. Request-level failures (unknown chunk,
+// origin error) answer with a typed error and keep the conn; only a
+// broken viewer conn is fatal.
+func (e *Edge) handleFetch(c *viewerConn, msg wire.Message) error {
+	req, err := wire.DecodeFetchChunk(msg.Payload)
+	if err != nil {
+		_ = c.writeError(msg.StreamID, msg.Seq, err)
+		return fmt.Errorf("edge: bad fetch payload: %w", err)
+	}
+	start := time.Now()
+	budget := msg.Budget
+	if budget <= 0 {
+		budget = e.cfg.FetchBudget
+	}
+	k := Key{Stream: msg.StreamID, Seq: req.Seq, Quality: req.Quality}
+	ent, hit, err := e.getChunk(k, start.Add(budget))
+	if err != nil {
+		return c.writeError(msg.StreamID, msg.Seq, err)
+	}
+	e.fetchesServed.Add(1)
+	tail := [1]byte{wire.ChunkDataFlags(ent.degraded, hit)}
+	werr := c.writeShared(wire.Message{
+		Type: wire.TypeChunkData, StreamID: k.Stream, Seq: msg.Seq,
+	}, ent.prefix, tail[:], ent.crcPrefix)
+	if hit {
+		e.hitLatency.Observe(time.Since(start))
+	} else {
+		e.missLatency.Observe(time.Since(start))
+	}
+	if werr == nil {
+		e.fanout(k, ent)
+	}
+	ent.release()
+	return werr
+}
+
+// getChunk resolves a key to a refcounted entry: cache first, then the
+// per-key flight (joining an airborne fetch if one exists, else leading
+// one). The caller owns one reference on the returned entry.
+func (e *Edge) getChunk(k Key, deadline time.Time) (ent *entry, hit bool, err error) {
+	if e.cfg.PassThrough {
+		e.misses.Add(1)
+		ent, err = e.fetchUpstream(k, deadline)
+		return ent, false, err
+	}
+	if ent, ok := e.cache.Get(k); ok {
+		e.hits.Add(1)
+		return ent, true, nil
+	}
+	f, leader := e.flights.join(k)
+	if !leader {
+		e.coalescedWaits.Add(1)
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.ent, false, nil
+	}
+	e.misses.Add(1)
+	ent, err = e.fetchUpstream(k, deadline)
+	if err == nil && !e.cache.Admit(ent) {
+		e.admissionRejects.Add(1)
+	}
+	// Admit-then-complete: by the time waiters can refetch, the cache
+	// already holds the entry (or admission deliberately declined it).
+	e.flights.complete(k, f, ent, err)
+	if err != nil {
+		return nil, false, err
+	}
+	return ent, false, nil
+}
+
+func (e *Edge) handleSubscribe(c *viewerConn, msg wire.Message) error {
+	req, err := wire.DecodeSubscribe(msg.Payload)
+	if err != nil {
+		_ = c.writeError(msg.StreamID, msg.Seq, err)
+		return fmt.Errorf("edge: bad subscribe payload: %w", err)
+	}
+	sub := &subscriber{c: c, stream: msg.StreamID, quality: req.Quality, lastSeq: int64(req.FromSeq) - 1}
+	e.subMu.Lock()
+	m := e.subs[msg.StreamID]
+	if m == nil {
+		m = make(map[*subscriber]struct{})
+		e.subs[msg.StreamID] = m
+	}
+	m[sub] = struct{}{}
+	e.byConn[c] = append(e.byConn[c], sub)
+	e.subMu.Unlock()
+	e.nSubs.Add(1)
+	return c.write(wire.Message{Type: wire.TypeSubscribe, StreamID: msg.StreamID, Seq: msg.Seq})
+}
+
+// fanout pushes a just-served chunk to every subscriber of its stream
+// that has not yet seen this sequence, as unsolicited (Seq 0) frames
+// sharing the cached prefix — the marshal-once, write-N path.
+func (e *Edge) fanout(k Key, ent *entry) {
+	e.subMu.Lock()
+	var targets []*subscriber
+	for sub := range e.subs[k.Stream] {
+		if sub.quality == k.Quality && int64(k.Seq) > sub.lastSeq {
+			sub.lastSeq = int64(k.Seq)
+			targets = append(targets, sub)
+		}
+	}
+	e.subMu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	tail := [1]byte{wire.ChunkDataFlags(ent.degraded, true)}
+	msg := wire.Message{Type: wire.TypeChunkData, StreamID: k.Stream, Seq: 0}
+	for _, sub := range targets {
+		if err := sub.c.writeShared(msg, ent.prefix, tail[:], ent.crcPrefix); err != nil {
+			e.cfg.Logf("edge: push to %s: %v", sub.c.conn.RemoteAddr(), err)
+			e.removeSubscriber(sub)
+			continue
+		}
+		e.fanoutPushes.Add(1)
+	}
+}
+
+func (e *Edge) removeSubscriber(sub *subscriber) {
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	m := e.subs[sub.stream]
+	if _, ok := m[sub]; !ok {
+		return
+	}
+	delete(m, sub)
+	if len(m) == 0 {
+		delete(e.subs, sub.stream)
+	}
+	e.nSubs.Add(-1)
+}
+
+func (e *Edge) dropConn(c *viewerConn) {
+	e.subMu.Lock()
+	subs := e.byConn[c]
+	delete(e.byConn, c)
+	for _, sub := range subs {
+		m := e.subs[sub.stream]
+		if _, ok := m[sub]; !ok {
+			continue
+		}
+		delete(m, sub)
+		if len(m) == 0 {
+			delete(e.subs, sub.stream)
+		}
+		e.nSubs.Add(-1)
+	}
+	e.subMu.Unlock()
+}
+
+// upstreamConn is one pooled origin connection; exclusivity comes from
+// the pool channel, so requests on it are strictly serial and replies
+// correlate by echoed Seq.
+type upstreamConn struct {
+	conn net.Conn
+	seqs wire.SeqSource
+}
+
+// fetchUpstream checks out a pooled origin conn, runs one fetch on it,
+// and returns the conn to the pool (broken conns are closed and redial
+// lazily, which is what lets the edge ride out an origin restart).
+func (e *Edge) fetchUpstream(k Key, deadline time.Time) (*entry, error) {
+	var u *upstreamConn
+	select {
+	case u = <-e.upstreams:
+	case <-e.closed:
+		return nil, errors.New("edge: shutting down")
+	}
+	ent, err := e.fetchOn(u, k, deadline)
+	e.upstreams <- u
+	if err != nil {
+		e.upstreamErrors.Add(1)
+	}
+	return ent, err
+}
+
+func (e *Edge) fetchOn(u *upstreamConn, k Key, deadline time.Time) (*entry, error) {
+	budget := time.Until(deadline)
+	if budget <= 0 {
+		return nil, fmt.Errorf("edge: budget exhausted before fetch of stream %d chunk %d", k.Stream, k.Seq)
+	}
+	if u.conn == nil {
+		conn, err := e.cfg.DialUpstream(e.cfg.Upstream)
+		if err != nil {
+			return nil, fmt.Errorf("edge: dial upstream: %w", err)
+		}
+		u.conn = conn
+	}
+	// One deadline covers the whole round trip; the origin gets the
+	// remaining budget and re-derives its own deadline (relative budget
+	// semantics survive clock skew between tiers).
+	_ = u.conn.SetDeadline(deadline)
+	seq := u.seqs.Next()
+	err := wire.Write(u.conn, wire.Message{
+		Type: wire.TypeFetchChunk, StreamID: k.Stream, Seq: seq, Budget: budget,
+		Payload: wire.EncodeFetchChunk(wire.FetchChunk{Seq: k.Seq, Quality: k.Quality}),
+	})
+	if err != nil {
+		u.breakConn()
+		return nil, fmt.Errorf("edge: upstream write: %w", err)
+	}
+	msg, err := wire.ReadPooled(u.conn, wire.DefaultMaxPayload, &e.pool)
+	var ent *entry
+	if err == nil {
+		ent, err = e.parseReply(u, k, seq, msg)
+	} else {
+		u.breakConn()
+		err = fmt.Errorf("edge: upstream read: %w", err)
+	}
+	return ent, err
+}
+
+// parseReply validates one origin reply frame and wraps its payload as
+// a cache entry. Ownership of msg's pooled payload transfers here:
+// every outcome either recycles the slab or hands it to the entry.
+//
+//nslint:slab-transfer msg
+func (e *Edge) parseReply(u *upstreamConn, k Key, seq uint32, msg wire.Message) (*entry, error) {
+	gotSeq, typ := msg.Seq, msg.Type
+	if gotSeq != seq {
+		e.pool.Put(msg.Payload)
+		u.breakConn()
+		return nil, fmt.Errorf("edge: upstream reply seq %d, want %d", gotSeq, seq)
+	}
+	if typ == wire.TypeError {
+		reason := string(msg.Payload)
+		e.pool.Put(msg.Payload)
+		return nil, fmt.Errorf("edge: origin: %s", reason)
+	}
+	if typ != wire.TypeChunkData {
+		e.pool.Put(msg.Payload)
+		u.breakConn()
+		return nil, fmt.Errorf("edge: upstream reply type %v", typ)
+	}
+	ent, err := newEntry(k, msg.Payload, &e.pool)
+	if err != nil {
+		u.breakConn()
+		return nil, err
+	}
+	return ent, nil
+}
+
+// newEntry wraps a raw ChunkData payload slab as a refcounted cache
+// entry with one reference held by the caller. Ownership of slab
+// transfers here: on a malformed payload the slab goes straight back to
+// the pool.
+//
+//nslint:slab-transfer slab
+func newEntry(k Key, slab []byte, pool *par.SlabPool[byte]) (*entry, error) {
+	cd, err := wire.DecodeChunkDataAlias(slab)
+	if err != nil {
+		pool.Put(slab)
+		return nil, fmt.Errorf("edge: upstream chunk data: %w", err)
+	}
+	if cd.Seq != k.Seq {
+		pool.Put(slab)
+		return nil, fmt.Errorf("edge: origin sent chunk %d, want %d", cd.Seq, k.Seq)
+	}
+	prefix, _, err := wire.ChunkDataPrefix(slab)
+	if err != nil {
+		pool.Put(slab)
+		return nil, fmt.Errorf("edge: upstream chunk data: %w", err)
+	}
+	ent := &entry{key: k, degraded: cd.Degraded, pool: pool}
+	ent.prefix = prefix
+	ent.crcPrefix = crc32.ChecksumIEEE(prefix)
+	ent.slab = slab
+	ent.refs.Store(1)
+	return ent, nil
+}
+
+// breakConn discards a conn after a protocol or I/O failure so the
+// next fetch redials.
+func (u *upstreamConn) breakConn() {
+	if u.conn != nil {
+		_ = u.conn.Close()
+		u.conn = nil
+	}
+}
+
+// MetricsHandler serves GET /metrics in Prometheus text format: the
+// delivery counters plus the hit-vs-miss serve-latency split that the
+// ops runbook keys on (a rising miss histogram with flat hits means
+// origin trouble, not edge trouble).
+func (e *Edge) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c := e.Counters()
+		media.WriteCounter(w, "neuroscaler_edge_cache_hits_total", "Deliveries served from cache.", c.CacheHits)
+		media.WriteCounter(w, "neuroscaler_edge_cache_misses_total", "Leader fetches to the origin.", c.CacheMisses)
+		media.WriteCounter(w, "neuroscaler_edge_coalesced_waits_total", "Deliveries that rode another viewer's in-flight fetch.", c.CoalescedWaits)
+		media.WriteCounter(w, "neuroscaler_edge_admission_rejects_total", "Fetched entries the popularity sketch declined to cache.", c.AdmissionRejects)
+		media.WriteCounter(w, "neuroscaler_edge_evictions_total", "Entries displaced by admission pressure.", c.Evictions)
+		media.WriteCounter(w, "neuroscaler_edge_upstream_errors_total", "Failed origin fetches.", c.UpstreamErrors)
+		media.WriteCounter(w, "neuroscaler_edge_fanout_pushes_total", "Unsolicited chunk pushes to subscribers.", c.FanoutPushes)
+		media.WriteCounter(w, "neuroscaler_edge_fetches_served_total", "Fetch requests answered with chunk data.", c.FetchesServed)
+		media.WriteGauge(w, "neuroscaler_edge_subscribers", "Live subscriber registrations.", float64(c.Subscribers))
+		media.WriteGauge(w, "neuroscaler_edge_cache_entries", "Resident cache entries.", float64(e.cache.Len()))
+		media.WriteGauge(w, "neuroscaler_edge_cache_bytes", "Resident cached payload bytes.", float64(e.cache.Bytes()))
+		media.WriteGauge(w, "neuroscaler_edge_amortized_rate", "Fraction of deliveries needing no fresh origin fetch.", c.AmortizedRate())
+		e.hitLatency.WritePrometheus(w, "neuroscaler_edge_hit_latency_seconds", "Serve latency of cache-hit deliveries.")
+		e.missLatency.WritePrometheus(w, "neuroscaler_edge_miss_latency_seconds", "Serve latency of deliveries that waited on an origin fetch.")
+	})
+	return mux
+}

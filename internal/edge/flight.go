@@ -1,0 +1,62 @@
+package edge
+
+import "sync"
+
+// flight is one in-progress upstream fetch that concurrent missers of
+// the same key wait on instead of duplicating. The leader publishes the
+// result and grants each waiter its own entry reference before closing
+// done, so waiters never race the cache's release.
+type flight struct {
+	done    chan struct{}
+	waiters int
+	ent     *entry
+	err     error
+}
+
+// flightGroup coalesces upstream fetches per key: at most one flight
+// per key is airborne at a time. This is what turns N viewers arriving
+// at a cold chunk into exactly one origin fetch and one enhancement.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[Key]*flight)}
+}
+
+// join returns the flight for k and whether the caller is its leader.
+// Leaders must eventually call complete; waiters block on f.done and
+// then read f.ent/f.err, releasing f.ent when their delivery is
+// written.
+func (g *flightGroup) join(k Key) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[k]; ok {
+		f.waiters++
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[k] = f
+	return f, true
+}
+
+// complete publishes the leader's result: it retires the flight, grants
+// one reference per waiter (the leader keeps its own creator
+// reference), and wakes everyone. The caller must already have admitted
+// ent to the cache (or decided not to) — retiring the flight after the
+// cache insert closes the window where a new misser would find neither
+// the flight nor the cached entry and refetch.
+func (g *flightGroup) complete(k Key, f *flight, ent *entry, err error) {
+	g.mu.Lock()
+	delete(g.flights, k)
+	waiters := f.waiters
+	g.mu.Unlock()
+	if ent != nil {
+		for i := 0; i < waiters; i++ {
+			ent.retain()
+		}
+	}
+	f.ent, f.err = ent, err
+	close(f.done)
+}

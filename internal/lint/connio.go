@@ -18,7 +18,7 @@ const (
 // connIOPkgs are the packages where every connection touch must be
 // deadline-armed: a stuck peer must cost bounded wall-clock, never a
 // wedged goroutine (the paper's serving path holds frame deadlines).
-var connIOPkgs = []string{"media", "wire", "faults"}
+var connIOPkgs = []string{"media", "wire", "faults", "edge"}
 
 // ConnIO requires every net.Conn read or write — direct method calls and
 // conn arguments handed to wire.Read/wire.Write/io helpers — to be

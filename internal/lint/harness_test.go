@@ -144,6 +144,19 @@ func TestOwnershipShedQueueCleanFixture(t *testing.T) {
 	runFixture(t, Ownership, "ownership/shedqclean")
 }
 
+// The delivery tier's cache-entry lifecycle: borrow once, fanout-write
+// to every subscriber, release exactly once. The flagging fixture
+// breaks each rule (use after release, cross-function double free,
+// channel publish with a dropping consumer).
+func TestOwnershipFanoutFixture(t *testing.T) { runFixture(t, Ownership, "ownership/fanout") }
+
+// The clean mirror: inline release after the last delivery, shed-point
+// release on admission decline, and a channel consumer that discharges
+// every published payload.
+func TestOwnershipFanoutCleanFixture(t *testing.T) {
+	runFixture(t, Ownership, "ownership/fanoutclean")
+}
+
 func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder, "lockorder/media") }
 
 // Documented edges, Locked-suffix callees, and sequential acquisitions

@@ -1,0 +1,68 @@
+// Package fanout is the flagging fixture for the delivery-tier cache
+// entry handoff: a container payload is borrowed from the slab pool,
+// marshalled once, written to every subscriber conn, and released when
+// the last delivery completes. Each function below breaks one rule of
+// that lifecycle.
+package fanout
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+// conn is a subscriber connection the fanout loop writes to.
+type conn struct{ wrote int }
+
+func (c *conn) write(b []byte) { c.wrote += len(b) }
+
+var (
+	pool  par.SlabPool[byte]
+	subCh = make(chan []byte, 8)
+)
+
+// fanoutUseAfterRelease writes the cached container to every
+// subscriber, releases the slab, then touches it again for a trailing
+// byte-count metric: by then the pool may have handed the slab to a
+// concurrent fetch.
+func fanoutUseAfterRelease(conns []*conn, n int) byte {
+	buf := pool.Get(n)
+	for _, c := range conns {
+		c.write(buf)
+	}
+	pool.Put(buf)
+	return buf[0] // want `use of pooled buffer "buf" after its release`
+}
+
+// releaseEntry is the cache's eviction hook: once called, it owns the
+// slab and returns it to the pool.
+func releaseEntry(p *par.SlabPool[byte], buf []byte) {
+	p.Put(buf)
+}
+
+// evictThenRelease releases through the eviction hook and then again
+// inline when the fanout write fails — the cross-function double free
+// only the call-graph summary can see.
+func evictThenRelease(c *conn, n int, writeFailed bool) {
+	buf := pool.Get(n)
+	c.write(buf)
+	releaseEntry(&pool, buf)
+	if writeFailed {
+		pool.Put(buf) // want `released more than once on this path`
+	}
+}
+
+// publishToSubscribers hands the slab to the subscriber channel, but
+// the delivery loop below drops slow subscribers' payloads without
+// returning them to the pool.
+func publishToSubscribers(n int) {
+	buf := pool.Get(n)
+	subCh <- buf // want `sent on a channel with no receiving path that releases or retains it`
+}
+
+// deliveryLoop consumes published payloads; slow-subscriber drops and
+// served entries alike leak the slab.
+func deliveryLoop(c *conn, slow bool) {
+	for b := range subCh {
+		if slow {
+			continue // dropped delivery: slab lost
+		}
+		c.write(b)
+	}
+}

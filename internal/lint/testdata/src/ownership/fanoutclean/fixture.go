@@ -1,0 +1,70 @@
+// Package fanoutclean is the non-flagging fixture for the delivery-tier
+// cache entry handoff: the container slab is borrowed once, written to
+// every subscriber without re-marshalling, and discharged exactly once
+// on every path — inline after the last delivery, at the shed point
+// when admission declines, or by the delivery loop that owns payloads
+// published to the subscriber channel.
+package fanoutclean
+
+import "github.com/neuroscaler/neuroscaler/internal/par"
+
+// conn is a subscriber connection the fanout loop writes to.
+type conn struct{ wrote int }
+
+func (c *conn) write(b []byte) { c.wrote += len(b) }
+
+var (
+	pool  par.SlabPool[byte]
+	subCh = make(chan []byte, 8)
+)
+
+// serveAndFanout is the steady-state path: one marshalled container
+// serves the requesting viewer and every subscriber, then the slab goes
+// back exactly once.
+func serveAndFanout(requester *conn, subs []*conn, n int) {
+	buf := pool.Get(n)
+	requester.write(buf)
+	for _, c := range subs {
+		c.write(buf)
+	}
+	pool.Put(buf)
+}
+
+// admitOrShed models popularity-weighted admission: a declined entry
+// releases at the shed point after serving its one in-flight delivery,
+// an admitted one transfers to the subscriber channel whose delivery
+// loop discharges it.
+func admitOrShed(requester *conn, n int, admit bool) {
+	buf := pool.Get(n)
+	requester.write(buf)
+	if !admit {
+		pool.Put(buf)
+		return
+	}
+	subCh <- buf
+}
+
+// deliveryLoop owns every published payload: written or dropped, the
+// slab returns to the pool exactly once.
+func deliveryLoop(c *conn, slow bool) {
+	for b := range subCh {
+		if !slow {
+			c.write(b)
+		}
+		pool.Put(b)
+	}
+}
+
+// releaseEntry is the eviction hook; evictAfterFanout releases only
+// through it, never inline as well.
+func releaseEntry(p *par.SlabPool[byte], buf []byte) {
+	p.Put(buf)
+}
+
+func evictAfterFanout(subs []*conn, n int) {
+	buf := pool.Get(n)
+	for _, c := range subs {
+		c.write(buf)
+	}
+	releaseEntry(&pool, buf)
+}

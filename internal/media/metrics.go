@@ -8,12 +8,13 @@ import (
 	"time"
 )
 
-// latencyHist is a fixed-bucket latency histogram with lock-free
+// LatencyHist is a fixed-bucket latency histogram with lock-free
 // observation: per-bucket counters plus a running sum and max. The max
 // stands in for the +Inf bucket's upper bound when reading quantiles,
 // so a p99 pulled from the histogram is never reported lower than an
-// observation that actually happened.
-type latencyHist struct {
+// observation that actually happened. It backs the origin's overload
+// observables and the edge tier's hit/miss serve-latency split.
+type LatencyHist struct {
 	bounds []time.Duration // ascending upper bounds; one extra +Inf bucket
 	counts []atomic.Uint64 // len(bounds)+1
 	sum    atomic.Int64    // nanoseconds
@@ -30,13 +31,14 @@ func defaultLatencyBounds() []time.Duration {
 	return bounds
 }
 
-func newLatencyHist() *latencyHist {
+// NewLatencyHist returns an empty histogram over the default bounds.
+func NewLatencyHist() *LatencyHist {
 	bounds := defaultLatencyBounds()
-	return &latencyHist{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &LatencyHist{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// observe records one latency sample.
-func (h *latencyHist) observe(d time.Duration) {
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
@@ -51,8 +53,8 @@ func (h *latencyHist) observe(d time.Duration) {
 	}
 }
 
-// count reports the total number of observations.
-func (h *latencyHist) count() uint64 {
+// Count reports the total number of observations.
+func (h *LatencyHist) Count() uint64 {
 	var n uint64
 	for i := range h.counts {
 		n += h.counts[i].Load()
@@ -60,12 +62,12 @@ func (h *latencyHist) count() uint64 {
 	return n
 }
 
-// quantile reports an upper bound for the q-quantile (0 < q <= 1): the
+// Quantile reports an upper bound for the q-quantile (0 < q <= 1): the
 // upper bound of the bucket holding the rank-q observation, with the
 // recorded max standing in for the +Inf bucket. Zero observations yield
 // zero.
-func (h *latencyHist) quantile(q float64) time.Duration {
-	total := h.count()
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.Count()
 	if total == 0 {
 		return 0
 	}
@@ -83,9 +85,9 @@ func (h *latencyHist) quantile(q float64) time.Duration {
 	return time.Duration(h.max.Load())
 }
 
-// writePrometheus emits the histogram in Prometheus text exposition
+// WritePrometheus emits the histogram in Prometheus text exposition
 // format (cumulative le buckets in seconds) under name.
-func (h *latencyHist) writePrometheus(w io.Writer, name, help string) {
+func (h *LatencyHist) WritePrometheus(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum uint64
 	for i, b := range h.bounds {
@@ -98,12 +100,12 @@ func (h *latencyHist) writePrometheus(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
-// writeCounter emits one Prometheus counter.
-func writeCounter(w io.Writer, name, help string, v uint64) {
+// WriteCounter emits one Prometheus counter.
+func WriteCounter(w io.Writer, name, help string, v uint64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }
 
-// writeGauge emits one Prometheus gauge.
-func writeGauge(w io.Writer, name, help string, v float64) {
+// WriteGauge emits one Prometheus gauge.
+func WriteGauge(w io.Writer, name, help string, v float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 }

@@ -106,6 +106,22 @@ type ServerConfig struct {
 	// private one when Brownout is enabled; with both absent, selection
 	// uses AnchorFraction untouched.
 	Budget *sched.Budget
+	// LazyEnhancement defers anchor enhancement to first fetch: ingest
+	// stores packets-only containers (no decode, no selection, no
+	// enhancer spend), and the first TypeFetchChunk for a chunk runs the
+	// decode → select → enhance → package build on demand, deduplicated
+	// by an origin-side single flight. Because chunks are GOP-aligned
+	// (key frames reset both reference slots) and selection and
+	// enhancement are deterministic, the built container is byte-
+	// identical to the eager path's. This is the delivery-tier
+	// amortization mode: enhancement cost becomes per-catalog-entry, paid
+	// only for chunks somebody watches.
+	LazyEnhancement bool
+	// LazyNoRetain, with LazyEnhancement, drops the built container
+	// after serving instead of writing it back to the store, so every
+	// fetch re-enhances. It models the un-amortized pass-through
+	// baseline (or a storage-constrained origin) for benchmarks.
+	LazyNoRetain bool
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...any)
 }
@@ -140,6 +156,15 @@ type ServerCounters struct {
 	// ChunksFloored counts low-priority chunks degraded to the bilinear
 	// floor by the brownout ladder.
 	ChunksFloored uint64 `json:"chunks_floored"`
+	// ChunksDeferred counts chunks stored packets-only at ingest with
+	// their enhancement deferred to first fetch (lazy-enhancement mode).
+	ChunksDeferred uint64 `json:"chunks_deferred"`
+	// LazyBuilds counts fetch-time enhancement builds actually run (each
+	// coalesces any concurrent fetches of the same chunk).
+	LazyBuilds uint64 `json:"lazy_builds"`
+	// FetchesServed counts TypeFetchChunk requests answered with chunk
+	// data.
+	FetchesServed uint64 `json:"fetches_served"`
 }
 
 type serverCounters struct {
@@ -148,7 +173,8 @@ type serverCounters struct {
 	anchorsRejected                 atomic.Uint64
 	anchorsSelected, anchorsExpired atomic.Uint64
 	chunksShed, chunksExpired       atomic.Uint64
-	chunksFloored                   atomic.Uint64
+	chunksFloored, chunksDeferred   atomic.Uint64
+	lazyBuilds, fetchesServed       atomic.Uint64
 }
 
 // StageStats snapshots the pipeline's per-stage latency accounting (total
@@ -214,8 +240,8 @@ type Server struct {
 	// brownout controller's input signal. admitStoreHist measures the
 	// full admit → stored latency per chunk (the SLO the chaos tests
 	// bound).
-	queueDelayHist *latencyHist
-	admitStoreHist *latencyHist
+	queueDelayHist *LatencyHist
+	admitStoreHist *LatencyHist
 
 	// anchorSlots is the server-wide in-flight bound on anchor RPCs; a
 	// batch of n anchors holds n slots. slotMu serializes multi-slot
@@ -231,6 +257,13 @@ type Server struct {
 	// their single exact-size store allocation. Ownership is linear:
 	// reader → decode stage → package stage, which alone may Put.
 	ingestArena par.SlabPool[byte]
+
+	// buildMu serializes the lazy-build single flight; builds is guarded
+	// by buildMu. Each in-flight fetch-time enhancement build has one
+	// entry; concurrent fetches of the same chunk join it instead of
+	// re-enhancing.
+	buildMu sync.Mutex
+	builds  map[buildKey]*buildCall
 
 	mu sync.Mutex
 	// streams is guarded by mu.
@@ -334,9 +367,10 @@ func NewServer(addr string, enhancer AnchorEnhancer, cfg ServerConfig) (*Server,
 		ln:             ln,
 		budget:         budget,
 		brownout:       newBrownout(cfg.Brownout, budget),
-		queueDelayHist: newLatencyHist(),
-		admitStoreHist: newLatencyHist(),
+		queueDelayHist: NewLatencyHist(),
+		admitStoreHist: NewLatencyHist(),
 		anchorSlots:    make(chan struct{}, cfg.MaxInFlightAnchors),
+		builds:         make(map[buildKey]*buildCall),
 		streams:        make(map[uint32]*serverStream),
 		closed:         make(chan struct{}),
 	}
@@ -364,6 +398,9 @@ func (s *Server) Counters() ServerCounters {
 		ChunksShed:      s.counters.chunksShed.Load(),
 		ChunksExpired:   s.counters.chunksExpired.Load(),
 		ChunksFloored:   s.counters.chunksFloored.Load(),
+		ChunksDeferred:  s.counters.chunksDeferred.Load(),
+		LazyBuilds:      s.counters.lazyBuilds.Load(),
+		FetchesServed:   s.counters.fetchesServed.Load(),
 	}
 }
 
@@ -374,7 +411,7 @@ func (s *Server) BrownoutLevel() int { return s.brownout.Level() }
 // AdmitToStoreP99 reports the p99 admit-to-store latency across chunks
 // that carried an admission timestamp (an upper bucket bound; zero with
 // no observations).
-func (s *Server) AdmitToStoreP99() time.Duration { return s.admitStoreHist.quantile(0.99) }
+func (s *Server) AdmitToStoreP99() time.Duration { return s.admitStoreHist.Quantile(0.99) }
 
 // StageStats returns a snapshot of the pipeline stage accounting.
 func (s *Server) StageStats() StageStats {
@@ -525,8 +562,17 @@ func (s *Server) serveIngest(conn net.Conn) error {
 		// Payload ownership rides the job into the pipeline; the package
 		// stage is the single release point (see ingestArena).
 		job := &ingestJob{msg: msg}
-		if msg.Type == wire.TypeChunk {
+		switch msg.Type {
+		case wire.TypeChunk:
 			s.admitChunk(job)
+		case wire.TypeFetchChunk:
+			// A fetch's wire budget bounds any lazy enhancement build it
+			// triggers; the deadline is re-derived here from arrival time
+			// (relative-budget semantics, as with chunks).
+			job.admitted = time.Now()
+			if msg.Budget > 0 {
+				job.deadline = job.admitted.Add(msg.Budget)
+			}
 		}
 		decodeCh <- job
 		if p.fatal.Load() {
@@ -598,7 +644,7 @@ func (s *Server) decodeStage(job *ingestJob) {
 	if !job.admitted.IsZero() {
 		now := time.Now()
 		queueDelay := now.Sub(job.admitted)
-		s.queueDelayHist.observe(queueDelay)
+		s.queueDelayHist.Observe(queueDelay)
 		occupancy := float64(s.stages.anchorsInFlight.Load()) / float64(s.cfg.MaxInFlightAnchors)
 		s.brownout.observe(now, queueDelay, occupancy)
 		if expired(job.deadline, now) {
@@ -610,6 +656,20 @@ func (s *Server) decodeStage(job *ingestJob) {
 	if st.hello.Priority > 0 && s.brownout.floorLowPriority() {
 		s.counters.chunksFloored.Add(1)
 		s.floorChunk(job, st)
+		return
+	}
+	if s.cfg.LazyEnhancement {
+		// Delivery-tier amortization: store the packets-only container now
+		// (cheap — no decode, no selection) and run the enhancement build
+		// when a fetch first asks for this chunk. GOP alignment keeps the
+		// stream's decoder state valid across the skip, exactly as in
+		// floorChunk.
+		s.counters.chunksDeferred.Add(1)
+		s.floorChunk(job, st)
+		if job.pc != nil {
+			job.pc.floored = false
+			job.pc.pending = true
+		}
 		return
 	}
 	// Packets alias the pooled payload rather than copying out of it; the
@@ -775,6 +835,9 @@ type pendingChunk struct {
 	// floored marks a chunk shipped at the bilinear floor (expired
 	// deadline or brownout): no anchors were selected or dispatched.
 	floored bool
+	// pending marks a lazy-enhancement chunk stored packets-only with
+	// its build deferred to first fetch (not degraded, not final).
+	pending bool
 }
 
 type anchorOutcome struct {
@@ -876,6 +939,8 @@ func (s *Server) packageStage(p *ingestPipeline, job *ingestJob) {
 		if err := p.w.write(wire.Message{Type: wire.TypePong, StreamID: msg.StreamID, Seq: msg.Seq}); err != nil {
 			p.fail(err)
 		}
+	case msg.Type == wire.TypeFetchChunk:
+		s.handleFetch(p, job)
 	case job.pc != nil:
 		s.packageChunk(p, job)
 	default:
@@ -918,10 +983,13 @@ func (s *Server) registerStream(msg wire.Message) error {
 	return nil
 }
 
-// packageChunk finishes one chunk: collect the fan-out, retry
-// stragglers, assemble, marshal, store, ack.
-func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
-	pc := job.pc
+// assembleChunk finishes one chunk's enhancement fan-out and produces
+// its marshalled container: wait out the fan-out, rescue stragglers,
+// validate and fill anchors in deterministic order, marshal. It is
+// shared by the ingest package stage and the fetch-time lazy build —
+// both produce byte-identical containers because outcomes land by
+// selection index regardless of which path ran them.
+func (s *Server) assembleChunk(pc *pendingChunk, deadline time.Time) ([]byte, bool, error) {
 	start := time.Now()
 	pc.wg.Wait()
 	s.stages.enhanceWaitNanos.Add(int64(time.Since(start)))
@@ -936,7 +1004,7 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 	// ran out of deadline budget are not rescued — their chunk is late
 	// already — and the whole pass is skipped once the chunk's own
 	// deadline has passed.
-	if !expired(job.deadline, time.Now()) {
+	if !expired(deadline, time.Now()) {
 		for si := range pc.outcomes {
 			out := &pc.outcomes[si]
 			if out.err == nil || !errors.Is(out.err, ErrEnhancerUnavailable) || errors.Is(out.err, ErrDeadlineExceeded) {
@@ -974,10 +1042,6 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 		s.counters.anchorsEnhanced.Add(1)
 		pc.container.Frames[i].Anchor = out.res.Encoded
 	}
-	s.counters.chunksProcessed.Add(1)
-	if degraded {
-		s.counters.chunksDegraded.Add(1)
-	}
 
 	// The chunk's bytes are allocated exactly once: one right-sized
 	// buffer, marshaled into directly (video packets still alias the
@@ -985,20 +1049,222 @@ func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
 	start = time.Now()
 	data, err := pc.container.MarshalAppend(make([]byte, 0, pc.container.MarshalSize()))
 	if err != nil {
+		return nil, degraded, err
+	}
+	s.stages.packageNanos.Add(int64(time.Since(start)))
+	s.stages.packageCount.Add(1)
+	return data, degraded, nil
+}
+
+// packageChunk finishes one chunk: collect the fan-out, retry
+// stragglers, assemble, marshal, store, ack.
+func (s *Server) packageChunk(p *ingestPipeline, job *ingestJob) {
+	pc := job.pc
+	data, degraded, err := s.assembleChunk(pc, job.deadline)
+	if err != nil {
 		_ = p.w.writeError(job.msg, err)
 		p.fail(err)
 		return
 	}
-	seq := s.store.AppendChunk(pc.streamID, data, degraded)
-	s.stages.packageNanos.Add(int64(time.Since(start)))
-	s.stages.packageCount.Add(1)
+	s.counters.chunksProcessed.Add(1)
+	if degraded {
+		s.counters.chunksDegraded.Add(1)
+	}
+	seq := s.store.AppendChunkState(pc.streamID, data, degraded, pc.pending)
 	if !job.admitted.IsZero() {
-		s.admitStoreHist.observe(time.Since(job.admitted))
+		s.admitStoreHist.Observe(time.Since(job.admitted))
 	}
 
 	if err := p.w.write(wire.Message{Type: wire.TypeAck, StreamID: pc.streamID, Seq: uint32(seq)}); err != nil {
 		p.fail(err)
 	}
+}
+
+// buildKey identifies one chunk's fetch-time enhancement build.
+type buildKey struct {
+	streamID uint32
+	seq      int
+}
+
+// buildCall is one in-flight lazy build; done closes once data,
+// degraded, and err are final.
+type buildCall struct {
+	done     chan struct{}
+	data     []byte
+	degraded bool
+	err      error
+}
+
+// handleFetch answers one TypeFetchChunk request from the package stage
+// (in order, like every reply on an ingest connection). Missing chunks
+// and failed builds produce non-fatal typed error replies — a delivery
+// tier multiplexing many streams over one connection must survive a
+// stale fetch — while malformed payloads tear the connection down like
+// any protocol breach.
+func (s *Server) handleFetch(p *ingestPipeline, job *ingestJob) {
+	msg := job.msg
+	req, err := wire.DecodeFetchChunk(msg.Payload)
+	if err != nil {
+		_ = p.w.writeError(msg, err)
+		p.fail(err)
+		return
+	}
+	reply := func(err error) {
+		if werr := p.w.writeError(msg, err); werr != nil {
+			p.fail(werr)
+		}
+	}
+	if req.Quality != 0 {
+		reply(fmt.Errorf("media: origin serves quality 0 only, not %d", req.Quality))
+		return
+	}
+	data, degraded, pending, err := s.store.ChunkState(msg.StreamID, int(req.Seq))
+	if err != nil {
+		reply(err)
+		return
+	}
+	if pending {
+		data, degraded, err = s.buildEnhanced(msg.StreamID, int(req.Seq), job.deadline)
+		if err != nil {
+			reply(err)
+			return
+		}
+	}
+	s.counters.fetchesServed.Add(1)
+	out := wire.Message{
+		Type:     wire.TypeChunkData,
+		StreamID: msg.StreamID,
+		Seq:      msg.Seq,
+		Payload:  wire.EncodeChunkData(wire.ChunkData{Seq: req.Seq, Data: data, Degraded: degraded}),
+	}
+	if err := p.w.write(out); err != nil {
+		p.fail(err)
+	}
+}
+
+// buildEnhanced is the origin-side single flight around the fetch-time
+// enhancement build: concurrent fetches of the same pending chunk share
+// one build (and its result) instead of re-enhancing. The leader's
+// deadline bounds the build; joiners inherit the shared outcome even if
+// their own budgets differ, because a result built under any deadline
+// is byte-identical or a typed error.
+func (s *Server) buildEnhanced(streamID uint32, seq int, deadline time.Time) ([]byte, bool, error) {
+	key := buildKey{streamID: streamID, seq: seq}
+	s.buildMu.Lock()
+	if c, ok := s.builds[key]; ok {
+		s.buildMu.Unlock()
+		<-c.done
+		return c.data, c.degraded, c.err
+	}
+	c := &buildCall{done: make(chan struct{})}
+	s.builds[key] = c
+	s.buildMu.Unlock()
+
+	c.data, c.degraded, c.err = s.buildChunk(streamID, seq, deadline)
+
+	// Write-back (when retained) happens in buildChunk before the flight
+	// entry is removed, so a fetch arriving after the delete sees the
+	// finished chunk, never a second build.
+	s.buildMu.Lock()
+	delete(s.builds, key)
+	s.buildMu.Unlock()
+	close(c.done)
+	return c.data, c.degraded, c.err
+}
+
+// buildChunk runs one deferred enhancement build: decode the stored
+// packets-only container on a fresh decoder (bit-identical to the
+// ingest-time decode — chunks are GOP-aligned and key frames reset both
+// reference slots), select anchors with the same budgeted fraction,
+// dispatch through the same fan-out, and assemble. When retention is on
+// the finished container replaces the pending one.
+func (s *Server) buildChunk(streamID uint32, seq int, deadline time.Time) ([]byte, bool, error) {
+	s.mu.Lock()
+	st := s.streams[streamID]
+	s.mu.Unlock()
+	if st == nil {
+		return nil, false, fmt.Errorf("media: unknown stream %d", streamID)
+	}
+	stored, degraded, pending, err := s.store.ChunkState(streamID, seq)
+	if err != nil {
+		return nil, false, err
+	}
+	if !pending {
+		// Raced a concurrent build's write-back: the chunk is final.
+		return stored, degraded, nil
+	}
+	container := new(hybrid.Container)
+	if err := container.UnmarshalBinary(stored); err != nil {
+		return nil, false, fmt.Errorf("media: stream %d chunk %d: %w", streamID, seq, err)
+	}
+
+	dec, err := vcodec.NewDecoder(st.hello.Config.Width, st.hello.Config.Height)
+	if err != nil {
+		return nil, false, err
+	}
+	dec.CaptureResidual = false
+	start := time.Now()
+	decoded := make([]*vcodec.Decoded, len(container.Frames))
+	infos := make([]vcodec.Info, len(container.Frames))
+	for i := range container.Frames {
+		d, err := dec.Decode(container.Frames[i].VideoPacket)
+		if err != nil {
+			return nil, false, fmt.Errorf("media: stream %d packet %d: %w", streamID, i, err)
+		}
+		decoded[i] = d
+		infos[i] = d.Info
+	}
+	s.stages.decodeNanos.Add(int64(time.Since(start)))
+	s.stages.decodeCount.Add(1)
+	if infos[0].Type != vcodec.Key {
+		return nil, false, fmt.Errorf("media: stream %d chunk %d does not start with a key frame", streamID, seq)
+	}
+
+	start = time.Now()
+	metas := anchor.MetasFromInfos(infos)
+	cands := anchor.ZeroInferenceGains(metas)
+	frac := s.budget.Fraction(streamID, s.cfg.AnchorFraction)
+	n := int(frac*float64(len(container.Frames)) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	selected := anchor.SelectTopN(cands, n)
+	s.counters.anchorsSelected.Add(uint64(len(selected)))
+	s.stages.selectNanos.Add(int64(time.Since(start)))
+	s.stages.selectCount.Add(1)
+
+	pc := &pendingChunk{
+		streamID:  streamID,
+		st:        st,
+		container: container,
+		selected:  selected,
+		jobs:      make([]wire.AnchorJob, len(selected)),
+		outcomes:  make([]anchorOutcome, len(selected)),
+	}
+	for si, c := range selected {
+		i := c.Meta.Packet
+		pc.jobs[si] = wire.AnchorJob{
+			Packet:       i,
+			DisplayIndex: decoded[i].Info.DisplayIndex,
+			QP:           st.qp,
+			Frame:        decoded[i].Frame,
+			Deadline:     deadline,
+		}
+	}
+	s.dispatchAnchors(pc)
+	data, builtDegraded, err := s.assembleChunk(pc, deadline)
+	if err != nil {
+		return nil, false, err
+	}
+	s.counters.lazyBuilds.Add(1)
+	if !s.cfg.LazyNoRetain {
+		if err := s.store.ReplaceChunk(streamID, seq, data, builtDegraded); err != nil {
+			// The chunk fell out of the retention window mid-build; the
+			// requester still gets the bytes.
+			s.cfg.Logf("media: stream %d chunk %d write-back: %v", streamID, seq, err)
+		}
+	}
+	return data, builtDegraded, nil
 }
 
 // validateAnchor rejects enhancer results that would poison the
@@ -1098,8 +1364,8 @@ func (s *Server) DistributionHandler() http.Handler {
 			Stages:        s.StageStats(),
 			Store:         StoreStats{Retention: s.store.Retention(), ChunksEvicted: s.store.TotalEvicted()},
 			BrownoutLevel: s.brownout.Level(),
-			QueueDelayP99: float64(s.queueDelayHist.quantile(0.99)) / float64(time.Millisecond),
-			AdmitStoreP99: float64(s.admitStoreHist.quantile(0.99)) / float64(time.Millisecond),
+			QueueDelayP99: float64(s.queueDelayHist.Quantile(0.99)) / float64(time.Millisecond),
+			AdmitStoreP99: float64(s.admitStoreHist.Quantile(0.99)) / float64(time.Millisecond),
 		}
 		if p, ok := s.enhancer.(*EnhancerPool); ok {
 			c := p.Counters()
@@ -1126,30 +1392,33 @@ func (s *Server) DistributionHandler() http.Handler {
 // histograms, every shed/expired/degraded counter, the brownout-level
 // gauge, and (when pooled) the pool's fault counters.
 func (s *Server) writeMetrics(w io.Writer) {
-	s.queueDelayHist.writePrometheus(w, "neuroscaler_ingest_queue_delay_seconds",
+	s.queueDelayHist.WritePrometheus(w, "neuroscaler_ingest_queue_delay_seconds",
 		"Chunk latency from ingest admission to decode start.")
-	s.admitStoreHist.writePrometheus(w, "neuroscaler_admit_to_store_seconds",
+	s.admitStoreHist.WritePrometheus(w, "neuroscaler_admit_to_store_seconds",
 		"Chunk latency from ingest admission to container store.")
 	c := s.Counters()
-	writeCounter(w, "neuroscaler_chunks_processed_total", "Chunks packaged and stored.", c.ChunksProcessed)
-	writeCounter(w, "neuroscaler_chunks_degraded_total", "Chunks shipped missing at least one selected anchor.", c.ChunksDegraded)
-	writeCounter(w, "neuroscaler_chunks_shed_total", "Chunks rejected by per-stream admission control.", c.ChunksShed)
-	writeCounter(w, "neuroscaler_chunks_expired_total", "Chunks floored because their deadline passed before decode.", c.ChunksExpired)
-	writeCounter(w, "neuroscaler_chunks_floored_total", "Low-priority chunks floored by the brownout ladder.", c.ChunksFloored)
-	writeCounter(w, "neuroscaler_anchors_selected_total", "Anchors picked by zero-inference selection.", c.AnchorsSelected)
-	writeCounter(w, "neuroscaler_anchors_enhanced_total", "Anchors enhanced and shipped.", c.AnchorsEnhanced)
-	writeCounter(w, "neuroscaler_anchors_dropped_total", "Anchors dropped after enhancement failure.", c.AnchorsDropped)
-	writeCounter(w, "neuroscaler_anchors_rejected_total", "Anchor results rejected by validation.", c.AnchorsRejected)
-	writeCounter(w, "neuroscaler_anchors_expired_total", "Anchors abandoned after their deadline budget ran out.", c.AnchorsExpired)
-	writeGauge(w, "neuroscaler_brownout_level", "Current brownout ladder level (0 = off).", float64(s.brownout.Level()))
-	writeGauge(w, "neuroscaler_anchors_in_flight", "Anchor enhancement RPCs currently outstanding.", float64(s.stages.anchorsInFlight.Load()))
+	WriteCounter(w, "neuroscaler_chunks_processed_total", "Chunks packaged and stored.", c.ChunksProcessed)
+	WriteCounter(w, "neuroscaler_chunks_degraded_total", "Chunks shipped missing at least one selected anchor.", c.ChunksDegraded)
+	WriteCounter(w, "neuroscaler_chunks_shed_total", "Chunks rejected by per-stream admission control.", c.ChunksShed)
+	WriteCounter(w, "neuroscaler_chunks_expired_total", "Chunks floored because their deadline passed before decode.", c.ChunksExpired)
+	WriteCounter(w, "neuroscaler_chunks_floored_total", "Low-priority chunks floored by the brownout ladder.", c.ChunksFloored)
+	WriteCounter(w, "neuroscaler_anchors_selected_total", "Anchors picked by zero-inference selection.", c.AnchorsSelected)
+	WriteCounter(w, "neuroscaler_anchors_enhanced_total", "Anchors enhanced and shipped.", c.AnchorsEnhanced)
+	WriteCounter(w, "neuroscaler_anchors_dropped_total", "Anchors dropped after enhancement failure.", c.AnchorsDropped)
+	WriteCounter(w, "neuroscaler_anchors_rejected_total", "Anchor results rejected by validation.", c.AnchorsRejected)
+	WriteCounter(w, "neuroscaler_anchors_expired_total", "Anchors abandoned after their deadline budget ran out.", c.AnchorsExpired)
+	WriteCounter(w, "neuroscaler_chunks_deferred_total", "Chunks stored packets-only with enhancement deferred to first fetch.", c.ChunksDeferred)
+	WriteCounter(w, "neuroscaler_lazy_builds_total", "Fetch-time enhancement builds run (single-flighted).", c.LazyBuilds)
+	WriteCounter(w, "neuroscaler_fetches_served_total", "TypeFetchChunk requests answered with chunk data.", c.FetchesServed)
+	WriteGauge(w, "neuroscaler_brownout_level", "Current brownout ladder level (0 = off).", float64(s.brownout.Level()))
+	WriteGauge(w, "neuroscaler_anchors_in_flight", "Anchor enhancement RPCs currently outstanding.", float64(s.stages.anchorsInFlight.Load()))
 	if p, ok := s.enhancer.(*EnhancerPool); ok {
 		pc := p.Counters()
-		writeCounter(w, "neuroscaler_pool_calls_total", "Per-anchor pool calls.", pc.Calls)
-		writeCounter(w, "neuroscaler_pool_retries_total", "Pool retry attempts.", pc.Retries)
-		writeCounter(w, "neuroscaler_pool_failovers_total", "Pool failovers to another replica.", pc.Failovers)
-		writeCounter(w, "neuroscaler_pool_breaker_opens_total", "Replica breakers opened.", pc.BreakerOpens)
-		writeCounter(w, "neuroscaler_pool_unavailable_total", "Pool calls exhausted on every replica.", pc.Unavailable)
-		writeCounter(w, "neuroscaler_pool_deadline_expired_total", "Pool calls abandoned on deadline budget exhaustion.", pc.DeadlineExpired)
+		WriteCounter(w, "neuroscaler_pool_calls_total", "Per-anchor pool calls.", pc.Calls)
+		WriteCounter(w, "neuroscaler_pool_retries_total", "Pool retry attempts.", pc.Retries)
+		WriteCounter(w, "neuroscaler_pool_failovers_total", "Pool failovers to another replica.", pc.Failovers)
+		WriteCounter(w, "neuroscaler_pool_breaker_opens_total", "Replica breakers opened.", pc.BreakerOpens)
+		WriteCounter(w, "neuroscaler_pool_unavailable_total", "Pool calls exhausted on every replica.", pc.Unavailable)
+		WriteCounter(w, "neuroscaler_pool_deadline_expired_total", "Pool calls abandoned on deadline budget exhaustion.", pc.DeadlineExpired)
 	}
 }

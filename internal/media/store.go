@@ -17,6 +17,10 @@ type storedChunk struct {
 	// degraded marks a chunk shipped with at least one selected anchor
 	// missing (dropped after enhancement failed).
 	degraded bool
+	// pending marks a packets-only container awaiting its fetch-time
+	// enhancement build (lazy-enhancement mode): the stored bytes are
+	// servable at the bilinear floor but not yet final.
+	pending bool
 }
 
 // streamChunks is one stream's retained window of chunks. Sequence
@@ -72,6 +76,16 @@ func (s *ChunkStore) Append(streamID uint32, chunk []byte) int {
 //
 //nslint:slab-transfer chunk
 func (s *ChunkStore) AppendChunk(streamID uint32, chunk []byte, degraded bool) int {
+	return s.AppendChunkState(streamID, chunk, degraded, false)
+}
+
+// AppendChunkState stores the next chunk of a stream with its full
+// state: the degradation flag and whether the chunk is still pending
+// its fetch-time enhancement build (lazy-enhancement mode). Ownership
+// of chunk transfers to the store, as with AppendChunk.
+//
+//nslint:slab-transfer chunk
+func (s *ChunkStore) AppendChunkState(streamID uint32, chunk []byte, degraded, pending bool) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.streams[streamID]
@@ -79,7 +93,7 @@ func (s *ChunkStore) AppendChunk(streamID uint32, chunk []byte, degraded bool) i
 		st = &streamChunks{}
 		s.streams[streamID] = st
 	}
-	st.chunks = append(st.chunks, storedChunk{data: chunk, degraded: degraded})
+	st.chunks = append(st.chunks, storedChunk{data: chunk, degraded: degraded, pending: pending})
 	if degraded {
 		st.degraded++
 	}
@@ -108,6 +122,49 @@ func (s *ChunkStore) lookupLocked(streamID uint32, seq int) (storedChunk, error)
 			streamID, seq, chunks.base)
 	}
 	return chunks.chunks[seq-chunks.base], nil
+}
+
+// ChunkState returns chunk seq of a stream along with its degradation
+// and pending-enhancement flags.
+func (s *ChunkStore) ChunkState(streamID uint32, seq int) (data []byte, degraded, pending bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.lookupLocked(streamID, seq)
+	if err != nil {
+		return nil, false, false, err
+	}
+	return c.data, c.degraded, c.pending, nil
+}
+
+// ReplaceChunk swaps in the finished container for a previously pending
+// chunk (the fetch-time enhancement build writing its result back) and
+// clears the pending flag. The per-stream degraded ledger tracks the
+// final state. Ownership of chunk transfers to the store, as with
+// AppendChunk. Replacing an evicted or unknown sequence is a no-op
+// error: the build raced retention, and the freshly built bytes were
+// already served to the fetcher.
+//
+//nslint:slab-transfer chunk
+func (s *ChunkStore) ReplaceChunk(streamID uint32, seq int, chunk []byte, degraded bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[streamID]
+	if !ok {
+		return fmt.Errorf("media: unknown stream %d", streamID)
+	}
+	if seq < st.base || seq >= st.base+len(st.chunks) {
+		return fmt.Errorf("media: stream %d chunk %d not retained", streamID, seq)
+	}
+	c := &st.chunks[seq-st.base]
+	if c.degraded != degraded {
+		if degraded {
+			st.degraded++
+		} else {
+			st.degraded--
+		}
+	}
+	*c = storedChunk{data: chunk, degraded: degraded}
+	return nil
 }
 
 // Chunk returns chunk seq of a stream.

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+	"time"
+)
+
+func TestFetchChunkRoundTrip(t *testing.T) {
+	f := FetchChunk{Seq: 0xDEADBEEF, Quality: 3}
+	got, err := DecodeFetchChunk(EncodeFetchChunk(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Errorf("round trip = %+v, want %+v", got, f)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3, 4}, {1, 2, 3, 4, 5, 6}} {
+		if _, err := DecodeFetchChunk(bad); err == nil {
+			t.Errorf("malformed fetch-chunk %v accepted", bad)
+		}
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	s := Subscribe{FromSeq: 41, Quality: 1}
+	got, err := DecodeSubscribe(EncodeSubscribe(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+	if _, err := DecodeSubscribe([]byte{9}); err == nil {
+		t.Error("malformed subscribe accepted")
+	}
+}
+
+func TestChunkDataRoundTrip(t *testing.T) {
+	for _, c := range []ChunkData{
+		{Seq: 12, Quality: 0, Data: []byte("container bytes")},
+		{Seq: 0, Quality: 2, Data: nil, Degraded: true},
+		{Seq: 7, Quality: 1, Data: []byte("x"), Degraded: true, CacheHit: true},
+	} {
+		enc := EncodeChunkData(c)
+		got, err := DecodeChunkData(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != c.Seq || got.Quality != c.Quality || got.Degraded != c.Degraded ||
+			got.CacheHit != c.CacheHit || !bytes.Equal(got.Data, c.Data) {
+			t.Errorf("round trip = %+v, want %+v", got, c)
+		}
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, {0, 0, 0, 1, 0, 0, 0, 0, 5, 0}} {
+		if _, err := DecodeChunkData(bad); err == nil {
+			t.Errorf("malformed chunk-data %v accepted", bad)
+		}
+	}
+	// Truncating the data body must be caught by the length check.
+	enc := EncodeChunkData(ChunkData{Seq: 1, Data: []byte("abcdef")})
+	if _, err := DecodeChunkData(enc[:len(enc)-2]); err == nil {
+		t.Error("length-mismatched chunk-data accepted")
+	}
+}
+
+// TestChunkDataPrefixSharing pins the zero-copy fanout contract: the
+// prefix of an encoded payload is delivery-invariant (only the trailing
+// flags byte differs between a miss and a cache hit), the alias decode
+// does not copy, and its capacity is clipped so appends cannot clobber
+// the flags byte.
+func TestChunkDataPrefixSharing(t *testing.T) {
+	miss := EncodeChunkData(ChunkData{Seq: 5, Data: []byte("shared body")})
+	hit := EncodeChunkData(ChunkData{Seq: 5, Data: []byte("shared body"), CacheHit: true})
+	if !bytes.Equal(miss[:len(miss)-1], hit[:len(hit)-1]) {
+		t.Fatal("hit and miss encodings differ outside the trailing flags byte")
+	}
+	prefix, flags, err := ChunkDataPrefix(hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != ChunkDataFlags(false, true) {
+		t.Errorf("flags = %#x, want cache-hit bit", flags)
+	}
+	if &prefix[0] != &hit[0] {
+		t.Error("ChunkDataPrefix copied instead of aliasing")
+	}
+	got, err := DecodeChunkDataAlias(hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) > 0 && &got.Data[0] != &hit[9] {
+		t.Error("DecodeChunkDataAlias copied instead of aliasing")
+	}
+	if cap(got.Data) != len(got.Data) {
+		t.Error("aliased data capacity not clipped")
+	}
+}
+
+// TestWriteSharedMatchesWrite pins the fanout writer: for any split of
+// the payload into prefix+tail, WriteShared with the precomputed prefix
+// CRC emits bytes identical to a plain Write of the whole payload — in
+// both the v1 and the budget-bearing v2 layouts.
+func TestWriteSharedMatchesWrite(t *testing.T) {
+	payload := EncodeChunkData(ChunkData{Seq: 3, Data: []byte("the cached container")})
+	for _, budget := range []time.Duration{0, 750 * time.Millisecond} {
+		m := Message{Type: TypeChunkData, StreamID: 11, Seq: 42, Budget: budget}
+		var want bytes.Buffer
+		full := m
+		full.Payload = payload
+		if err := Write(&want, full); err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{0, 1, len(payload) - 1, len(payload)} {
+			prefix, tail := payload[:cut], payload[cut:]
+			var got bytes.Buffer
+			if err := WriteShared(&got, m, prefix, tail, crc32.ChecksumIEEE(prefix)); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("cut %d budget %v: WriteShared bytes differ from Write", cut, budget)
+			}
+		}
+	}
+	if err := WriteShared(&bytes.Buffer{}, Message{}, nil, nil, 0); err == nil {
+		t.Error("unset type accepted")
+	}
+}
+
+// TestDeliveryFrameBudgetRoundTrip pins the v2 budget field on the new
+// delivery frame types: fetches and pushes carry their remaining budget
+// across the edge hop exactly like ingest chunks do.
+func TestDeliveryFrameBudgetRoundTrip(t *testing.T) {
+	cases := []Message{
+		{Type: TypeFetchChunk, StreamID: 2, Seq: 9, Payload: EncodeFetchChunk(FetchChunk{Seq: 4}), Budget: 120 * time.Millisecond},
+		{Type: TypeChunkData, StreamID: 2, Seq: 9, Payload: EncodeChunkData(ChunkData{Seq: 4, Data: []byte("c")}), Budget: 80 * time.Millisecond},
+		{Type: TypeSubscribe, StreamID: 2, Seq: 1, Payload: EncodeSubscribe(Subscribe{FromSeq: 0}), Budget: time.Second},
+	}
+	for _, in := range cases {
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf, DefaultMaxPayload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != in.Type || got.Budget != in.Budget || !bytes.Equal(got.Payload, in.Payload) {
+			t.Errorf("%v round trip = %+v, want %+v", in.Type, got, in)
+		}
+	}
+	if TypeFetchChunk.String() != "fetch-chunk" || TypeChunkData.String() != "chunk-data" ||
+		TypeSubscribe.String() != "subscribe" {
+		t.Errorf("stringer: %v %v %v", TypeFetchChunk, TypeChunkData, TypeSubscribe)
+	}
+}

@@ -4,19 +4,34 @@ package wire
 
 import (
 	"bytes"
+	"hash/crc32"
 	"testing"
+	"time"
 )
 
 // FuzzWireFrame is the structured complement to FuzzRead: it builds a
-// frame from fuzzed fields, writes it, and requires the reader to hand
-// back exactly the same message — including the maxPayload boundary
-// (a frame at the limit parses; one past it must be rejected, never
-// mis-framed). Guarded behind the fuzz build tag for the fuzz smoke job.
+// frame from fuzzed fields — including the v2 budget extension — writes
+// it, and requires the reader to hand back exactly the same message,
+// including the maxPayload boundary (a frame at the limit parses; one
+// past it must be rejected, never mis-framed). Non-empty payloads are
+// also re-emitted through WriteShared at a fuzzed prefix/tail split,
+// which must produce byte-identical output (the edge fanout path).
+// Guarded behind the fuzz build tag for the fuzz smoke job.
 func FuzzWireFrame(f *testing.F) {
-	f.Add(uint8(2), uint32(7), uint32(9), []byte("payload"))
-	f.Add(uint8(255), uint32(0), uint32(0), []byte{})
-	f.Fuzz(func(t *testing.T, typ uint8, streamID, seq uint32, payload []byte) {
-		m := Message{Type: Type(typ), StreamID: streamID, Seq: seq, Payload: payload}
+	f.Add(uint8(2), uint32(7), uint32(9), uint64(0), []byte("payload"))
+	f.Add(uint8(255), uint32(0), uint32(0), uint64(1500), []byte{})
+	f.Add(uint8(TypeFetchChunk), uint32(3), uint32(1), uint64(250_000), EncodeFetchChunk(FetchChunk{Seq: 8, Quality: 1}))
+	f.Add(uint8(TypeSubscribe), uint32(3), uint32(2), uint64(0), EncodeSubscribe(Subscribe{FromSeq: 4}))
+	f.Add(uint8(TypeChunkData), uint32(3), uint32(0), uint64(90_000),
+		EncodeChunkData(ChunkData{Seq: 8, Data: []byte("container"), CacheHit: true}))
+	f.Fuzz(func(t *testing.T, typ uint8, streamID, seq uint32, budgetMicros uint64, payload []byte) {
+		if budgetMicros > uint64(1<<62)/uint64(time.Microsecond) {
+			budgetMicros %= 1 << 40
+		}
+		m := Message{
+			Type: Type(typ), StreamID: streamID, Seq: seq, Payload: payload,
+			Budget: time.Duration(budgetMicros) * time.Microsecond,
+		}
 		var buf bytes.Buffer
 		if err := Write(&buf, m); err != nil {
 			// Oversize or otherwise unwritable frames are fine as long as
@@ -33,13 +48,26 @@ func FuzzWireFrame(f *testing.F) {
 			t.Fatalf("read of own frame (maxPayload=len): %v", err)
 		}
 		if back.Type != m.Type || back.StreamID != m.StreamID || back.Seq != m.Seq ||
-			!bytes.Equal(back.Payload, m.Payload) {
+			back.Budget != m.Budget || !bytes.Equal(back.Payload, m.Payload) {
 			t.Fatalf("round trip mismatch: wrote %+v, read %+v", m, back)
 		}
 
 		if len(payload) > 0 {
 			if _, err := Read(bytes.NewReader(wireBytes), len(payload)-1); err == nil {
 				t.Fatalf("frame with %d-byte payload accepted under maxPayload=%d", len(payload), len(payload)-1)
+			}
+
+			// The fanout writer must be indistinguishable on the wire from a
+			// plain Write for every prefix/tail split.
+			cut := int(seq) % (len(payload) + 1)
+			shared := m
+			shared.Payload = nil
+			var sbuf bytes.Buffer
+			if err := WriteShared(&sbuf, shared, payload[:cut], payload[cut:], crc32.ChecksumIEEE(payload[:cut])); err != nil {
+				t.Fatalf("WriteShared: %v", err)
+			}
+			if !bytes.Equal(sbuf.Bytes(), wireBytes) {
+				t.Fatalf("WriteShared(cut=%d) bytes differ from Write", cut)
 			}
 		}
 	})

@@ -380,6 +380,147 @@ func EncodeAnchorBatchResult(outs []AnchorBatchOutcome) ([]byte, error) {
 	return buf, nil
 }
 
+// FetchChunk asks a serving tier for one stored chunk of a stream. The
+// stream rides the frame header's StreamID; Seq here is the chunk
+// sequence number (0-based chunk index), distinct from the frame
+// header's request-correlation Seq. Quality selects the delivery rung
+// (0 is the enhanced default; the origin only serves rung 0, an edge
+// may cache several).
+type FetchChunk struct {
+	Seq     uint32
+	Quality uint8
+}
+
+// EncodeFetchChunk serializes a FetchChunk payload.
+func EncodeFetchChunk(f FetchChunk) []byte {
+	buf := make([]byte, 0, 5)
+	buf = binary.BigEndian.AppendUint32(buf, f.Seq)
+	return append(buf, f.Quality)
+}
+
+// DecodeFetchChunk parses a FetchChunk payload.
+func DecodeFetchChunk(data []byte) (FetchChunk, error) {
+	if len(data) != 5 {
+		return FetchChunk{}, errors.New("wire: malformed fetch-chunk")
+	}
+	return FetchChunk{Seq: binary.BigEndian.Uint32(data), Quality: data[4]}, nil
+}
+
+// Subscribe registers the sending connection for unsolicited chunk-data
+// pushes of one stream, starting at chunk sequence FromSeq.
+type Subscribe struct {
+	FromSeq uint32
+	Quality uint8
+}
+
+// EncodeSubscribe serializes a Subscribe payload.
+func EncodeSubscribe(s Subscribe) []byte {
+	buf := make([]byte, 0, 5)
+	buf = binary.BigEndian.AppendUint32(buf, s.FromSeq)
+	return append(buf, s.Quality)
+}
+
+// DecodeSubscribe parses a Subscribe payload.
+func DecodeSubscribe(data []byte) (Subscribe, error) {
+	if len(data) != 5 {
+		return Subscribe{}, errors.New("wire: malformed subscribe")
+	}
+	return Subscribe{FromSeq: binary.BigEndian.Uint32(data), Quality: data[4]}, nil
+}
+
+// ChunkData delivers one enhanced hybrid container.
+//
+// Layout: seq(4) quality(1) dataLen(4) data flags(1). The per-delivery
+// flags byte rides at the END so an edge can cache the marshalled
+// prefix (everything before flags) verbatim from its upstream read and
+// fan it out with WriteShared, flipping only the trailing byte — a
+// cache hit and the original miss delivery share the same immutable
+// prefix bytes and differ in exactly one tail byte.
+type ChunkData struct {
+	Seq     uint32
+	Quality uint8
+	// Data is the marshalled hybrid container.
+	Data []byte
+	// Degraded mirrors the store's degraded flag (some anchors fell back
+	// to the bilinear floor).
+	Degraded bool
+	// CacheHit reports whether this delivery was served from an edge
+	// cache (BONES-style signal: the client's controller reads it to
+	// bias the next quality choice after cold misses).
+	CacheHit bool
+}
+
+const (
+	chunkDataFlagDegraded = 1 << 0
+	chunkDataFlagCacheHit = 1 << 1
+)
+
+// ChunkDataFlags packs the per-delivery trailing flags byte.
+func ChunkDataFlags(degraded, cacheHit bool) byte {
+	var f byte
+	if degraded {
+		f |= chunkDataFlagDegraded
+	}
+	if cacheHit {
+		f |= chunkDataFlagCacheHit
+	}
+	return f
+}
+
+// EncodeChunkData serializes a ChunkData payload.
+func EncodeChunkData(c ChunkData) []byte {
+	buf := make([]byte, 0, 4+1+4+len(c.Data)+1)
+	buf = binary.BigEndian.AppendUint32(buf, c.Seq)
+	buf = append(buf, c.Quality)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Data)))
+	buf = append(buf, c.Data...)
+	return append(buf, ChunkDataFlags(c.Degraded, c.CacheHit))
+}
+
+// ChunkDataPrefix splits an encoded ChunkData payload into its shared
+// immutable prefix (everything before the trailing flags byte, aliasing
+// payload) and the flags byte, validating the framing. An edge caches
+// the prefix and re-emits it with WriteShared plus a fresh flags tail.
+func ChunkDataPrefix(payload []byte) (prefix []byte, flags byte, err error) {
+	if len(payload) < 10 {
+		return nil, 0, errors.New("wire: truncated chunk-data")
+	}
+	n := binary.BigEndian.Uint32(payload[5:])
+	if uint32(len(payload)-10) != n {
+		return nil, 0, errors.New("wire: chunk-data length mismatch")
+	}
+	return payload[:len(payload)-1], payload[len(payload)-1], nil
+}
+
+// DecodeChunkData parses a ChunkData payload, copying the container
+// bytes out of data.
+func DecodeChunkData(data []byte) (ChunkData, error) {
+	c, err := DecodeChunkDataAlias(data)
+	if err != nil {
+		return c, err
+	}
+	c.Data = append([]byte(nil), c.Data...)
+	return c, nil
+}
+
+// DecodeChunkDataAlias parses a ChunkData payload like DecodeChunkData
+// but returns Data aliasing data instead of copying. The caller owns
+// data and must keep it alive (and unrecycled) while Data is
+// referenced.
+func DecodeChunkDataAlias(data []byte) (ChunkData, error) {
+	prefix, flags, err := ChunkDataPrefix(data)
+	if err != nil {
+		return ChunkData{}, err
+	}
+	return ChunkData{
+		Seq:      binary.BigEndian.Uint32(prefix),
+		Quality:  prefix[4],
+		Data:     prefix[9:len(prefix):len(prefix)],
+		Degraded: flags&chunkDataFlagDegraded != 0,
+		CacheHit: flags&chunkDataFlagCacheHit != 0,
+	}, nil
+}
+
 // DecodeAnchorBatchResult parses per-anchor batch outcomes.
 func DecodeAnchorBatchResult(data []byte) ([]AnchorBatchOutcome, error) {
 	if len(data) < 4 {

@@ -46,11 +46,22 @@ const (
 	// TypeAnchorBatchResult carries the per-anchor outcomes of a batch
 	// job (each anchor succeeds or fails independently).
 	TypeAnchorBatchResult
+	// TypeFetchChunk asks a serving tier (origin or edge) for one stored
+	// chunk; the payload is an encoded FetchChunk and the reply echoes
+	// the request Seq with a TypeChunkData (or TypeError) frame.
+	TypeFetchChunk
+	// TypeChunkData carries one enhanced hybrid container to a viewer or
+	// edge: solicited (echoing a fetch Seq) or unsolicited (Seq 0, pushed
+	// to subscribers).
+	TypeChunkData
+	// TypeSubscribe registers the sending connection for unsolicited
+	// TypeChunkData pushes of a stream's future chunks (edge fanout).
+	TypeSubscribe
 )
 
 // maxType is the highest assigned message type; Read and Write reject
 // frames outside (0, maxType]. Keep it on the last constant above.
-const maxType = TypeAnchorBatchResult
+const maxType = TypeSubscribe
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -77,6 +88,12 @@ func (t Type) String() string {
 		return "anchor-batch-job"
 	case TypeAnchorBatchResult:
 		return "anchor-batch-result"
+	case TypeFetchChunk:
+		return "fetch-chunk"
+	case TypeChunkData:
+		return "chunk-data"
+	case TypeSubscribe:
+		return "subscribe"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -243,6 +260,56 @@ func Read(r io.Reader, maxPayload int) (Message, error) {
 		return Message{}, ErrBadFrame
 	}
 	return m, nil
+}
+
+// WriteShared writes a frame whose payload is split into a shared
+// immutable prefix plus a small per-delivery tail, without copying or
+// re-scanning the prefix. This is the edge fanout hot path: a cached
+// chunk payload is marshalled and checksummed once, then written to
+// every subscriber connection with only the per-delivery header and
+// tail (the cache-hit/degraded flags byte) recomputed.
+//
+// crcPrefix must be crc32.ChecksumIEEE(prefix); the frame checksum is
+// extended over tail in O(len(tail)) with crc32.Update, so the result
+// on the wire is byte-identical to Write with Payload =
+// prefix‖tail. The prefix is only read, never retained: ownership
+// stays with the caller (a pooled cache entry may go back to its slab
+// pool once the caller's last write returns).
+func WriteShared(w io.Writer, m Message, prefix, tail []byte, crcPrefix uint32) error {
+	if m.Type == 0 || m.Type > maxType {
+		return fmt.Errorf("wire: invalid message type %d", m.Type)
+	}
+	var hdr [headerLen + budgetLen]byte
+	n := headerLen
+	binary.BigEndian.PutUint16(hdr[0:], frameMagic)
+	hdr[2] = byte(m.Type)
+	binary.BigEndian.PutUint32(hdr[3:], m.StreamID)
+	binary.BigEndian.PutUint32(hdr[7:], m.Seq)
+	binary.BigEndian.PutUint32(hdr[11:], uint32(len(prefix)+len(tail)))
+	binary.BigEndian.PutUint32(hdr[15:], crc32.Update(crcPrefix, crc32.IEEETable, tail))
+	if m.Budget > 0 {
+		micros := m.Budget / time.Microsecond
+		if micros < 1 {
+			micros = 1
+		}
+		binary.BigEndian.PutUint16(hdr[0:], frameMagicV2)
+		binary.BigEndian.PutUint64(hdr[headerLen:], uint64(micros))
+		n += budgetLen
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(prefix) > 0 {
+		if _, err := w.Write(prefix); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	if len(tail) > 0 {
+		if _, err := w.Write(tail); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
 }
 
 // ReadPooled parses the next message from r like Read, but borrows the

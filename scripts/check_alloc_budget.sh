@@ -1,30 +1,40 @@
 #!/usr/bin/env bash
-# Gate on steady-state allocation counts of the serving path: runs
-# BenchmarkServerChunk with -benchmem and compares allocs/op against the
-# checked-in budget (bench_budget.json), failing on a >10% regression.
-# Allocation counts — unlike wall-clock — do not depend on runner speed,
-# so a few benchtime iterations give an exact, CI-stable signal.
+# Gate on steady-state allocation counts of the serving paths: runs
+# BenchmarkServerChunk (origin) and BenchmarkEdgeServe (delivery tier)
+# with -benchmem and compares allocs/op against the checked-in budget
+# (bench_budget.json), failing on a >10% regression. Allocation counts —
+# unlike wall-clock — do not depend on runner speed, so a few benchtime
+# iterations give an exact, CI-stable signal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=$(go test -run '^$' -bench 'BenchmarkServerChunk$' -benchtime 5x -benchmem ./internal/media)
-echo "$out"
+media_out=$(go test -run '^$' -bench 'BenchmarkServerChunk$' -benchtime 5x -benchmem ./internal/media)
+echo "$media_out"
+edge_out=$(go test -run '^$' -bench 'BenchmarkEdgeServe$' -benchtime 50x -benchmem ./internal/edge)
+echo "$edge_out"
 
 fail=0
-for mode in serial pipelined; do
-  budget=$(sed -n 's|.*"BenchmarkServerChunk/'"$mode"'": *\([0-9]*\).*|\1|p' bench_budget.json)
-  got=$(echo "$out" | awk -v name="BenchmarkServerChunk/$mode" \
+# check <display-name> <bench-output> <budget-key> <bench-line-pattern>
+check() {
+  local name=$1 out=$2 key=$3 pat=$4
+  local budget got limit
+  budget=$(sed -n 's|.*"'"$key"'": *\([0-9]*\).*|\1|p' bench_budget.json)
+  got=$(echo "$out" | awk -v name="$pat" \
     '$1 ~ name { for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
   if [ -z "$budget" ] || [ -z "$got" ]; then
-    echo "alloc-budget: missing budget or measurement for $mode (budget='$budget' got='$got')" >&2
+    echo "alloc-budget: missing budget or measurement for $name (budget='$budget' got='$got')" >&2
     exit 2
   fi
   limit=$((budget + budget / 10))
   if [ "$got" -gt "$limit" ]; then
-    echo "alloc-budget: $mode allocs/op = $got exceeds budget $budget (+10% limit $limit)" >&2
+    echo "alloc-budget: $name allocs/op = $got exceeds budget $budget (+10% limit $limit)" >&2
     fail=1
   else
-    echo "alloc-budget: $mode allocs/op = $got within budget $budget (+10% limit $limit)"
+    echo "alloc-budget: $name allocs/op = $got within budget $budget (+10% limit $limit)"
   fi
-done
+}
+
+check serial "$media_out" "BenchmarkServerChunk/serial" "BenchmarkServerChunk/serial"
+check pipelined "$media_out" "BenchmarkServerChunk/pipelined" "BenchmarkServerChunk/pipelined"
+check edge-serve "$edge_out" "BenchmarkEdgeServe" "BenchmarkEdgeServe"
 exit $fail
