@@ -24,8 +24,17 @@ lint: nslint
 	else echo "govulncheck not installed; skipping (see Makefile for the pinned install)"; fi
 
 # Whole-tree analysis under the same 60-second wall-clock budget CI
-# enforces; the interprocedural analyzers (ownership, lockorder, goleak)
-# need the multi-package load, so the budget keeps them honest.
+# enforces; the interprocedural analyzers (ownership, refbalance,
+# budgetflow, lockorder, goleak) need the multi-package load, so the
+# budget keeps them honest.
+#
+# Adopting a new analyzer over a tree with pre-existing findings:
+#   /tmp/nslint -write-baseline .nslint-baseline ./internal/... ./cmd/... ./examples/... .
+# records them (line-insensitively), then add
+#   -baseline .nslint-baseline
+# to the run below to fail only on NEW findings. Entries that stop
+# matching are reported as stale, so the baseline ratchets toward
+# empty; the tree is currently clean and carries no baseline file.
 nslint:
 	go build -o /tmp/nslint ./cmd/nslint
 	timeout 60 /tmp/nslint ./internal/... ./cmd/... ./examples/... .

@@ -1,13 +1,23 @@
 // Command nslint runs the repo's static-analysis suite (internal/lint):
-// determinism, arenapair, connio, lockhold, seqsafe, errwrap, and the
-// interprocedural ownership, lockorder, and goleak analyzers.
+// determinism, arenapair, connio, budgetflow, framecase, lockhold,
+// seqsafe, errwrap, ledger, and the interprocedural ownership,
+// refbalance, lockorder, and goleak analyzers.
 //
 // Standalone:
 //
 //	go run ./cmd/nslint ./...            # whole tree, all analyzers
 //	go run ./cmd/nslint -only connio ./internal/media
 //	go run ./cmd/nslint -json ./...      # machine-readable findings
+//	go run ./cmd/nslint -sarif out.sarif ./...
+//	go run ./cmd/nslint -write-baseline nslint-baseline.json ./...
+//	go run ./cmd/nslint -baseline nslint-baseline.json ./...
 //	go run ./cmd/nslint -list
+//
+// A baseline is a JSON array of {file, analyzer, message} entries.
+// Findings matching an entry are dropped (line-insensitively, so
+// unrelated edits that shift a legacy finding do not resurrect it);
+// baseline entries matching nothing are reported as stale, mirroring
+// the in-source stale-suppression check.
 //
 // As a vet tool (unit-checker protocol, one package per invocation):
 //
@@ -19,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -27,6 +38,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/neuroscaler/neuroscaler/internal/lint"
@@ -59,8 +71,11 @@ func main() {
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+	baseline := fs.String("baseline", "", "drop findings matching entries in this JSON baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this file as a baseline and exit 0")
+	sarifOut := fs.String("sarif", "", "also write findings to this file as SARIF 2.1.0")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nslint [-only a,b] [-json] [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: nslint [-only a,b] [-json] [-sarif file] [-baseline file] [-write-baseline file] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -87,6 +102,28 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, analyzers)
+	if *writeBaseline != "" {
+		if err := saveBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "nslint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "nslint: wrote %d baseline entrie(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baseline != "" {
+		var err error
+		diags, err = applyBaseline(*baseline, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nslint:", err)
+			os.Exit(2)
+		}
+	}
+	if *sarifOut != "" {
+		if err := saveSARIF(*sarifOut, analyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "nslint:", err)
+			os.Exit(2)
+		}
+	}
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "nslint:", err)
@@ -101,6 +138,150 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nslint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// baselineEntry identifies one accepted legacy finding. Line numbers are
+// deliberately absent: a baseline should survive unrelated edits above
+// the finding, and an analyzer's message already pins what was accepted.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineFile normalizes a finding's filename to a cwd-relative path so
+// baselines are stable across checkouts.
+func baselineFile(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(name)
+}
+
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	out := make([]baselineEntry, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, baselineEntry{File: baselineFile(d.Pos.Filename), Analyzer: d.Analyzer, Message: d.Message})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// applyBaseline drops findings matching a baseline entry. Each entry
+// absorbs any number of identical findings; entries that matched nothing
+// are themselves reported, so the baseline shrinks monotonically as the
+// debt it records is paid down.
+func applyBaseline(path string, diags []lint.Diagnostic) ([]lint.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	used := make([]bool, len(entries))
+	var kept []lint.Diagnostic
+	for _, d := range diags {
+		file := baselineFile(d.Pos.Filename)
+		matched := false
+		for i, e := range entries {
+			if e.File == file && e.Analyzer == d.Analyzer && e.Message == d.Message {
+				used[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, d)
+		}
+	}
+	for i, e := range entries {
+		if !used[i] {
+			kept = append(kept, lint.Diagnostic{
+				Pos:      token.Position{Filename: path},
+				Analyzer: "nslint",
+				Message: fmt.Sprintf("stale baseline entry: no %q finding matches %s: %q; delete it",
+					e.Analyzer, e.File, e.Message),
+			})
+		}
+	}
+	return kept, nil
+}
+
+// saveSARIF writes findings in SARIF 2.1.0, the interchange format CI
+// code-scanning UIs ingest. One run, one rule per analyzer, one result
+// per finding.
+func saveSARIF(path string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
+	type sarifMsg struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID               string   `json:"id"`
+		ShortDescription sarifMsg `json:"shortDescription"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region sarifRegion `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMsg        `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMsg{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: "nslint", ShortDescription: sarifMsg{Text: "nslint driver diagnostics (malformed or stale suppressions, stale baseline entries)"}})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = baselineFile(d.Pos.Filename)
+		loc.PhysicalLocation.Region = sarifRegion{StartLine: max(d.Pos.Line, 1), StartColumn: d.Pos.Column}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			Level:     "error",
+			Message:   sarifMsg{Text: d.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	doc := map[string]any{
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":           "nslint",
+					"informationUri": "https://github.com/neuroscaler/neuroscaler",
+					"rules":          rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
 }
 
 // jsonDiag is the machine-readable finding shape: stable field names for
@@ -203,7 +384,10 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "nslint:", err)
 		return 1
 	}
-	diags := lint.Run([]*lint.Package{pkg}, lint.All)
+	// Stale-suppression reporting stays off here: under the unit-checker
+	// protocol only one package is loaded, so program-scoped analyzers
+	// may legitimately not reproduce the finding a directive suppresses.
+	diags := lint.Run([]*lint.Package{pkg}, lint.All, lint.NoStaleCheck())
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d.String())
 	}

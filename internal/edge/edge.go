@@ -403,7 +403,17 @@ func (e *Edge) getChunk(k Key, deadline time.Time) (ent *entry, hit bool, err er
 	f, leader := e.flights.join(k)
 	if !leader {
 		e.coalescedWaits.Add(1)
-		<-f.done
+		// Wait only as long as this request's own budget allows: the
+		// leader's fetch is bounded by the *leader's* deadline, which may
+		// be later than ours.
+		wait := time.NewTimer(time.Until(deadline))
+		defer wait.Stop()
+		select {
+		case <-f.done:
+		case <-wait.C:
+			e.flights.abandon(f)
+			return nil, false, fmt.Errorf("edge: budget exhausted waiting on in-flight fetch of stream %d chunk %d", k.Stream, k.Seq)
+		}
 		if f.err != nil {
 			return nil, false, f.err
 		}
@@ -516,10 +526,17 @@ type upstreamConn struct {
 // lazily, which is what lets the edge ride out an origin restart).
 func (e *Edge) fetchUpstream(k Key, deadline time.Time) (*entry, error) {
 	var u *upstreamConn
+	// Checking out a conn spends the same budget the fetch does: under
+	// origin slowness the pool drains, and an unbounded wait here would
+	// queue requests past the point their viewers have given up.
+	wait := time.NewTimer(time.Until(deadline))
+	defer wait.Stop()
 	select {
 	case u = <-e.upstreams:
 	case <-e.closed:
 		return nil, errors.New("edge: shutting down")
+	case <-wait.C:
+		return nil, fmt.Errorf("edge: budget exhausted waiting for an upstream conn (stream %d chunk %d)", k.Stream, k.Seq)
 	}
 	ent, err := e.fetchOn(u, k, deadline)
 	e.upstreams <- u

@@ -9,6 +9,10 @@ import "sync"
 type flight struct {
 	done    chan struct{}
 	waiters int
+	// settled flips under the group mutex when the leader begins
+	// publishing; it tells an abandoning waiter whether its reference
+	// grant is already (or about to be) minted.
+	settled bool
 	ent     *entry
 	err     error
 }
@@ -51,6 +55,7 @@ func (g *flightGroup) complete(k Key, f *flight, ent *entry, err error) {
 	g.mu.Lock()
 	delete(g.flights, k)
 	waiters := f.waiters
+	f.settled = true
 	g.mu.Unlock()
 	if ent != nil {
 		for i := 0; i < waiters; i++ {
@@ -59,4 +64,24 @@ func (g *flightGroup) complete(k Key, f *flight, ent *entry, err error) {
 	}
 	f.ent, f.err = ent, err
 	close(f.done)
+}
+
+// abandon retracts a waiter whose budget ran out before the flight
+// landed. Before the leader settles, the waiter count is decremented so
+// no reference is minted for the deserter; after, the grant already
+// exists (or is being minted concurrently), so abandon waits for the
+// publish to finish and releases it — either way the refcount ledger
+// balances.
+func (g *flightGroup) abandon(f *flight) {
+	g.mu.Lock()
+	if !f.settled {
+		f.waiters--
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	<-f.done // grants are complete once done closes
+	if f.ent != nil {
+		f.ent.release()
+	}
 }

@@ -169,6 +169,63 @@ func TestGoLeakFixture(t *testing.T) { runFixture(t, GoLeak, "goleak/media") }
 // waits all count as join evidence.
 func TestGoLeakCleanFixture(t *testing.T) { runFixture(t, GoLeak, "goleak/wire") }
 
+func TestRefBalanceFixture(t *testing.T) { runFixture(t, RefBalance, "refbalance/edge") }
+
+// Release-on-all-paths, defer, return, store, send, goroutine handoff,
+// and transfer to an always-releasing callee all discharge.
+func TestRefBalanceCleanFixture(t *testing.T) { runFixture(t, RefBalance, "refbalance/clean") }
+
+func TestBudgetFlowFixture(t *testing.T) { runFixture(t, BudgetFlow, "budgetflow/edge") }
+
+// Wire budgets, chunk budget fields, config backstops, and bounded
+// waits must not be flagged.
+func TestBudgetFlowCleanFixture(t *testing.T) { runFixture(t, BudgetFlow, "budgetflow/media") }
+
+func TestFrameCaseFixture(t *testing.T) { runFixture(t, FrameCase, "framecase/wire") }
+
+// Exhaustive and defaulted switches over the imported enum are clean.
+func TestFrameCaseCleanFixture(t *testing.T) { runFixture(t, FrameCase, "framecase/reader") }
+
+func TestLedgerFixture(t *testing.T) { runFixture(t, Ledger, "ledger/media") }
+
+// Exactly-one booking per path, across continue exits and switch arms.
+func TestLedgerCleanFixture(t *testing.T) { runFixture(t, Ledger, "ledger/clean") }
+
+// TestStaleSuppression pins stale-directive reporting: a justified
+// directive that suppresses nothing is reported by default and silenced
+// under NoStaleCheck (the vet unit mode).
+func TestStaleSuppression(t *testing.T) {
+	runFixture(t, Determinism, "suppress/stale")
+	pkgs := loadFixture(t, "suppress/stale")
+	if diags := Run(pkgs, []*Analyzer{Determinism}, NoStaleCheck()); len(diags) != 0 {
+		t.Fatalf("NoStaleCheck still reported: %v", diags)
+	}
+	// A directive naming an analyzer outside the run set is not judged:
+	// that analyzer never had the chance to produce the suppressed
+	// finding.
+	if diags := Run(pkgs, []*Analyzer{ErrWrap}); len(diags) != 0 {
+		t.Fatalf("out-of-run-set directive reported as stale: %v", diags)
+	}
+}
+
+// TestTreeCleanUnderNewAnalyzers pins the shipping tree (internal, cmd,
+// examples, root) clean under the path-sensitive round — refbalance,
+// budgetflow, framecase, ledger — including the stale-suppression
+// check over their directives.
+func TestTreeCleanUnderNewAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []*Analyzer{RefBalance, BudgetFlow, FrameCase, Ledger})
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
 // TestSuppression pins the //nslint:disable contract: a justified
 // directive swallows its finding, an unjustified one is itself reported
 // and suppresses nothing.

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Ledger checks counter conservation laws declared in source comments.
+// A directive of the form
+//
+//	//nslint:ledger anchorsSelected == anchorsEnhanced + anchorsDropped + anchorsRejected + anchorsExpired
+//
+// states that every object counted into the left-hand counter is
+// eventually settled into exactly one right-hand counter. The analyzer
+// verifies the statically checkable half of that contract:
+//
+//   - every named counter resolves to a struct field in the package and
+//     is incremented (an .Add call) somewhere — a ledger naming a dead
+//     counter is stale documentation;
+//   - in any function that settles objects (its body increments two or
+//     more right-hand counters), the innermost statement region
+//     containing all of those increments must increment exactly one
+//     right-hand counter on every path through it: a path that skips
+//     the settlement leaks counted objects out of the ledger, and a
+//     path that settles twice double-books them.
+//
+// The left-hand side is not path-checked: selection and settlement run
+// on different goroutines, and conservation across that boundary is the
+// runtime metric divergence the ledger exists to explain.
+var Ledger = &Analyzer{
+	Name: "ledger",
+	Doc: "verify counter-ledger comments: every declared counter exists and is incremented, " +
+		"and settlement regions book exactly one right-hand counter per path",
+	Run: runLedger,
+}
+
+// ledgerRe is anchored to the comment's start so doc comments quoting
+// the directive form are not parsed as declarations; a trailing //
+// remark after the equation is allowed.
+var ledgerRe = regexp.MustCompile(`^//\s*nslint:ledger\s+(\w+)\s*==\s*(\w+(?:\s*\+\s*\w+)*)\s*(?://.*)?$`)
+
+type ledgerDecl struct {
+	pos token.Pos
+	lhs string
+	rhs []string
+}
+
+func runLedger(pass *Pass) {
+	var decls []*ledgerDecl
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ledgerRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := &ledgerDecl{pos: c.Pos(), lhs: m[1]}
+				for _, name := range strings.Split(m[2], "+") {
+					d.rhs = append(d.rhs, strings.TrimSpace(name))
+				}
+				decls = append(decls, d)
+			}
+		}
+	}
+	if len(decls) == 0 {
+		return
+	}
+
+	fields := structFieldNames(pass)
+	increments := map[string]bool{} // field name -> has an .Add site
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(nd ast.Node) bool {
+			if name, ok := counterAddTarget(nd); ok {
+				increments[name] = true
+			}
+			return true
+		})
+	})
+
+	for _, d := range decls {
+		for _, name := range append([]string{d.lhs}, d.rhs...) {
+			if !fields[name] {
+				pass.Reportf(d.pos, "ledger names unknown counter %q: no struct field by that name in this package", name)
+				continue
+			}
+			if !increments[name] {
+				pass.Reportf(d.pos, "ledger counter %q is never incremented in this package", name)
+			}
+		}
+		checkSettlement(pass, d)
+	}
+}
+
+// structFieldNames collects every struct field name declared in the
+// package.
+func structFieldNames(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	pass.eachFile(func(f *ast.File) {
+		ast.Inspect(f, func(nd ast.Node) bool {
+			st, ok := nd.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					out[name.Name] = true
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// counterAddTarget matches <path>.<field>.Add(...) and returns the
+// field name.
+func counterAddTarget(nd ast.Node) (string, bool) {
+	call, ok := nd.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return "", false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return recv.Sel.Name, true
+}
+
+// checkSettlement locates each function whose body increments at least
+// two distinct right-hand counters and path-checks the innermost
+// statement list containing all of those increments.
+func checkSettlement(pass *Pass, d *ledgerDecl) {
+	rhs := map[string]bool{}
+	for _, name := range d.rhs {
+		rhs[name] = true
+	}
+	pass.eachFunc(func(fd *ast.FuncDecl) {
+		var sites []token.Pos
+		distinct := map[string]bool{}
+		ast.Inspect(fd.Body, func(nd ast.Node) bool {
+			if name, ok := counterAddTarget(nd); ok && rhs[name] {
+				sites = append(sites, nd.Pos())
+				distinct[name] = true
+			}
+			return true
+		})
+		if len(distinct) < 2 {
+			return
+		}
+		region := innermostList(fd.Body, sites)
+		if region == nil {
+			return
+		}
+		counts := walkLedgerCounts(region, rhs, []int{0}, func(pos token.Pos, n int) {
+			if n != 1 {
+				reportCount(pass, d, pos, n)
+			}
+		})
+		for _, n := range counts {
+			if n != 1 {
+				reportCount(pass, d, region[len(region)-1].End(), n)
+			}
+		}
+	})
+}
+
+func reportCount(pass *Pass, d *ledgerDecl, pos token.Pos, n int) {
+	if n == 0 {
+		pass.Reportf(pos, "path through the settlement region books no ledger counter: objects counted into %s leak out of the ledger", d.lhs)
+		return
+	}
+	pass.Reportf(pos, "path through the settlement region books %d ledger counters, want exactly one (%s == %s)", n, d.lhs, strings.Join(d.rhs, " + "))
+}
+
+// innermostList finds the smallest statement list whose span contains
+// every site.
+func innermostList(body *ast.BlockStmt, sites []token.Pos) []ast.Stmt {
+	covers := func(pos, end token.Pos) bool {
+		for _, s := range sites {
+			if s < pos || s >= end {
+				return false
+			}
+		}
+		return true
+	}
+	best := body.List
+	bestSpan := body.End() - body.Pos()
+	ast.Inspect(body, func(nd ast.Node) bool {
+		var list []ast.Stmt
+		var pos, end token.Pos
+		switch nd := nd.(type) {
+		case *ast.BlockStmt:
+			list, pos, end = nd.List, nd.Pos(), nd.End()
+			// A switch/select body's list holds clauses, not sequential
+			// statements; the clauses themselves are candidates instead.
+			if len(list) > 0 {
+				switch list[0].(type) {
+				case *ast.CaseClause, *ast.CommClause:
+					return true
+				}
+			}
+		case *ast.CaseClause:
+			list, pos, end = nd.Body, nd.Pos(), nd.End()
+		case *ast.CommClause:
+			list, pos, end = nd.Body, nd.Pos(), nd.End()
+		default:
+			return true
+		}
+		if len(list) > 0 && covers(pos, end) && end-pos < bestSpan {
+			best, bestSpan = list, end-pos
+		}
+		return true
+	})
+	return best
+}
+
+// walkLedgerCounts enumerates paths through the region, carrying the
+// number of right-hand increments booked so far on each. Paths that
+// leave early (return, break, continue) are checked at the exit; the
+// caller checks the fall-through set. Path counts are deduped, so the
+// enumeration is bounded by the handful of distinct counts.
+func walkLedgerCounts(stmts []ast.Stmt, rhs map[string]bool, counts []int, exit func(token.Pos, int)) []int {
+	dedup := func(in []int) []int {
+		seen := map[int]bool{}
+		var out []int
+		for _, n := range in {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			if name, ok := counterAddTarget(ast.Unparen(st.X)); ok && rhs[name] {
+				for i := range counts {
+					counts[i]++
+				}
+			}
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			for _, n := range counts {
+				exit(st.Pos(), n)
+			}
+			return nil
+		case *ast.IfStmt:
+			if st.Init != nil {
+				counts = walkLedgerCounts([]ast.Stmt{st.Init}, rhs, counts, exit)
+			}
+			thenCounts := walkLedgerCounts(st.Body.List, rhs, append([]int(nil), counts...), exit)
+			elseCounts := counts
+			if st.Else != nil {
+				elseCounts = walkLedgerCounts([]ast.Stmt{st.Else}, rhs, append([]int(nil), counts...), exit)
+			}
+			counts = dedup(append(thenCounts, elseCounts...))
+		case *ast.BlockStmt:
+			counts = walkLedgerCounts(st.List, rhs, counts, exit)
+		case *ast.LabeledStmt:
+			counts = walkLedgerCounts([]ast.Stmt{st.Stmt}, rhs, counts, exit)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var body *ast.BlockStmt
+			hasDefault := false
+			switch st := st.(type) {
+			case *ast.SwitchStmt:
+				body = st.Body
+			case *ast.TypeSwitchStmt:
+				body = st.Body
+			case *ast.SelectStmt:
+				body, hasDefault = st.Body, true
+			}
+			var out []int
+			for _, c := range body.List {
+				var list []ast.Stmt
+				switch c := c.(type) {
+				case *ast.CaseClause:
+					list = c.Body
+					if c.List == nil {
+						hasDefault = true
+					}
+				case *ast.CommClause:
+					list = c.Body
+				}
+				out = append(out, walkLedgerCounts(list, rhs, append([]int(nil), counts...), exit)...)
+			}
+			if !hasDefault {
+				out = append(out, counts...)
+			}
+			counts = dedup(out)
+		case *ast.ForStmt:
+			counts = dedup(append(counts, walkLedgerCounts(st.Body.List, rhs, append([]int(nil), counts...), exit)...))
+		case *ast.RangeStmt:
+			counts = dedup(append(counts, walkLedgerCounts(st.Body.List, rhs, append([]int(nil), counts...), exit)...))
+		}
+		if len(counts) == 0 {
+			return nil
+		}
+	}
+	return counts
+}

@@ -106,10 +106,14 @@ var All = []*Analyzer{
 	Determinism,
 	ArenaPair,
 	ConnIO,
+	BudgetFlow,
+	FrameCase,
 	LockHold,
 	SeqSafe,
 	ErrWrap,
 	Ownership,
+	RefBalance,
+	Ledger,
 	LockOrder,
 	GoLeak,
 }
@@ -135,15 +139,36 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// RunOption adjusts Run's behavior.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	noStaleCheck bool
+}
+
+// NoStaleCheck disables stale-suppression reporting. The vet unit mode
+// uses it: with only one package loaded, program-scoped analyzers see a
+// degraded graph and may legitimately not produce the finding a
+// directive suppresses under the standalone driver.
+func NoStaleCheck() RunOption {
+	return func(c *runConfig) { c.noStaleCheck = true }
+}
+
 // Run executes the analyzers over the packages and returns the surviving
 // diagnostics, sorted by position. Suppressed findings are dropped;
-// malformed suppressions (no "-- reason") are themselves reported.
-// Suppressions from every package are merged into one filename/line
-// index so program-scoped findings honor them no matter which package's
-// pass surfaced them.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// malformed suppressions (no "-- reason") are themselves reported, and
+// so are stale ones — a directive naming an analyzer in the run set
+// that suppressed nothing this run (the justification ledger stays
+// honest as analyzers evolve). Suppressions from every package are
+// merged into one filename/line index so program-scoped findings honor
+// them no matter which package's pass surfaced them.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts ...RunOption) []Diagnostic {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	prog := BuildProgram(pkgs)
-	sup := &suppressions{byFileLine: make(map[string]map[int][]string)}
+	sup := &suppressions{byFileLine: make(map[string]map[int][]*supEntry)}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		pkgSup, bad := collectSuppressions(pkg)
@@ -179,6 +204,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		diags = append(diags, d)
 	}
+	if !cfg.noStaleCheck {
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, lines := range sup.byFileLine {
+			for _, entries := range lines {
+				for _, e := range entries {
+					if e.used || (e.name != "*" && !ran[e.name]) {
+						continue
+					}
+					diags = append(diags, Diagnostic{
+						Pos:      e.pos,
+						Analyzer: "nslint",
+						Message:  fmt.Sprintf("stale suppression: no %q finding is reported here anymore; delete the directive", e.name),
+					})
+				}
+			}
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -196,18 +241,29 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // a file is suppressed when a disable comment for its analyzer sits on
 // line L or L-1.
 type suppressions struct {
-	// byFileLine maps filename -> line -> analyzer names disabled there
-	// ("*" disables every analyzer).
-	byFileLine map[string]map[int][]string
+	// byFileLine maps filename -> line -> directive entries active there
+	// (an entry naming "*" disables every analyzer).
+	byFileLine map[string]map[int][]*supEntry
 }
 
-var suppressRe = regexp.MustCompile(`//\s*nslint:disable\s+([a-z*,\s]+?)\s*(?:--\s*(.*))?$`)
+// supEntry is one analyzer name from one //nslint:disable directive.
+// used flips when the entry actually absorbs a diagnostic, so unused
+// directives can be reported as stale.
+type supEntry struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// suppressRe is anchored to the comment's start so prose that merely
+// quotes the directive form (analyzer doc comments) is not indexed.
+var suppressRe = regexp.MustCompile(`^//\s*nslint:disable\s+([a-z*,\s]+?)\s*(?:--\s*(.*))?$`)
 
 // collectSuppressions scans a package's comments for nslint directives.
 // A directive without a non-empty "-- reason" clause is itself a
 // diagnostic: suppressions must be justified.
 func collectSuppressions(pkg *Package) (*suppressions, []Diagnostic) {
-	s := &suppressions{byFileLine: make(map[string]map[int][]string)}
+	s := &suppressions{byFileLine: make(map[string]map[int][]*supEntry)}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -227,13 +283,13 @@ func collectSuppressions(pkg *Package) (*suppressions, []Diagnostic) {
 				}
 				lines := s.byFileLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*supEntry)
 					s.byFileLine[pos.Filename] = lines
 				}
 				for _, name := range strings.Split(m[1], ",") {
 					name = strings.TrimSpace(name)
 					if name != "" {
-						lines[pos.Line] = append(lines[pos.Line], name)
+						lines[pos.Line] = append(lines[pos.Line], &supEntry{name: name, pos: pos})
 					}
 				}
 			}
@@ -247,14 +303,19 @@ func (s *suppressions) covers(d Diagnostic) bool {
 	if lines == nil {
 		return false
 	}
+	covered := false
 	for _, l := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range lines[l] {
-			if name == d.Analyzer || name == "*" {
-				return true
+		for _, e := range lines[l] {
+			if e.name == d.Analyzer || e.name == "*" {
+				// Mark every matching entry, not just the first: two
+				// directives both absorbing the finding are both earning
+				// their keep, neither is stale.
+				e.used = true
+				covered = true
 			}
 		}
 	}
-	return false
+	return covered
 }
 
 // pathBase returns the last segment of an import path: the package-level

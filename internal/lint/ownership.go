@@ -198,7 +198,10 @@ func (o *ownershipRun) releaseTarget(cx *nodeCtx, call *ast.CallExpr) (types.Obj
 		}
 		for _, callee := range site.Callees {
 			cs := o.prog.summary(callee)
-			if cs.releasesAll[j] {
+			// A callee releasing on both outcome classes releases on every
+			// realizable path even when no single Put dominates them all,
+			// so a later caller-side release is a definite double-free.
+			if cs.releasesAll[j] || (cs.releasesOnErr[j] && cs.releasesOnOk[j]) {
 				return obj, true
 			}
 			if cs.releasesSome[j] {

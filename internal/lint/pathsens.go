@@ -1,0 +1,471 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the path-sensitivity layer under the interprocedural
+// summaries: instead of one "releases on some path" bit per parameter,
+// release facts are split by the outcome class of the path they sit on —
+// the error side of an `err != nil` / `!ok` guard versus the success
+// side — and the split facts propagate through the call-graph fixpoints
+// exactly like the unsplit ones. Two fact families are derived here:
+//
+//   - slab releases (releasesOnErr/releasesOnOk): consumed by ownership,
+//     which can now treat a callee that releases on both outcome classes
+//     as a definite release for double-free purposes even when no single
+//     Put dominates every path;
+//   - refcount releases/retains and ref-returning constructors
+//     (refRelOnErr/refRelOnOk/refReleasesParam/refRetainsParam/
+//     returnsRef): consumed by refbalance, whose per-path walk needs to
+//     know whether handing a reference to a callee discharges it on the
+//     error path, the success path, or both.
+
+// pathCond classifies which outcome class a statement sits on.
+type pathCond int
+
+const (
+	// condBoth: no err/ok classification applies (unconditional code, or
+	// a branch whose condition the classifier does not model).
+	condBoth pathCond = iota
+	// condErr: the error/failure side — inside `if err != nil` or
+	// `if !ok`, or followed by a return whose error result is non-nil.
+	condErr
+	// condOk: the success side — inside `if err == nil` or `if ok`, or
+	// followed by `return ..., nil`.
+	condOk
+)
+
+// classifyCond models the two guard shapes the serving path uses
+// everywhere: nil-comparison on an error value and a bare (possibly
+// negated) ok-flag. It returns the guard object and the outcome class of
+// each branch; (nil, condBoth, condBoth) for anything else.
+func classifyCond(pass *Pass, cond ast.Expr) (types.Object, pathCond, pathCond) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op != token.NEQ && c.Op != token.EQL {
+			return nil, condBoth, condBoth
+		}
+		x, y := ast.Unparen(c.X), ast.Unparen(c.Y)
+		if id, ok := y.(*ast.Ident); !ok || id.Name != "nil" {
+			if id, ok := x.(*ast.Ident); !ok || id.Name != "nil" {
+				return nil, condBoth, condBoth
+			}
+			x = y
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok || !isErrorType(pass.exprType(id)) {
+			return nil, condBoth, condBoth
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			return nil, condBoth, condBoth
+		}
+		if c.Op == token.NEQ {
+			return obj, condErr, condOk
+		}
+		return obj, condOk, condErr
+	case *ast.UnaryExpr:
+		if c.Op != token.NOT {
+			return nil, condBoth, condBoth
+		}
+		if obj := boolGuardObj(pass, c.X); obj != nil {
+			return obj, condErr, condOk
+		}
+	case *ast.Ident:
+		if obj := boolGuardObj(pass, c); obj != nil {
+			return obj, condOk, condErr
+		}
+	}
+	return nil, condBoth, condBoth
+}
+
+// boolGuardObj resolves a bare boolean identifier (an ok-flag) to its
+// object, nil for anything else.
+func boolGuardObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	t := pass.exprType(id)
+	if t == nil {
+		return nil
+	}
+	if b, ok := t.Underlying().(*types.Basic); !ok || b.Kind() != types.Bool && b.Kind() != types.UntypedBool {
+		return nil
+	}
+	return pass.Pkg.Info.Uses[id]
+}
+
+// combineCond refines an outer path condition with an inner one: the
+// innermost classified guard wins.
+func combineCond(outer, inner pathCond) pathCond {
+	if inner == condBoth {
+		return outer
+	}
+	return inner
+}
+
+// returnOutcome classifies the path a statement falls onto by the first
+// return among its following siblings: a trailing nil error result means
+// the success side, a non-nil one the error side. No return (the path
+// falls through or branches away) stays unclassified — the caller must
+// not upgrade such a release to either class.
+func returnOutcome(pass *Pass, rest []ast.Stmt) pathCond {
+	for _, st := range rest {
+		ret, ok := st.(*ast.ReturnStmt)
+		if !ok {
+			if _, branch := st.(*ast.BranchStmt); branch {
+				return condBoth
+			}
+			continue
+		}
+		if len(ret.Results) == 0 {
+			return condBoth
+		}
+		last := ast.Unparen(ret.Results[len(ret.Results)-1])
+		if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+			return condOk
+		}
+		if isErrorType(pass.exprType(last)) {
+			return condErr
+		}
+		return condBoth
+	}
+	return condBoth
+}
+
+// walkPathConds walks a statement tree tracking the current outcome
+// class, invoking visit for every expression and defer statement with
+// the condition in effect and the statement's following siblings (for
+// return-outcome refinement). Nested function literals are not entered:
+// their statements belong to their own node.
+func walkPathConds(pass *Pass, stmts []ast.Stmt, cond pathCond, visit func(st ast.Stmt, rest []ast.Stmt, cond pathCond)) {
+	for i, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ExprStmt, *ast.DeferStmt:
+			visit(st, stmts[i+1:], cond)
+		case *ast.IfStmt:
+			if st.Init != nil {
+				walkPathConds(pass, []ast.Stmt{st.Init}, cond, visit)
+			}
+			_, thenC, elseC := classifyCond(pass, st.Cond)
+			walkPathConds(pass, st.Body.List, combineCond(cond, thenC), visit)
+			if st.Else != nil {
+				walkPathConds(pass, []ast.Stmt{st.Else}, combineCond(cond, elseC), visit)
+			}
+		case *ast.BlockStmt:
+			walkPathConds(pass, st.List, cond, visit)
+		case *ast.ForStmt:
+			walkPathConds(pass, st.Body.List, cond, visit)
+		case *ast.RangeStmt:
+			walkPathConds(pass, st.Body.List, cond, visit)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkPathConds(pass, cc.Body, cond, visit)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkPathConds(pass, cc.Body, cond, visit)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkPathConds(pass, cc.Body, cond, visit)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkPathConds(pass, []ast.Stmt{st.Stmt}, cond, visit)
+		}
+	}
+}
+
+// pathSplitFacts derives the split slab-release base facts for one node:
+// each Put of a parameter is attributed to the outcome class of its
+// path, first by the innermost err/ok guard it sits under, then by the
+// return that terminates its statement list. Releases with no signal
+// stay unclassified — releasesSome covers them, and neither split map is
+// marked (marking both would let a conditional release masquerade as a
+// definite one).
+func (prog *Program) pathSplitFacts(n *FuncNode, s *funcSummary) {
+	pass := n.pass(prog)
+	mark := func(pi int, c pathCond) {
+		switch c {
+		case condErr:
+			s.releasesOnErr[pi] = true
+		case condOk:
+			s.releasesOnOk[pi] = true
+		}
+	}
+	walkPathConds(pass, n.Body.List, condBoth, func(st ast.Stmt, rest []ast.Stmt, cond pathCond) {
+		var call *ast.CallExpr
+		deferred := false
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = st.Call, true
+		}
+		if call == nil {
+			return
+		}
+		if _, ok := slabPutPool(pass, call); !ok || len(call.Args) != 1 {
+			return
+		}
+		pi := prog.rootParamIndex(n, call.Args[0])
+		if pi < 0 {
+			return
+		}
+		if deferred {
+			// A deferred Put runs on every return: both classes.
+			mark(pi, condErr)
+			mark(pi, condOk)
+			return
+		}
+		if cond == condBoth {
+			cond = returnOutcome(pass, rest)
+		}
+		mark(pi, cond)
+	})
+}
+
+// isRefCountedType matches the shared-ownership handle shape: a named
+// type whose (pointer) method set carries parameterless retain and
+// release methods, exported or not — edge.entry and any fixture stand-in.
+func isRefCountedType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(n))
+	has := func(names ...string) bool {
+		for _, name := range names {
+			// Lookup resolves unexported names only from their declaring
+			// package, which is exactly the scoping wanted here.
+			sel := ms.Lookup(n.Obj().Pkg(), name)
+			if sel == nil {
+				continue
+			}
+			if sig, ok := sel.Obj().Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return has("retain", "Retain") && has("release", "Release")
+}
+
+// refMethodCall classifies a call as retain/release on a refcounted
+// receiver, returning the receiver expression and the lower-cased method
+// name.
+func refMethodCall(pass *Pass, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	var name string
+	switch sel.Sel.Name {
+	case "retain", "Retain":
+		name = "retain"
+	case "release", "Release":
+		name = "release"
+	default:
+		return nil, "", false
+	}
+	if !isRefCountedType(pass.exprType(sel.X)) {
+		return nil, "", false
+	}
+	return sel.X, name, true
+}
+
+// refFacts derives the refcount base facts for one node: which
+// parameters it releases/retains (split by outcome class, using the same
+// walker as the slab facts) and whether it returns a reference the
+// caller must release — a constructed handle, a retained one, or one
+// obtained from a returnsRef callee (closed over the graph by
+// closeRefs).
+func (prog *Program) refFacts(n *FuncNode, s *funcSummary) {
+	pass := n.pass(prog)
+
+	walkPathConds(pass, n.Body.List, condBoth, func(st ast.Stmt, rest []ast.Stmt, cond pathCond) {
+		var call *ast.CallExpr
+		deferred := false
+		switch st := st.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = st.Call, true
+		}
+		if call == nil {
+			return
+		}
+		recv, name, ok := refMethodCall(pass, call)
+		if !ok {
+			return
+		}
+		pi := prog.rootParamIndex(n, recv)
+		if pi < 0 {
+			return
+		}
+		if name == "retain" {
+			s.refRetainsParam[pi] = true
+			return
+		}
+		s.refReleasesParam[pi] = true
+		c := cond
+		if deferred {
+			s.refRelOnErr[pi] = true
+			s.refRelOnOk[pi] = true
+			return
+		}
+		if c == condBoth {
+			c = returnOutcome(pass, rest)
+		}
+		switch c {
+		case condErr:
+			s.refRelOnErr[pi] = true
+		case condOk:
+			s.refRelOnOk[pi] = true
+		default:
+			// An unguarded top-level release covers every path.
+			if cond == condBoth {
+				s.refRelOnErr[pi] = true
+				s.refRelOnOk[pi] = true
+			}
+		}
+	})
+
+	// returnsRef base facts: track which roots carry a constructed or
+	// retained handle (or a callee's result, for the fixpoint) and which
+	// roots reach a return.
+	constructed := map[types.Object]bool{}
+	retained := map[types.Object]bool{}
+	assignedFrom := map[types.Object]*CallSite{}
+	returnedRoots := map[types.Object]bool{}
+	sites := make(map[*ast.CallExpr]*CallSite, len(n.Calls))
+	for _, c := range n.Calls {
+		sites[c.Call] = c
+	}
+	isRefComposite := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		cl, ok := e.(*ast.CompositeLit)
+		return ok && isRefCountedType(pass.exprType(cl))
+	}
+	shallowInspect(n.Body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				obj := rootObjOf(pass, lhs)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(m.Rhs) {
+					rhs = m.Rhs[i]
+				} else if len(m.Rhs) == 1 {
+					rhs = m.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if isRefComposite(rhs) {
+					constructed[obj] = true
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if site := sites[call]; site != nil {
+						assignedFrom[obj] = site
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := refMethodCall(pass, m); ok && name == "retain" {
+				if obj := rootObjOf(pass, recv); obj != nil {
+					retained[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if isRefComposite(r) {
+					s.returnsRef = true
+				}
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+					if site := sites[call]; site != nil {
+						s.refRetCalls = append(s.refRetCalls, site)
+					}
+				}
+				if obj := rootObjOf(pass, r); obj != nil && isRefCountedType(obj.Type()) {
+					returnedRoots[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj := range returnedRoots {
+		if constructed[obj] || retained[obj] {
+			s.returnsRef = true
+		}
+		if site, ok := assignedFrom[obj]; ok {
+			s.refRetCalls = append(s.refRetCalls, site)
+		}
+	}
+}
+
+// closeRefs propagates the refcount facts to a fixpoint: forwarding a
+// parameter to a releasing/retaining callee inherits the callee's
+// split facts, and returning a returnsRef callee's result makes the
+// caller returnsRef itself (the Cache.Get -> getChunk -> handleFetch
+// chain resolves this way).
+func (prog *Program) closeRefs() {
+	copyIdx := func(dst, src map[int]bool, from, to int) bool {
+		if src[from] && !dst[to] {
+			dst[to] = true
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range prog.Nodes {
+			s := prog.summaries[n]
+			for _, e := range s.relEdges {
+				for _, callee := range e.site.Callees {
+					cs := prog.summaries[callee]
+					if cs == nil {
+						continue
+					}
+					if copyIdx(s.refReleasesParam, cs.refReleasesParam, e.argIdx, e.paramIdx) {
+						changed = true
+					}
+					if copyIdx(s.refRelOnErr, cs.refRelOnErr, e.argIdx, e.paramIdx) {
+						changed = true
+					}
+					if copyIdx(s.refRelOnOk, cs.refRelOnOk, e.argIdx, e.paramIdx) {
+						changed = true
+					}
+					if copyIdx(s.refRetainsParam, cs.refRetainsParam, e.argIdx, e.paramIdx) {
+						changed = true
+					}
+				}
+			}
+			if !s.returnsRef {
+				for _, site := range s.refRetCalls {
+					for _, callee := range site.Callees {
+						if cs := prog.summaries[callee]; cs != nil && cs.returnsRef {
+							s.returnsRef = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}

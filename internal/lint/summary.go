@@ -29,9 +29,31 @@ type funcSummary struct {
 	// result the function hands back through its return values, -1 when
 	// none: callers of such a function own a pooled buffer.
 	borrowsPool int
+	// releasesOnErr / releasesOnOk split releasesSome by the outcome
+	// class of the releasing path (the err != nil side vs. the nil side;
+	// see pathsens.go). A parameter marked in both maps is released on
+	// every outcome class, which ownership treats as a definite release
+	// even when no single Put dominates all paths. Releases with no
+	// classifiable guard or return appear in neither map.
+	releasesOnErr map[int]bool
+	releasesOnOk  map[int]bool
 	// relEdges are calls forwarding one of this function's parameters to
 	// a callee; the release fixpoint closes releasesSome over them.
 	relEdges []relEdge
+
+	// Refcount facts (consumed by refbalance; see pathsens.go):
+	// refReleasesParam marks parameter indexes whose refcounted handle
+	// the function release()s on some path, refRelOnErr/refRelOnOk split
+	// that by outcome class, and refRetainsParam marks retained ones.
+	refReleasesParam map[int]bool
+	refRelOnErr      map[int]bool
+	refRelOnOk       map[int]bool
+	refRetainsParam  map[int]bool
+	// returnsRef marks functions whose return value carries a refcounted
+	// handle the caller owes a release for: constructed, retained, or
+	// forwarded from a returnsRef callee (via refRetCalls).
+	returnsRef  bool
+	refRetCalls []*CallSite
 
 	// donesOn keys the WaitGroups this function calls Done on.
 	// "Type.field" keys propagate transitively through calls; local
@@ -105,19 +127,27 @@ func (prog *Program) ensureSummaries() {
 	prog.summaries = make(map[*FuncNode]*funcSummary, len(prog.Nodes))
 	for _, n := range prog.Nodes {
 		s := &funcSummary{
-			releasesSome:   map[int]bool{},
-			releasesAll:    map[int]bool{},
-			transfersParam: map[int]bool{},
-			borrowsPool:    -1,
-			donesOn:        map[string]bool{},
-			addsOn:         map[string]bool{},
-			wgDoneParams:   map[int]bool{},
-			waitsOnChans:   map[string]bool{},
-			waitsOnParams:  map[int]bool{},
-			mayAcquire:     map[string]*lockVia{},
+			releasesSome:     map[int]bool{},
+			releasesAll:      map[int]bool{},
+			transfersParam:   map[int]bool{},
+			borrowsPool:      -1,
+			releasesOnErr:    map[int]bool{},
+			releasesOnOk:     map[int]bool{},
+			refReleasesParam: map[int]bool{},
+			refRelOnErr:      map[int]bool{},
+			refRelOnOk:       map[int]bool{},
+			refRetainsParam:  map[int]bool{},
+			donesOn:          map[string]bool{},
+			addsOn:           map[string]bool{},
+			wgDoneParams:     map[int]bool{},
+			waitsOnChans:     map[string]bool{},
+			waitsOnParams:    map[int]bool{},
+			mayAcquire:       map[string]*lockVia{},
 		}
 		prog.summaries[n] = s
 		prog.ownershipFacts(n, s)
+		prog.pathSplitFacts(n, s)
+		prog.refFacts(n, s)
 		prog.joinFacts(n, s)
 		prog.lockFacts(n, s)
 		if n.Decl != nil {
@@ -125,6 +155,7 @@ func (prog *Program) ensureSummaries() {
 		}
 	}
 	prog.closeReleases()
+	prog.closeRefs()
 	prog.closeJoins()
 	prog.closeLocks()
 }
@@ -499,6 +530,14 @@ func (prog *Program) closeReleases() {
 					}
 					if cs.transfersParam[e.argIdx] && !s.transfersParam[e.paramIdx] {
 						s.transfersParam[e.paramIdx] = true
+						changed = true
+					}
+					if cs.releasesOnErr[e.argIdx] && !s.releasesOnErr[e.paramIdx] {
+						s.releasesOnErr[e.paramIdx] = true
+						changed = true
+					}
+					if cs.releasesOnOk[e.argIdx] && !s.releasesOnOk[e.paramIdx] {
+						s.releasesOnOk[e.paramIdx] = true
 						changed = true
 					}
 				}

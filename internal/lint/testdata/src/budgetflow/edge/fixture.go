@@ -1,0 +1,69 @@
+// Package edge is the budgetflow flagging fixture: deadlines invented
+// from bare literals, unbounded waits inside budget-carrying functions,
+// and a parameter whose only caller derives its deadline from thin air.
+package edge
+
+import (
+	"net"
+	"time"
+)
+
+// Msg mimics a wire frame carrying a relative budget.
+type Msg struct {
+	Budget time.Duration
+}
+
+func serveBad(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second)) // want `not derived from a wire budget, chunk budget, or config backstop`
+}
+
+func serveGood(conn net.Conn, m Msg) {
+	_ = conn.SetReadDeadline(time.Now().Add(m.Budget))
+}
+
+func clearIsExempt(conn net.Conn) {
+	_ = conn.SetDeadline(time.Time{})
+}
+
+func waitBad(done chan struct{}, deadline time.Time) {
+	_ = deadline
+	<-done // want `can outwait the budget this function carries`
+}
+
+func selectBad(done chan struct{}, deadline time.Time) {
+	_ = deadline
+	select { // want `neither a default nor a budget-derived timer case`
+	case <-done:
+	}
+}
+
+// SelectGood bounds its wait with a timer built from the deadline; the
+// exported parameter is budget-tainted by fiat.
+func SelectGood(done chan struct{}, deadline time.Time) {
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
+}
+
+// arm's only caller passes a budget-derived deadline: clean through the
+// interprocedural taint step.
+func ServeConn(conn net.Conn, m Msg) {
+	arm(conn, time.Now().Add(m.Budget))
+}
+
+func arm(conn net.Conn, deadline time.Time) {
+	_ = conn.SetDeadline(deadline)
+}
+
+// badArm's only caller invents the deadline from a literal, so the
+// parameter stays untainted and the sink is flagged where it fires.
+func armCaller(conn net.Conn) {
+	badArm(conn, time.Now().Add(3*time.Second))
+}
+
+func badArm(conn net.Conn, deadline time.Time) {
+	_ = conn.SetWriteDeadline(deadline) // want `not derived from a wire budget, chunk budget, or config backstop`
+}

@@ -1,0 +1,73 @@
+// Package media is the budgetflow clean fixture: every deadline traces
+// to a wire budget, a chunk budget field, or a config backstop, and
+// every wait in a budget-carrying function is bounded — the analyzer
+// must stay silent.
+package media
+
+import (
+	"net"
+	"time"
+)
+
+// DefaultFetchTimeout is the config backstop deadlines may fall back to.
+const DefaultFetchTimeout = 5 * time.Second
+
+type config struct {
+	ReadTimeout time.Duration
+}
+
+type job struct {
+	deadline time.Time
+}
+
+func serveBackstop(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(DefaultFetchTimeout))
+}
+
+func serveConfig(conn net.Conn, cfg config) {
+	_ = conn.SetWriteDeadline(time.Now().Add(cfg.ReadTimeout))
+}
+
+func serveJob(conn net.Conn, j job) {
+	_ = conn.SetDeadline(j.deadline)
+}
+
+// WaitBounded waits on the build under a timer derived from its budget
+// parameter (exported: tainted by fiat).
+func WaitBounded(done chan struct{}, budget time.Duration) {
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
+}
+
+// waitLocal derives its bound from a local stamped off the backstop.
+func waitLocal(done chan struct{}, deadline time.Time) {
+	_ = deadline
+	wakeup := time.Now().Add(DefaultFetchTimeout)
+	t := time.NewTimer(time.Until(wakeup))
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
+}
+
+// selectDefault never blocks, so it needs no timer.
+func selectDefault(done chan struct{}, deadline time.Time) bool {
+	_ = deadline
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// noBudgetNoCheck carries no time-typed parameter: bare receives are
+// connio/goleak territory, not budgetflow's.
+func noBudgetNoCheck(done chan struct{}) {
+	<-done
+}

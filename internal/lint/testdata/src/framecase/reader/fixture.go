@@ -1,0 +1,36 @@
+// Package reader is the framecase clean fixture: switches over the
+// wire frame type that are either exhaustive or defaulted, in a
+// package importing the enum — the analyzer must stay silent.
+package reader
+
+import "github.com/neuroscaler/neuroscaler/internal/lint/testdata/src/framecase/wire"
+
+func route(t wire.Type) int {
+	switch t {
+	case wire.TypeA:
+		return 1
+	case wire.TypeB:
+		return 2
+	case wire.TypeC:
+		return 3
+	}
+	return 0
+}
+
+func routeDefaulted(t wire.Type) int {
+	switch t {
+	case wire.TypeA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// routeInts is out of scope: not the wire enum.
+func routeInts(v int) int {
+	switch v {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+// Package wire is the framecase flagging fixture: a frame-type switch
+// that silently drops an unlisted type, a switch mixing dynamic cases
+// without a default, a write-only encoder, an unproducible decoder, a
+// stale maxType sentinel, and a decoder no fuzz function feeds.
+package wire
+
+import "errors"
+
+// Type is the frame-type vocabulary.
+type Type uint8
+
+const (
+	TypeA Type = 1
+	TypeB Type = 2
+	TypeC Type = 3
+)
+
+const maxType = TypeB // want `maxType (2) is below the highest assigned frame type TypeC (3)`
+
+func handle(t Type) int {
+	switch t { // want `misses TypeC`
+	case TypeA:
+		return 1
+	case TypeB:
+		return 2
+	}
+	return 0
+}
+
+func handleDynamic(t, other Type) int {
+	switch t { // want `mixes non-constant cases without a default`
+	case TypeA:
+		return 1
+	case other:
+		return 2
+	}
+	return 0
+}
+
+func handleDefaulted(t Type) int {
+	switch t {
+	case TypeA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// EncodeOrphan has no decoder: its frames are write-only.
+func EncodeOrphan(v int) []byte { // want `EncodeOrphan has no matching DecodeOrphan`
+	return []byte{byte(v)}
+}
+
+// DecodeWidow has no encoder: nothing in-tree produces its frames.
+func DecodeWidow(data []byte) (int, error) { // want `DecodeWidow has no matching EncodeWidow`
+	if len(data) == 0 {
+		return 0, errors.New("wire: empty widow")
+	}
+	return int(data[0]), nil
+}
+
+// EncodePayload/DecodePayload pair up, but no Fuzz* function feeds the
+// decoder.
+func EncodePayload(v int) []byte {
+	return []byte{byte(v)}
+}
+
+func DecodePayload(data []byte) (int, error) { // want `not exercised by any Fuzz`
+	if len(data) == 0 {
+		return 0, errors.New("wire: empty payload")
+	}
+	return int(data[0]), nil
+}

@@ -1,0 +1,12 @@
+package wire
+
+import "testing"
+
+// FuzzDecodeWidow covers the widowed decoder, so framecase's fuzz check
+// flags only DecodePayload.
+func FuzzDecodeWidow(f *testing.F) {
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeWidow(data)
+	})
+}

@@ -1,0 +1,50 @@
+// Package clean is the ledger clean fixture: every path through the
+// settlement region books exactly one right-hand counter, so the
+// conservation law holds and the analyzer must stay silent.
+package clean
+
+import "sync/atomic"
+
+//nslint:ledger selected == enhanced + dropped + rejected
+type counters struct {
+	selected atomic.Uint64
+	enhanced atomic.Uint64
+	dropped  atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func (c *counters) count(n int) {
+	for i := 0; i < n; i++ {
+		c.selected.Add(1)
+	}
+}
+
+// settle books exactly one outcome per item: early-continue exits and
+// the fall-through each carry one increment.
+func (c *counters) settle(items []int, validate bool) {
+	for _, it := range items {
+		if it < 0 {
+			c.dropped.Add(1)
+			continue
+		}
+		if validate && it > 100 {
+			c.rejected.Add(1)
+			continue
+		}
+		c.enhanced.Add(1)
+	}
+}
+
+// settleBranches books one outcome on each arm of a switch.
+func (c *counters) settleBranches(kinds []int) {
+	for _, k := range kinds {
+		switch k {
+		case 0:
+			c.enhanced.Add(1)
+		case 1:
+			c.dropped.Add(1)
+		default:
+			c.rejected.Add(1)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package media is the ledger flagging fixture: a settlement region
+// with a path that books nothing, one that double-books, a directive
+// naming a counter that does not exist, and one naming a counter that
+// is never incremented.
+package media
+
+import "sync/atomic"
+
+//nslint:ledger selected == enhanced + dropped + expired // want `ledger counter "expired" is never incremented`
+//nslint:ledger selected == enhanced + ghost // want `ledger names unknown counter "ghost"`
+type counters struct {
+	selected atomic.Uint64
+	enhanced atomic.Uint64
+	dropped  atomic.Uint64
+	expired  atomic.Uint64
+}
+
+func (c *counters) count(items []int) {
+	for range items {
+		c.selected.Add(1)
+	}
+}
+
+// settle leaves the flag-off path unbooked: those objects leak out of
+// the ledger.
+func (c *counters) settle(items []int, flag bool) {
+	for _, it := range items {
+		if it < 0 {
+			c.dropped.Add(1)
+			continue
+		}
+		if flag {
+			c.enhanced.Add(1)
+		} // want `books no ledger counter`
+	}
+}
+
+// settleDouble books the success outcome on top of the drop outcome.
+func (c *counters) settleDouble(ok bool) {
+	c.dropped.Add(1)
+	if ok {
+		c.enhanced.Add(1)
+	} // want `books 2 ledger counters`
+}

@@ -1,0 +1,110 @@
+// Package clean is the refbalance clean fixture: every acquisition is
+// discharged — released on all paths, deferred, returned, stored,
+// sent, handed to a goroutine, or transferred to a callee that always
+// releases — so the analyzer must stay silent.
+package clean
+
+type entry struct{ refs int }
+
+func (e *entry) retain()  { e.refs++ }
+func (e *entry) release() { e.refs-- }
+
+type cache struct {
+	m     map[int]*entry
+	ch    chan *entry
+	saved *entry
+}
+
+func (c *cache) get(k int) (*entry, bool) {
+	if e, ok := c.m[k]; ok {
+		e.retain()
+		return e, true
+	}
+	return nil, false
+}
+
+func use(e *entry) int { return e.refs }
+
+// put always releases: callers transferring to it are discharged.
+func put(e *entry) { e.release() }
+
+func releasedOnAllPaths(c *cache, cond bool) int {
+	e, ok := c.get(1)
+	if !ok {
+		return 0
+	}
+	if cond {
+		e.release()
+		return 1
+	}
+	e.release()
+	return 2
+}
+
+func deferredRelease(c *cache) int {
+	e, ok := c.get(2)
+	if !ok {
+		return 0
+	}
+	defer e.release()
+	return use(e)
+}
+
+func returned(c *cache) *entry {
+	e, ok := c.get(3)
+	if !ok {
+		return nil
+	}
+	return e
+}
+
+func stored(c *cache) {
+	e, ok := c.get(4)
+	if !ok {
+		return
+	}
+	c.saved = e
+}
+
+func sent(c *cache) {
+	e, ok := c.get(5)
+	if !ok {
+		return
+	}
+	c.ch <- e
+}
+
+func spawned(c *cache) {
+	e, ok := c.get(6)
+	if !ok {
+		return
+	}
+	go put(e)
+}
+
+func transferred(c *cache) {
+	e, ok := c.get(7)
+	if !ok {
+		return
+	}
+	_ = use(e)
+	put(e)
+}
+
+// grantStored retains and immediately hands the reference to a field:
+// the waiter-grant shape done right.
+func grantStored(c *cache, e *entry) {
+	e.retain()
+	c.saved = e
+}
+
+// constructed binds unconditionally and releases before every exit.
+func constructed(cond bool) int {
+	e := &entry{}
+	if cond {
+		e.release()
+		return 1
+	}
+	put(e)
+	return 2
+}

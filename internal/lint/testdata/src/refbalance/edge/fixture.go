@@ -1,0 +1,75 @@
+// Package edge is the refbalance flagging fixture: every way a
+// refcounted handle's per-holder reference can go unbalanced — a leak
+// on an early return, a double release, a success-path leak through an
+// error-only releasing callee, and a retain grant that goes nowhere.
+package edge
+
+type entry struct{ refs int }
+
+func (e *entry) retain()  { e.refs++ }
+func (e *entry) release() { e.refs-- }
+
+type cache struct{ m map[int]*entry }
+
+// get returns a retained entry: the caller owns one reference.
+func (c *cache) get(k int) (*entry, bool) {
+	if e, ok := c.m[k]; ok {
+		e.retain()
+		return e, true
+	}
+	return nil, false
+}
+
+func use(e *entry) int { return e.refs }
+
+// push consumes nothing: it neither retains nor releases.
+func push(e *entry) error {
+	if e == nil {
+		return errTest
+	}
+	return nil
+}
+
+var errTest error
+
+// send releases its argument only when the push fails — the split
+// summary fact callers are judged by.
+func send(e *entry) {
+	if err := push(e); err != nil {
+		e.release()
+	}
+}
+
+func leakOnEarlyReturn(c *cache, cond bool) int {
+	e, ok := c.get(1)
+	if !ok {
+		return 0
+	}
+	if cond {
+		return 1 // want `is not released, returned, stored, or handed off`
+	}
+	e.release()
+	return 2
+}
+
+func doubleRelease(c *cache) {
+	e, ok := c.get(2)
+	if !ok {
+		return
+	}
+	_ = use(e)
+	e.release()
+	e.release() // want `released more than once on this path`
+}
+
+func leakSuccessPath(c *cache) {
+	e, ok := c.get(3)
+	if !ok {
+		return
+	}
+	send(e)
+} // want `releases it only on the error path`
+
+func grantAndDrop(e *entry) {
+	e.retain() // want `retained reference "e" is never handed off`
+}

@@ -167,6 +167,12 @@ type ServerCounters struct {
 	FetchesServed uint64 `json:"fetches_served"`
 }
 
+// serverCounters is the pipeline's operational ledger. The anchor
+// counters obey a conservation law, declared below and verified by the
+// ledger analyzer: every anchor the select stage counts in is settled
+// into exactly one outcome counter by the package stage.
+//
+//nslint:ledger anchorsSelected == anchorsEnhanced + anchorsDropped + anchorsRejected + anchorsExpired
 type serverCounters struct {
 	chunksProcessed, chunksDegraded atomic.Uint64
 	anchorsEnhanced, anchorsDropped atomic.Uint64
@@ -573,6 +579,9 @@ func (s *Server) serveIngest(conn net.Conn) error {
 			if msg.Budget > 0 {
 				job.deadline = job.admitted.Add(msg.Budget)
 			}
+		default:
+			// Unstamped frame types ride through untouched: the decode
+			// stage's own type switch answers or rejects them in order.
 		}
 		decodeCh <- job
 		if p.fatal.Load() {
@@ -1153,7 +1162,24 @@ func (s *Server) buildEnhanced(streamID uint32, seq int, deadline time.Time) ([]
 	s.buildMu.Lock()
 	if c, ok := s.builds[key]; ok {
 		s.buildMu.Unlock()
-		<-c.done
+		// Joiners wait out their own budget, not the leader's: a fetch
+		// with no wire budget falls back to the config backstop so a
+		// wedged build cannot strand it forever.
+		joinDeadline := deadline
+		if joinDeadline.IsZero() && s.cfg.DefaultChunkBudget > 0 {
+			joinDeadline = time.Now().Add(s.cfg.DefaultChunkBudget)
+		}
+		if joinDeadline.IsZero() {
+			<-c.done //nslint:disable budgetflow -- no wire budget and no configured backstop: unbounded by operator choice
+			return c.data, c.degraded, c.err
+		}
+		wait := time.NewTimer(time.Until(joinDeadline))
+		defer wait.Stop()
+		select {
+		case <-c.done:
+		case <-wait.C:
+			return nil, false, ErrDeadlineExceeded
+		}
 		return c.data, c.degraded, c.err
 	}
 	c := &buildCall{done: make(chan struct{})}

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"github.com/neuroscaler/neuroscaler/internal/frame"
 )
 
 // FuzzRead exercises the frame parser with arbitrary bytes; it must
@@ -65,5 +67,123 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{0, 2, 0, 2, 1, 2, 3, 4, 5, 6})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeFrame(data) // must not panic
+	})
+}
+
+// FuzzDecodeAnchorJob exercises the anchor-job payload parser.
+func FuzzDecodeAnchorJob(f *testing.F) {
+	f.Add(EncodeAnchorJob(AnchorJob{Packet: 5, DisplayIndex: 42, QP: 90, Frame: frame.MustNew(16, 16)}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := DecodeAnchorJob(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeAnchorJob(j), data) {
+			t.Fatal("anchor job round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeAnchorResult exercises the anchor-result payload parser.
+func FuzzDecodeAnchorResult(f *testing.F) {
+	f.Add(EncodeAnchorResult(AnchorResult{Packet: 7, Encoded: []byte{1, 2, 3}}))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeAnchorResult(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeAnchorResult(r), data) {
+			t.Fatal("anchor result round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeAnchorBatchJob exercises the batched anchor-job parser.
+func FuzzDecodeAnchorBatchJob(f *testing.F) {
+	f.Add(EncodeAnchorBatchJob([]AnchorJob{
+		{Packet: 0, DisplayIndex: 3, QP: 80, Frame: frame.MustNew(16, 16)},
+		{Packet: 4, DisplayIndex: 11, QP: 95, Frame: frame.MustNew(24, 8)},
+	}))
+	f.Add([]byte{0, 0, 0, 2})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, err := DecodeAnchorBatchJob(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeAnchorBatchJob(jobs), data) {
+			t.Fatal("anchor batch job round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeAnchorBatchResult exercises the batched outcome parser.
+func FuzzDecodeAnchorBatchResult(f *testing.F) {
+	seed, _ := EncodeAnchorBatchResult([]AnchorBatchOutcome{
+		{Res: AnchorResult{Packet: 1, Encoded: []byte{9}}},
+		{Err: "enhancer: deadline exceeded"},
+	})
+	f.Add(seed)
+	f.Add([]byte{0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		outs, err := DecodeAnchorBatchResult(data)
+		if err != nil {
+			return
+		}
+		back, err := EncodeAnchorBatchResult(outs)
+		if err != nil {
+			t.Fatalf("re-encode of parsed batch result failed: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("anchor batch result round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeFetchChunk exercises the fetch-request payload parser.
+func FuzzDecodeFetchChunk(f *testing.F) {
+	f.Add(EncodeFetchChunk(FetchChunk{Seq: 3, Quality: 1}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeFetchChunk(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeFetchChunk(req), data) {
+			t.Fatal("fetch-chunk round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeSubscribe exercises the subscribe payload parser.
+func FuzzDecodeSubscribe(f *testing.F) {
+	f.Add(EncodeSubscribe(Subscribe{FromSeq: 12, Quality: 2}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sub, err := DecodeSubscribe(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSubscribe(sub), data) {
+			t.Fatal("subscribe round trip diverged")
+		}
+	})
+}
+
+// FuzzDecodeChunkData exercises the chunk-data payload parser.
+func FuzzDecodeChunkData(f *testing.F) {
+	f.Add(EncodeChunkData(ChunkData{Seq: 8, Quality: 1, Data: []byte("container"), Degraded: true, CacheHit: true}))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeChunkData(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeChunkData(c), data) {
+			t.Fatal("chunk-data round trip diverged")
+		}
 	})
 }
